@@ -1,0 +1,30 @@
+"""Figure 10 — byte savings in the presence of packet losses.
+
+Paper shape: ~45 % savings at zero loss, eroding as loss grows but
+still positive at 10 %; File 2 (higher dependency degree) is more
+sensitive than File 1.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+SWEEP_KEY = "figure10_11"
+SWEEP_KWARGS = {"seeds": (11, 23)}
+
+
+def test_figure10(benchmark, sweep_cache):
+    result = benchmark.pedantic(
+        lambda: sweep_cache(SWEEP_KEY,
+                            lambda: scenarios.figure10_11(**SWEEP_KWARGS)),
+        rounds=1, iterations=1)
+    print_report("Figure 10 (bytes sent ratio)", result.report_bytes())
+
+    by_name = {s.name: s for s in result.bytes_series}
+    cf1 = by_name["cache_flush(file1)"]
+    # ~45 % savings at zero loss.
+    assert cf1.point(0.0).mean < 0.65
+    # Savings still positive at 10 % loss (ratio below 1).
+    assert cf1.point(0.10).mean < 1.0
+    # Ratio degrades monotonically-ish with loss.
+    assert cf1.point(0.10).mean > cf1.point(0.0).mean

@@ -1,0 +1,33 @@
+"""Figure 11 — download times in the presence of packet losses.
+
+Paper shape: ~28 % faster at zero loss; 1 % loss already nullifies the
+gain (ratio crosses 1.0 near ~1 %); ~2x by 2 % loss; Cache Flush stays
+below TCP-seq throughout.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+from bench_figure10 import SWEEP_KEY, SWEEP_KWARGS
+
+
+def test_figure11(benchmark, sweep_cache):
+    result = benchmark.pedantic(
+        lambda: sweep_cache(SWEEP_KEY,
+                            lambda: scenarios.figure10_11(**SWEEP_KWARGS)),
+        rounds=1, iterations=1)
+    print_report("Figure 11 (download time ratio)", result.report_delay())
+
+    by_name = {s.name: s for s in result.delay_series}
+    cf1 = by_name["cache_flush(file1)"]
+    ts1 = by_name["tcp_seq(file1)"]
+    # Faster than no-DRE at zero loss.
+    assert cf1.point(0.0).mean < 1.0
+    # The crossover: 1 % loss nullifies the delay gain.
+    assert cf1.point(0.01).mean > 1.0
+    # ~2x (or worse) by 2 % loss.
+    assert cf1.point(0.02).mean > 1.5
+    # The paper's headline insight: simple Cache Flush beats the more
+    # aggressive TCP-seq scheme on delay under loss.
+    assert cf1.point(0.02).mean < ts1.point(0.02).mean
+    assert cf1.point(0.05).mean < ts1.point(0.05).mean

@@ -1,0 +1,30 @@
+"""Figure 12 — k-distance performance vs the distance k (File 1).
+
+Paper shape: bytes sent fall as k grows (more encoding opportunity)
+while delay worsens; k ≈ 8 is called out as a reasonable trade-off
+(~24 % byte savings while still limiting delay).
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_figure12(benchmark):
+    result = benchmark.pedantic(
+        scenarios.figure12,
+        kwargs={"ks": (2, 4, 8, 16, 32, 64, 80), "seeds": (11, 23)},
+        rounds=1, iterations=1)
+    print_report("Figure 12", result.report())
+
+    bytes5 = {s.name: s for s in result.bytes_series}["bytes(5%)"]
+    # Larger k → more compression → fewer bytes on the wire.
+    assert bytes5.point(80).mean < bytes5.point(2).mean
+    # At the paper's chosen k=8, byte savings over sending the raw file
+    # are clearly positive at 5 % loss.
+    assert bytes5.point(8).mean < 1.0
+
+    delay5 = {s.name: s for s in result.delay_series}["delay(5%)"]
+    # Delay worsens from small k to large k (aggressive compression
+    # costs latency under loss, §VII).
+    assert delay5.point(64).mean > delay5.point(2).mean

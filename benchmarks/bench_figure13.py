@@ -1,0 +1,33 @@
+"""Figure 13 — perceived packet loss rate vs actual loss rate.
+
+Perceived = channel losses plus packets the decoder drops as
+undecodable.  Paper shape: all schemes sit well above the diagonal,
+with the aggressive TCP-seq scheme at or above Cache Flush, and
+k-distance(k=8) comparable to Cache Flush.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_figure13(benchmark):
+    result = benchmark.pedantic(
+        scenarios.figure13,
+        kwargs={"losses": (0.0, 0.01, 0.02, 0.05, 0.10, 0.20),
+                "seeds": (11, 23)},
+        rounds=1, iterations=1)
+    print_report("Figure 13", result.report())
+
+    by_name = {s.name: s for s in result.series}
+    cache_flush = by_name["cache_flush"]
+    tcp_seq = by_name["tcp_seq"]
+    kdist = by_name["k_distance(k=8)"]
+    for series in (cache_flush, tcp_seq, kdist):
+        # Perceived loss amplifies actual loss (sits above the diagonal).
+        assert series.point(0.05).mean > 5.0
+        # And grows with the actual loss rate.
+        assert series.point(0.10).mean > series.point(0.01).mean
+    # k-distance(8) bounds dependencies tightly: perceived loss stays
+    # below the unbounded-history schemes at moderate loss.
+    assert kdist.point(0.02).mean <= cache_flush.point(0.02).mean + 1.0

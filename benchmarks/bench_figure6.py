@@ -1,0 +1,22 @@
+"""Figure 6 — frequency of TCP connection stalls (naive encoding, 1 % loss).
+
+Paper: out of 50 retrievals of a 587,567-byte ebook only one succeeded;
+on average 25.5 % of the file (~100 packets, the reciprocal of the 1 %
+loss rate) was retrieved before the connection stalled.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_figure6(benchmark):
+    result = benchmark.pedantic(scenarios.figure6,
+                                kwargs={"runs": 50}, rounds=1, iterations=1)
+    print_report("Figure 6", result.report())
+
+    # Paper shape: stalls dominate overwhelmingly (49/50 in the paper).
+    assert result.stall_count >= 45
+    # Mean retrieved fraction sits near the reciprocal of the loss rate
+    # (~100 packets of ~400); allow a generous band.
+    assert 0.05 <= result.mean_fraction <= 0.50

@@ -1,0 +1,20 @@
+"""Headline claims (§VI) — gains at zero packet loss.
+
+Paper: byte caching reduces bytes sent by ~45 % and download time by
+~28 % when the channel is clean.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_headline(benchmark):
+    result = benchmark.pedantic(scenarios.headline, rounds=1, iterations=1)
+    print_report("Headline", result.report())
+
+    # ~45 % byte savings (generous band; workload is synthetic).
+    assert 0.30 <= result.byte_savings <= 0.60
+    # Meaningful delay reduction, smaller than or comparable to the
+    # byte savings (the paper's 28 % vs 45 %).
+    assert 0.10 <= result.delay_reduction <= 0.60

@@ -1,0 +1,32 @@
+"""Impairment matrix (§IV) — loss, corruption and re-ordering.
+
+The paper's correctness claim covers all three events: "a packet
+corruption, a packet loss or a re-ordered packet — all events which
+occur in the Internet — can result in cache desynchronization ...
+and ultimately circular dependencies".  This bench checks that the
+naive policy degrades or stalls under each impairment kind while Cache
+Flush completes under all of them.
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_impairment_matrix(benchmark):
+    result = benchmark.pedantic(
+        scenarios.impairment_matrix,
+        kwargs={"rates": (0.01, 0.05), "seeds": (11, 23)},
+        rounds=1, iterations=1)
+    print_report("Impairment matrix (§IV)", result.report())
+
+    for kind in ("loss", "corrupt", "reorder"):
+        naive_completed, _ = result.cells[("naive", kind, 0.05)]
+        robust_completed, _ = result.cells[("cache_flush", kind, 0.05)]
+        # The robust policy survives every impairment kind...
+        assert robust_completed == 1.0, kind
+        # ...while naive encoding fails at least sometimes under loss
+        # and corruption (re-ordering is survivable more often: the
+        # packet still arrives, merely late).
+        if kind in ("loss", "corrupt"):
+            assert naive_completed < 1.0, kind

@@ -1,0 +1,44 @@
+"""§II — mobility vs gateway placement (the paper's motivation).
+
+Not a table/figure in the evaluation section, but the paper's central
+deployment argument (Fig. 1): transparent split-TCP byte caching breaks
+under client mobility; IP-level byte caching survives it.  This bench
+runs the handoff experiment in all three gateway modes.
+"""
+
+from conftest import print_report
+
+from repro.experiments.mobility import MobilityConfig, run_mobility
+from repro.metrics import format_table
+
+
+def run_all():
+    results = {}
+    for mode in ("none", "ip-dre", "tcp-proxy"):
+        results[mode] = run_mobility(MobilityConfig(
+            mode=mode, handoff_at=0.25, loss_rate_a=0.01, seed=11))
+    return results
+
+
+def test_mobility(benchmark):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for mode, result in results.items():
+        rows.append([mode,
+                     "completed" if result.completed else "STALLED",
+                     result.outcome.bytes_received,
+                     result.bytes_path_a, result.bytes_path_b])
+    print_report("Mobility (§II)", format_table(
+        "handoff at t=0.25 s, 1% loss on path A",
+        ["mode", "outcome", "bytes rcvd", "path A bytes", "path B bytes"],
+        rows))
+
+    # §II-B: IP-level DRE survives the handoff...
+    assert results["ip-dre"].completed
+    assert results["ip-dre"].outcome.content_ok is True
+    assert results["none"].completed
+    # ...while §II-A's split-TCP mode stalls.
+    assert not results["tcp-proxy"].completed
+    # The proxy did compress on path A before dying.
+    assert results["tcp-proxy"].bytes_path_a < results["none"].bytes_path_a

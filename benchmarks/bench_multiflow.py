@@ -1,0 +1,62 @@
+"""Inter-flow redundancy (§I) and cross-connection poisoning (§IV-C).
+
+Not a numbered figure, but two load-bearing claims of the paper:
+byte caching "eliminates redundancy both intra-flow and inter-flows",
+and after a cache desynchronisation "not only one TCP connection, but
+all subsequent connections going through the encoder and decoder may
+get affected".
+"""
+
+from conftest import print_report
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.multiflow import (run_concurrent_fetches,
+                                         run_sequential_fetches)
+from repro.metrics import format_table
+
+
+def config(**kwargs):
+    defaults = dict(corpus="file1", file_size=120 * 1460, corpus_seed=3,
+                    policy="cache_flush", seed=11, time_limit=300.0)
+    defaults.update(kwargs)
+    return ExperimentConfig(**defaults)
+
+
+def measure():
+    refetch = run_sequential_fetches(config(), n_fetches=2)
+    concurrent = run_concurrent_fetches(config(), n_clients=3)
+    poisoned = run_sequential_fetches(
+        config(policy="naive", loss_rate=0.05), n_fetches=2)
+    robust = run_sequential_fetches(
+        config(policy="cache_flush", loss_rate=0.05), n_fetches=2)
+    return refetch, concurrent, poisoned, robust
+
+
+def test_multiflow(benchmark):
+    refetch, concurrent, poisoned, robust = benchmark.pedantic(
+        measure, rounds=1, iterations=1)
+
+    file_size = 120 * 1460
+    rows = [
+        ["refetch: 1st connection bytes", refetch.per_fetch_link_bytes[0]],
+        ["refetch: 2nd connection bytes", refetch.per_fetch_link_bytes[1]],
+        ["3 concurrent clients, total bytes", concurrent.bytes_on_link],
+        ["naive+5% loss: connections completed",
+         sum(1 for o in poisoned.outcomes if o.completed)],
+        ["cache_flush+5% loss: connections completed",
+         sum(1 for o in robust.outcomes if o.completed)],
+    ]
+    print_report("Inter-flow (§I / §IV-C)", format_table(
+        f"two claims beyond single-connection transfers ({file_size} B "
+        "object)", ["measurement", "value"], rows))
+
+    # Inter-flow redundancy: the refetch is nearly free.
+    assert refetch.per_fetch_link_bytes[1] < \
+        0.25 * refetch.per_fetch_link_bytes[0]
+    # Three concurrent copies cost well under two uncached ones.
+    assert concurrent.bytes_on_link < 2.0 * file_size
+    assert concurrent.all_completed
+    # §IV-C poisoning: with naive encoding both connections die; the
+    # robust policy completes both.
+    assert sum(1 for o in poisoned.outcomes if o.completed) == 0
+    assert robust.all_completed

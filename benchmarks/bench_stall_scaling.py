@@ -1,0 +1,37 @@
+"""§IV-C extrapolations — how size and loss rate govern naive stalls.
+
+Two quantitative claims wrapped around Figure 6:
+
+* "with a packet loss rate of 1 %, approximately 146,000 bytes can on
+  average be retrieved before the TCP connection stalls" — the mean
+  run to the first loss, MSS/p;
+* via Gill et al.: half the web's volume is in objects >4 MB, so at
+  any realistic loss rate a naive-encoded large transfer is near
+  certain to stall (P ≈ 1-(1-p)^(size/MSS)).
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_stall_scaling(benchmark):
+    result = benchmark.pedantic(scenarios.stall_scaling,
+                                rounds=1, iterations=1)
+    print_report("§IV-C stall scaling", result.report())
+
+    # Larger objects are more likely to stall at fixed loss.
+    sizes = sorted(result.stall_by_size)
+    assert result.stall_by_size[sizes[-1]] >= result.stall_by_size[sizes[0]]
+    # At 0.2% loss a 2 MB object (~1436 packets) should essentially
+    # always die: P(stall) = 1-(0.998)^1436 ≈ 94%.
+    assert result.stall_by_size[sizes[-1]] >= 0.7
+    # ...while a 40 KB object (28 packets, P ≈ 5%) usually survives.
+    assert result.stall_by_size[sizes[0]] <= 0.5
+
+    # Mean retrieved tracks the MSS/p prediction within a small factor
+    # (the run-to-first-loss distribution is geometric, so small-sample
+    # means scatter; an order of magnitude is the meaningful check).
+    for loss, measured in result.retrieved_by_loss.items():
+        predicted = 1460 / loss
+        assert 0.1 * predicted < measured < 4.0 * predicted, (loss, measured)

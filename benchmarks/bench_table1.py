@@ -1,0 +1,24 @@
+"""Table I — redundancy found in web objects vs cache window size.
+
+Paper values: ebook 0.3–1 %, video 0.009–1 %, web pages 19–42 % (k=10)
+rising to 26–52 % (k=1000).
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(scenarios.table1, rounds=1, iterations=1)
+    print_report("Table I", result.report())
+
+    savings = {(name, k): s for name, k, s in result.rows}
+    # Paper shapes: ebook and video stay below ~1.5 %; web pages are
+    # double digits already at k=10 and grow with k.
+    for k in (10, 100, 1000):
+        assert savings[("ebook", k)] < 0.015
+        assert savings[("video", k)] < 0.015
+    assert savings[("webpages", 10)] > 0.15
+    assert savings[("webpages", 1000)] >= savings[("webpages", 10)]
+    assert savings[("video", 10)] < savings[("video", 1000)]

@@ -1,0 +1,31 @@
+"""Table II — all three encoding schemes on File 1 at 5 % and 10 % loss.
+
+Paper values (ratios vs no-DRE):
+    Bytes: CacheFlush 0.67/0.74, TCPseq 0.70/0.82, k-dist(8) 0.76/0.94
+    Delay: CacheFlush 1.64/1.84, TCPseq 2.88/3.87, k-dist(8) 2.11/4.01
+"""
+
+from conftest import print_report
+
+from repro.experiments import scenarios
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(scenarios.table2,
+                                kwargs={"seeds": (11, 23)},
+                                rounds=1, iterations=1)
+    print_report("Table II", result.report())
+
+    cells = result.cells
+    # Byte savings survive at 5 % loss for every scheme.
+    for policy in ("cache_flush", "tcp_seq", "k_distance"):
+        assert cells[("Bytes Sent", policy, 0.05)] < 1.0
+    # Delay is worse than no-DRE for every scheme at 5 % loss.
+    for policy in ("cache_flush", "tcp_seq", "k_distance"):
+        delay = cells.get(("Delay", policy, 0.05))
+        assert delay is not None and delay > 1.0
+    # Cache Flush has the lowest delay penalty (the §VII insight).
+    assert (cells[("Delay", "cache_flush", 0.05)]
+            <= cells[("Delay", "tcp_seq", 0.05)])
+    assert (cells[("Delay", "cache_flush", 0.10)]
+            <= cells[("Delay", "tcp_seq", 0.10)])

@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact (table/figure),
+times it with pytest-benchmark, and prints the reproduced rows/series
+so the output can be compared against the paper (see EXPERIMENTS.md).
+
+Scenario sweeps are memoised per-session: Figures 10 and 11 come from
+the same set of transfer runs, so the second bench reuses the first's
+sweep instead of re-simulating it.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.experiments import scenarios
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Session-scoped memo for scenario results shared across benches."""
+    cache = {}
+
+    def get(name, factory):
+        if name not in cache:
+            cache[name] = factory()
+        return cache[name]
+
+    return get
+
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+def print_report(title: str, report: str) -> None:
+    """Print a reproduced artifact so it lands in the run's output.
+
+    Capture is suspended around the print so the tables appear even
+    without ``-s`` — the canonical
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+    invocation must record them.
+    """
+    banner = "#" * max(20, len(title) + 4)
+    text = f"\n{banner}\n# {title}\n{banner}\n{report}\n"
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print(text)
+    else:
+        print(text)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The §II mobility story: why byte caching belongs at the IP layer.
+
+A client downloads a file over a "cellular" path equipped with
+byte-caching gateways, then hands off to a "WiFi" path with none
+(its address is preserved, as Mobile IP would).  Three gateway modes:
+
+* ``none``      — no byte caching: TCP is end-to-end, handoff is fine;
+* ``ip-dre``    — IP-level byte caching (this paper's design): TCP is
+  still end-to-end; packets lost in the handoff are retransmitted via
+  the new path and the download resumes (§II-B);
+* ``tcp-proxy`` — transparent split-TCP byte caching (how commercial
+  appliances deploy, Fig. 1): three separate TCP connections pretend to
+  be one.  After the handoff the client's ACKs reach the *real* server
+  inside a connection whose sequence numbers they do not match, and the
+  transfer stalls (Fig. 1, t5).
+
+Run:  python examples/mobility_handoff.py
+"""
+
+from repro.experiments.mobility import MobilityConfig, run_mobility
+from repro.metrics import format_table
+
+
+def main() -> None:
+    rows = []
+    for mode, label in (("none", "no byte caching"),
+                        ("ip-dre", "IP-level DRE (this paper)"),
+                        ("tcp-proxy", "split-TCP DRE (appliances)")):
+        result = run_mobility(MobilityConfig(
+            mode=mode, handoff_at=0.25, loss_rate_a=0.01, seed=11))
+        outcome = result.outcome
+        rows.append([
+            label,
+            "completed" if result.completed else "STALLED",
+            f"{outcome.bytes_received:,} / {outcome.expected_size:,}",
+            (f"{outcome.finished_at:.2f}s" if outcome.finished_at is not None
+             and result.completed else "-"),
+            f"{result.bytes_path_a:,}",
+            f"{result.bytes_path_b:,}",
+        ])
+    print(format_table(
+        "574 KB download with a cellular→WiFi handoff at t=0.25 s",
+        ["gateway mode", "outcome", "bytes received", "finish",
+         "bytes path A", "bytes path B"],
+        rows))
+    print()
+    print("The split-TCP proxy compresses beautifully on path A — and dies")
+    print("at the handoff: the client's ACKs land in the server's own TCP")
+    print("connection with alien sequence numbers.  IP-level byte caching")
+    print("(this paper's setting) keeps TCP end-to-end and survives, at")
+    print("the cost of the loss-sensitivity the rest of the paper studies.")
+
+
+if __name__ == "__main__":
+    main()

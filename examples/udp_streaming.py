@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""k-distance byte caching over UDP (§V-C).
+
+The k-distance scheme inspects no TCP state, so it "is applicable to
+not only TCP but also UDP traffic".  This example streams media-like
+datagrams (a container header plus content half-overlapping the
+previous frame) across the lossy wireless segment and measures byte
+savings and frame delivery for several k.
+
+There are no retransmissions here: a frame either survives (possibly
+thanks only to reference packets bounding the damage) or it is gone —
+exactly the trade-off a streaming deployment cares about.
+
+Run:  python examples/udp_streaming.py
+"""
+
+from repro.experiments.streaming import StreamingConfig, run_streaming
+from repro.metrics import format_table
+
+
+def main() -> None:
+    for loss in (0.0, 0.05):
+        baseline = run_streaming(StreamingConfig(policy=None,
+                                                 loss_rate=loss))
+        rows = [["(no DRE)", baseline.frames_delivered,
+                 f"{baseline.bytes_on_link:,}", "1.00", 0]]
+        for k in (4, 8, 32):
+            result = run_streaming(StreamingConfig(policy="k_distance",
+                                                   k=k, loss_rate=loss))
+            rows.append([
+                f"k_distance(k={k})", result.frames_delivered,
+                f"{result.bytes_on_link:,}",
+                f"{result.bytes_on_link / baseline.bytes_on_link:.2f}",
+                result.undecodable,
+            ])
+        print(format_table(
+            f"UDP stream: {baseline.frames_sent} frames of 1200 B at "
+            f"{loss:.0%} loss",
+            ["scheme", "frames delivered", "bytes on link", "bytes ratio",
+             "undecodable"],
+            rows))
+        print()
+    print("Larger k compresses better but each loss now knocks out more")
+    print("of the following frames (no retransmissions on UDP) — the")
+    print("§V-C trade-off in its purest form.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""A browsing session over HTTP through the byte-caching gateways.
+
+Table I's web-page row comes from temporal locality: pages of one site
+share templates, navigation and assets, so each successive page costs
+less on the constrained link.  This example drives the real HTTP layer
+(requests, status lines, Content-Length) across the Fig. 3 testbed and
+prints the per-page cost as the gateway caches warm up — byte caching
+needs no knowledge of HTTP to do this (§I: protocol independence).
+
+Run:  python examples/web_browsing.py
+"""
+
+from repro.app.http import HTTPClient, HTTPServer
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import SERVER_ADDR, build_testbed
+from repro.metrics import format_table
+from repro.workload.objects import generate_webpage_session
+
+PAGE_SIZE = 24 * 1024
+N_PAGES = 8
+
+
+def split_pages(blob: bytes, n_pages: int):
+    """Slice a browsing-session byte stream into per-page resources."""
+    return {f"/page{i}.html": blob[i * PAGE_SIZE: (i + 1) * PAGE_SIZE]
+            for i in range(n_pages)}
+
+
+def main() -> None:
+    config = ExperimentConfig(policy="cache_flush", loss_rate=0.0, seed=11)
+    testbed = build_testbed(config)
+    session = generate_webpage_session(N_PAGES * PAGE_SIZE, seed=3,
+                                       page_size=PAGE_SIZE)
+    pages = split_pages(session, N_PAGES)
+    HTTPServer(testbed.server_stack, pages)
+    client = HTTPClient(testbed.client_stack, testbed.sim)
+
+    rows = []
+    state = {"before": 0, "index": 0}
+
+    def browse(index: int) -> None:
+        state["before"] = testbed.bottleneck_forward.stats.bytes_offered
+        path = f"/page{index}.html"
+
+        def done(response) -> None:
+            cost = (testbed.bottleneck_forward.stats.bytes_offered
+                    - state["before"])
+            rows.append([path, response.status, len(response.body),
+                         cost, f"{cost / max(1, len(response.body)):.2f}"])
+            if index + 1 < N_PAGES:
+                testbed.sim.after(0.02, browse, index + 1)
+            else:
+                testbed.sim.stop()
+
+        client.get(SERVER_ADDR, path, on_done=done)
+
+    browse(0)
+    testbed.sim.run(until=60)
+
+    print(format_table(
+        f"browsing {N_PAGES} pages of one site through byte-caching "
+        "gateways",
+        ["page", "status", "page bytes", "link bytes", "link/page"],
+        rows))
+    total_pages = sum(row[2] for row in rows)
+    total_link = sum(row[3] for row in rows)
+    print(f"\nsession total: {total_pages:,} page bytes for "
+          f"{total_link:,} bytes on the wireless link "
+          f"({1 - total_link / total_pages:.0%} saved)")
+    print("The first page pays full price; every later page rides the")
+    print("site template already sitting in the gateway caches — the")
+    print("temporal locality behind Table I's web-page numbers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's core experiment on the simulated testbed.
+
+A client downloads a ~574 KB file from a server across a 1 MB/s wireless
+segment (Fig. 3).  For a set of packet loss rates, every encoding policy
+is compared against a no-DRE baseline on the paper's two metrics: bytes
+crossing the constrained link and download time.
+
+Run:  python examples/wireless_download.py [loss% ...]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, run_transfer
+from repro.metrics import format_table
+
+
+def main() -> None:
+    losses = [float(arg) / 100 for arg in sys.argv[1:]] or [0.0, 0.01, 0.05]
+    policies = [
+        ("(no DRE)", None, {}),
+        ("naive", "naive", {}),
+        ("cache_flush", "cache_flush", {}),
+        ("tcp_seq", "tcp_seq", {}),
+        ("k_distance", "k_distance", {"k": 8}),
+        ("adaptive_k", "adaptive_k", {}),
+    ]
+
+    for loss in losses:
+        rows = []
+        baseline = None
+        for label, policy, kwargs in policies:
+            result = run_transfer(ExperimentConfig(
+                corpus="file1", policy=policy, policy_kwargs=dict(kwargs),
+                loss_rate=loss, seed=11))
+            if policy is None:
+                baseline = result
+            if result.download_time is None:
+                time_cell = "stalled"
+                ratio_cell = "-"
+            else:
+                time_cell = f"{result.download_time:.2f}s"
+                ratio_cell = f"{result.download_time / baseline.download_time:.2f}x"
+            rows.append([
+                label,
+                "yes" if result.completed else "NO",
+                f"{result.forward_bytes_on_link:,}",
+                f"{result.forward_bytes_on_link / baseline.forward_bytes_on_link:.2f}",
+                time_cell,
+                ratio_cell,
+                f"{result.perceived_loss_rate:.1%}",
+            ])
+        print(format_table(
+            f"574 KB download at {loss:.0%} packet loss (1 MB/s link)",
+            ["policy", "done", "bytes on link", "bytes ratio",
+             "time", "time ratio", "perceived loss"],
+            rows))
+        print()
+
+    print("Reading guide: the naive policy stalls at any non-zero loss")
+    print("(§IV); cache_flush keeps the lowest delay penalty (§VII); the")
+    print("perceived loss column shows the §VII amplification effect.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Application layer: file transfer protocol and minimal HTTP."""
+
+from .http import HTTPClient, HTTPResponse, HTTPServer
+from .transfer import FileClient, FileServer, TransferOutcome
+
+__all__ = [
+    "HTTPClient",
+    "HTTPResponse",
+    "HTTPServer",
+    "FileClient",
+    "FileServer",
+    "TransferOutcome",
+]

@@ -1,0 +1,112 @@
+"""Minimal HTTP/1.0 over the simulated TCP stack.
+
+Used by the examples to show byte caching operating beneath a real
+application protocol (the paper's testbed serves files from Apache over
+HTTP; byte caching itself is protocol-independent, §I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..net.tcp import TCPConnection, TCPStack
+from ..sim.engine import Simulator
+
+_CRLF = b"\r\n"
+_HEADER_END = b"\r\n\r\n"
+
+
+@dataclass
+class HTTPResponse:
+    """A parsed HTTP response."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+    finished_at: float = 0.0
+
+
+class HTTPServer:
+    """Serves a static resource map over HTTP/1.0 (close-delimited)."""
+
+    def __init__(self, stack: TCPStack, resources: Dict[str, bytes],
+                 port: int = 80, server_name: str = "repro/1.0"):
+        self.resources = dict(resources)
+        self.port = port
+        self.server_name = server_name
+        self.hits = 0
+        self.misses = 0
+        stack.listen(port, self._accept)
+
+    def _accept(self, conn: TCPConnection) -> None:
+        buffer = bytearray()
+
+        def on_receive(data: bytes) -> None:
+            buffer.extend(data)
+            if _HEADER_END not in buffer:
+                return
+            conn.on_receive = None
+            self._respond(conn, bytes(buffer))
+
+        conn.on_receive = on_receive
+
+    def _respond(self, conn: TCPConnection, raw: bytes) -> None:
+        request_line = raw.split(_CRLF, 1)[0].decode("ascii", "replace")
+        parts = request_line.split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        body = self.resources.get(path)
+        if body is None:
+            self.misses += 1
+            head = (f"HTTP/1.0 404 Not Found\r\nServer: {self.server_name}\r\n"
+                    f"Content-Length: 0\r\n\r\n")
+            conn.send(head.encode("ascii"))
+        else:
+            self.hits += 1
+            head = (f"HTTP/1.0 200 OK\r\nServer: {self.server_name}\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n")
+            conn.send(head.encode("ascii") + body)
+        conn.close()
+
+
+class HTTPClient:
+    """One-shot HTTP/1.0 GET client."""
+
+    def __init__(self, stack: TCPStack, sim: Simulator):
+        self.stack = stack
+        self.sim = sim
+
+    def get(self, server_addr: str, path: str, port: int = 80,
+            on_done: Optional[Callable[[HTTPResponse], None]] = None) -> None:
+        """Issue a GET; ``on_done`` fires with the parsed response."""
+        conn = self.stack.connect(server_addr, port)
+        raw = bytearray()
+
+        def finish() -> None:
+            response = _parse_response(bytes(raw))
+            response.finished_at = self.sim.now
+            if on_done is not None:
+                on_done(response)
+
+        request = (f"GET {path} HTTP/1.0\r\nHost: {server_addr}\r\n"
+                   f"User-Agent: repro-client\r\n\r\n")
+        conn.on_established = lambda: conn.send(request.encode("ascii"))
+        conn.on_receive = raw.extend
+        conn.on_remote_close = finish
+
+
+def _parse_response(raw: bytes) -> HTTPResponse:
+    if _HEADER_END not in raw:
+        return HTTPResponse(status=0, headers={}, body=b"")
+    head, body = raw.split(_HEADER_END, 1)
+    lines = head.split(_CRLF)
+    try:
+        status = int(lines[0].split()[1])
+    except (IndexError, ValueError):
+        status = 0
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        key, _, value = line.decode("ascii", "replace").partition(":")
+        if value:
+            headers[key.strip().lower()] = value.strip()
+    return HTTPResponse(status=status, headers=headers, body=body)

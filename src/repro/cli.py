@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+run        one transfer through the Fig. 3 testbed, with/without DRE
+sweep      loss-rate sweep for a set of policies, printed as a table
+mobility   the §II handoff experiment in any gateway mode
+artifact   regenerate a paper artifact (table1, figure6, ..., table2)
+corpus     list or describe the synthetic corpus objects
+policies   list the available encoding policies
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.policies import ENCODER_POLICIES
+from .experiments import ExperimentConfig, run_transfer
+from .experiments import scenarios
+from .experiments.mobility import MobilityConfig, run_mobility
+from .metrics import format_table
+from .workload import corpus_names, corpus_object
+
+ARTIFACTS = {
+    "table1": lambda: scenarios.table1(),
+    "figure6": lambda: scenarios.figure6(),
+    "figure10": lambda: scenarios.figure10_11(),
+    "figure11": lambda: scenarios.figure10_11(),
+    "figure12": lambda: scenarios.figure12(),
+    "figure13": lambda: scenarios.figure13(),
+    "table2": lambda: scenarios.table2(),
+    "headline": lambda: scenarios.headline(),
+    "ablation": lambda: scenarios.ablation_packet_size(),
+    "extensions": lambda: scenarios.extensions(),
+    "impairments": lambda: scenarios.impairment_matrix(),
+    "stall-scaling": lambda: scenarios.stall_scaling(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byte caching in wireless networks (ICDCS 2012) — "
+                    "reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one transfer")
+    run_cmd.add_argument("--policy", default="cache_flush",
+                         help="encoding policy, or 'none' to disable DRE")
+    run_cmd.add_argument("--k", type=int, default=None,
+                         help="k for the k_distance policy")
+    run_cmd.add_argument("--loss", type=float, default=0.0,
+                         help="packet loss rate in percent (e.g. 5)")
+    run_cmd.add_argument("--corrupt", type=float, default=0.0,
+                         help="corruption rate in percent")
+    run_cmd.add_argument("--reorder", type=float, default=0.0,
+                         help="re-ordering rate in percent")
+    run_cmd.add_argument("--corpus", default="file1",
+                         choices=corpus_names())
+    run_cmd.add_argument("--size", type=int, default=0,
+                         help="object size in bytes (0 = corpus default)")
+    run_cmd.add_argument("--seed", type=int, default=11)
+    run_cmd.add_argument("--baseline", action="store_true",
+                         help="also run the no-DRE baseline and print ratios")
+
+    sweep_cmd = sub.add_parser("sweep", help="loss sweep over policies")
+    sweep_cmd.add_argument("--policies", default="cache_flush,tcp_seq",
+                           help="comma-separated policy names")
+    sweep_cmd.add_argument("--losses", default="0,1,2,5,10",
+                           help="comma-separated loss rates in percent")
+    sweep_cmd.add_argument("--corpus", default="file1",
+                           choices=corpus_names())
+    sweep_cmd.add_argument("--seed", type=int, default=11)
+
+    mob_cmd = sub.add_parser("mobility", help="§II handoff experiment")
+    mob_cmd.add_argument("--mode", default="ip-dre",
+                         choices=["none", "ip-dre", "tcp-proxy"])
+    mob_cmd.add_argument("--handoff", type=float, default=0.25,
+                         help="handoff time in seconds")
+    mob_cmd.add_argument("--loss", type=float, default=1.0,
+                         help="path-A loss rate in percent")
+    mob_cmd.add_argument("--seed", type=int, default=11)
+
+    art_cmd = sub.add_parser("artifact",
+                             help="regenerate a paper table/figure")
+    art_cmd.add_argument("name", choices=sorted(ARTIFACTS))
+
+    corpus_cmd = sub.add_parser("corpus", help="inspect corpus objects")
+    corpus_cmd.add_argument("name", nargs="?", default=None,
+                            choices=[None] + corpus_names())
+
+    trace_cmd = sub.add_parser(
+        "trace", help="run a transfer and print its dependency graph "
+                      "(Fig. 14-style analysis)")
+    trace_cmd.add_argument("--policy", default="naive",
+                           choices=sorted(ENCODER_POLICIES))
+    trace_cmd.add_argument("--loss", type=float, default=1.0,
+                           help="loss rate in percent")
+    trace_cmd.add_argument("--corpus", default="file1",
+                           choices=corpus_names())
+    trace_cmd.add_argument("--size", type=int, default=60 * 1460)
+    trace_cmd.add_argument("--seed", type=int, default=11)
+    trace_cmd.add_argument("--rows", type=int, default=25,
+                           help="how many packets of the trace to print")
+
+    sub.add_parser("policies", help="list encoding policies")
+    return parser
+
+
+def _percent(value: float) -> float:
+    return value / 100.0
+
+
+def cmd_run(args) -> int:
+    policy = None if args.policy in ("none", "") else args.policy
+    if policy is not None and policy not in ENCODER_POLICIES:
+        print(f"unknown policy {policy!r}; try: "
+              f"{', '.join(sorted(ENCODER_POLICIES))}", file=sys.stderr)
+        return 2
+    kwargs = {"k": args.k} if args.k is not None else {}
+    config = ExperimentConfig(
+        corpus=args.corpus, file_size=args.size, policy=policy,
+        policy_kwargs=kwargs, loss_rate=_percent(args.loss),
+        corrupt_rate=_percent(args.corrupt),
+        reorder_rate=_percent(args.reorder), seed=args.seed)
+    result = run_transfer(config)
+    rows = [
+        ["completed", result.completed],
+        ["bytes received", f"{result.outcome.bytes_received:,}"],
+        ["download time",
+         "-" if result.download_time is None
+         else f"{result.download_time:.3f}s"],
+        ["bytes on link (fwd)", f"{result.forward_bytes_on_link:,}"],
+        ["perceived loss", f"{result.perceived_loss_rate:.1%}"],
+        ["server retransmissions", result.server_retransmissions],
+    ]
+    if args.baseline:
+        baseline = run_transfer(config.with_updates(policy=None,
+                                                    policy_kwargs={}))
+        rows.append(["bytes ratio vs no-DRE",
+                     f"{result.forward_bytes_on_link / baseline.forward_bytes_on_link:.3f}"])
+        if result.download_time and baseline.download_time:
+            rows.append(["delay ratio vs no-DRE",
+                         f"{result.download_time / baseline.download_time:.3f}"])
+    print(format_table(
+        f"{args.corpus} @ {args.loss:.3g}% loss, policy={args.policy}",
+        ["metric", "value"], rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    losses = [float(x) / 100 for x in args.losses.split(",") if x.strip()]
+    baselines = {}
+    rows = []
+    for loss in losses:
+        base_cfg = ExperimentConfig(corpus=args.corpus, policy=None,
+                                    loss_rate=loss, seed=args.seed)
+        baselines[loss] = run_transfer(base_cfg)
+    for policy in policies:
+        kwargs = {"k": 8} if policy == "k_distance" else {}
+        for loss in losses:
+            config = ExperimentConfig(corpus=args.corpus, policy=policy,
+                                      policy_kwargs=kwargs, loss_rate=loss,
+                                      seed=args.seed)
+            result = run_transfer(config)
+            baseline = baselines[loss]
+            delay = ("-" if result.download_time is None
+                     or not baseline.download_time
+                     else f"{result.download_time / baseline.download_time:.2f}")
+            rows.append([policy, f"{loss:.0%}",
+                         "yes" if result.completed else "STALL",
+                         f"{result.forward_bytes_on_link / baseline.forward_bytes_on_link:.2f}",
+                         delay,
+                         f"{result.perceived_loss_rate:.1%}"])
+    print(format_table(
+        f"loss sweep on {args.corpus} (ratios vs no-DRE baseline)",
+        ["policy", "loss", "done", "bytes ratio", "delay ratio",
+         "perceived"], rows))
+    return 0
+
+
+def cmd_mobility(args) -> int:
+    result = run_mobility(MobilityConfig(
+        mode=args.mode, handoff_at=args.handoff,
+        loss_rate_a=_percent(args.loss), seed=args.seed))
+    print(format_table(
+        f"mobility handoff at t={args.handoff}s, mode={args.mode}",
+        ["metric", "value"],
+        [["outcome", "completed" if result.completed else "STALLED"],
+         ["bytes received",
+          f"{result.outcome.bytes_received:,} / "
+          f"{result.outcome.expected_size:,}"],
+         ["bytes on path A", f"{result.bytes_path_a:,}"],
+         ["bytes on path B", f"{result.bytes_path_b:,}"]]))
+    return 0
+
+
+def cmd_artifact(args) -> int:
+    result = ARTIFACTS[args.name]()
+    if args.name == "figure10":
+        print(result.report_bytes())
+    elif args.name == "figure11":
+        print(result.report_delay())
+    else:
+        print(result.report())
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    if args.name is None:
+        print(format_table("corpus objects", ["name"],
+                           [[name] for name in corpus_names()]))
+        return 0
+    data = corpus_object(args.name)
+    ratio = scenarios.offline_compression_ratio(data)
+    print(format_table(
+        f"corpus object {args.name!r}",
+        ["metric", "value"],
+        [["size", f"{len(data):,} bytes"],
+         ["offline compression ratio", f"{ratio:.3f}"],
+         ["byte savings", f"{1 - ratio:.1%}"]]))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .app.transfer import FileClient, FileServer
+    from .experiments.runner import (FILE_NAME, SERVER_ADDR, build_testbed)
+    from .metrics.depgraph import format_dependency_trace, graph_from_gateways
+    from .workload import corpus_object as load_object
+
+    config = ExperimentConfig(
+        corpus=args.corpus, file_size=args.size, policy=args.policy,
+        policy_kwargs={}, loss_rate=_percent(args.loss), seed=args.seed,
+        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0)
+    testbed = build_testbed(config)
+    data = load_object(config.corpus, config.file_size, config.corpus_seed)
+    FileServer(testbed.server_stack, {FILE_NAME: data})
+    client = FileClient(testbed.client_stack, testbed.sim)
+    outcome = client.fetch(SERVER_ADDR, FILE_NAME, expected_size=len(data),
+                           on_done=lambda _o: testbed.sim.stop())
+    testbed.sim.run(until=config.time_limit)
+
+    encoder = testbed.gateways.encoder
+    decoder = testbed.gateways.decoder
+    graph, lost = graph_from_gateways(encoder, decoder.delivered_ids,
+                                      segment_keys=encoder.segment_log)
+    dead = graph.undecodable_closure(lost) | lost
+    print(format_dependency_trace(graph, dead, max_rows=args.rows))
+    cycles = graph.segment_cycles()
+    print()
+    print(format_table(
+        "dependency analysis", ["metric", "value"],
+        [["transfer completed", outcome.completed],
+         ["encoded packets", len(graph.sent)],
+         ["average dependency degree", f"{graph.average_degree():.2f}"],
+         ["lost/undelivered packets", len(lost)],
+         ["undecodable closure", len(dead) - len(lost)],
+         ["loss amplification", f"{graph.loss_amplification(lost):.2f}x"],
+         ["segment-level cycles (§IV-B)", len(cycles)],
+         ["self-dependency livelock", graph.has_self_dependency()]]))
+    return 0
+
+
+def cmd_policies(_args) -> int:
+    from .core.policies import make_policy_pair
+
+    rows = []
+    for name in sorted(ENCODER_POLICIES):
+        encoder_policy, decoder_policy = make_policy_pair(name)
+        rows.append([name, type(encoder_policy).__name__,
+                     type(decoder_policy).__name__])
+    print(format_table("encoding policies", ["name", "encoder", "decoder"],
+                       rows))
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "mobility": cmd_mobility,
+    "artifact": cmd_artifact,
+    "corpus": cmd_corpus,
+    "trace": cmd_trace,
+    "policies": cmd_policies,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Loss-adaptive byte caching (§IX future work).
+
+The paper's conclusion calls for "a tune-able byte caching scheme that
+can dynamically adapt how aggressively it compresses packets based on
+the packet loss rate in the underlying communication channel".  The
+concrete policy lives in
+:class:`repro.core.policies.k_distance.AdaptiveKDistancePolicy`
+(re-exported here); this module also provides the standalone loss
+estimator for callers building their own adaptive schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .policies.k_distance import AdaptiveKDistancePolicy
+
+__all__ = ["AdaptiveKDistancePolicy", "LossRateEstimator"]
+
+
+class LossRateEstimator:
+    """EWMA loss-rate estimate from observed TCP retransmissions.
+
+    An encoder-side gateway cannot see channel drops directly, but it
+    does see every retransmission (a non-increasing TCP sequence
+    number), which under steady state approximates the perceived loss
+    rate one RTT late.  Feed :meth:`observe` with each outgoing data
+    segment's ``(flow, seq)``.
+    """
+
+    def __init__(self, alpha: float = 0.05, initial: float = 0.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.estimate = initial
+        self.observations = 0
+        self.retransmissions = 0
+        self._last_seq: Dict[tuple, int] = {}
+
+    def observe(self, flow: tuple, seq: Optional[int]) -> bool:
+        """Record one outgoing segment; returns True if it looked like
+        a retransmission."""
+        if seq is None or flow is None:
+            return False
+        self.observations += 1
+        last = self._last_seq.get(flow)
+        is_retransmission = last is not None and seq <= last
+        if last is None or seq > last:
+            self._last_seq[flow] = seq
+        if is_retransmission:
+            self.retransmissions += 1
+        sample = 1.0 if is_retransmission else 0.0
+        self.estimate += self.alpha * (sample - self.estimate)
+        return is_retransmission
+
+    def recommended_k(self, target: float = 0.5, k_min: int = 2,
+                      k_max: int = 64) -> int:
+        """Reference spacing k ≈ target / p̂, clamped.
+
+        §VII shows aggressive compression backfires once k exceeds the
+        mean loss-free run (1/p), hence the sub-1 target.
+        """
+        if self.estimate <= 0.0:
+            return k_max
+        return max(k_min, min(k_max, int(round(target / self.estimate))))

@@ -1,0 +1,252 @@
+"""Encoder/decoder byte caches.
+
+Two cooperating structures, as in Spring & Wetherall:
+
+* :class:`PacketStore` — the payload cache: recently seen packet
+  payloads, evicted FIFO under a byte budget (and optionally a packet
+  budget, which is how Table I's "window of k packets" is expressed).
+* :class:`FingerprintTable` — fingerprint -> newest packet containing
+  it.  §III-B: entries are *replaced* when a newer packet contains the
+  same fingerprint, and the byte offset of the fingerprint inside the
+  payload is stored alongside so match expansion starts instantly.
+
+Entries whose packet has been evicted from the store are invalidated
+lazily on lookup.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+@dataclass
+class CacheEntry:
+    """One fingerprint-table entry."""
+
+    fingerprint: int
+    store_id: int          # key into the PacketStore
+    offset: int            # offset of the fingerprint window in the payload
+    tcp_seq: Optional[int] = None   # §V-B: sequence number of the cached segment
+    flow: Optional[tuple] = None    # flow identity of the cached segment
+    packet_counter: int = 0         # §V-C: monotone data-packet index
+    usable: bool = True             # informed marking can veto an entry
+
+
+class PacketStore:
+    """Byte-budgeted store of packet payloads.
+
+    Eviction is FIFO by default (Spring & Wetherall's choice — the
+    cache is a sliding window over the stream).  ``eviction="lru"``
+    keeps hot payloads alive instead; the difference is measured by
+    ``benchmarks/bench_cache_policy.py``.
+    """
+
+    def __init__(self, byte_budget: int = 4 * 1024 * 1024,
+                 max_packets: Optional[int] = None,
+                 eviction: str = "fifo"):
+        if byte_budget <= 0:
+            raise ValueError("byte_budget must be positive")
+        if max_packets is not None and max_packets <= 0:
+            raise ValueError("max_packets must be positive")
+        if eviction not in ("fifo", "lru"):
+            raise ValueError(f"unknown eviction policy: {eviction!r}")
+        self.byte_budget = byte_budget
+        self.max_packets = max_packets
+        self.eviction = eviction
+        self._data: "OrderedDict[int, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._ids = itertools.count(1)
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes
+
+    def add(self, payload: bytes) -> int:
+        """Store a payload; returns its store id.  May evict old entries."""
+        store_id = next(self._ids)
+        self._data[store_id] = payload
+        self._bytes += len(payload)
+        self._evict()
+        return store_id
+
+    def get(self, store_id: int) -> Optional[bytes]:
+        payload = self._data.get(store_id)
+        if payload is not None and self.eviction == "lru":
+            self._data.move_to_end(store_id)
+        return payload
+
+    def __contains__(self, store_id: int) -> bool:
+        return store_id in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._bytes = 0
+
+    def ids(self) -> Iterator[int]:
+        return iter(self._data.keys())
+
+    def _evict(self) -> None:
+        while self._bytes > self.byte_budget or (
+                self.max_packets is not None and len(self._data) > self.max_packets):
+            _, payload = self._data.popitem(last=False)
+            self._bytes -= len(payload)
+            self.evictions += 1
+
+
+class FingerprintTable:
+    """fingerprint -> :class:`CacheEntry`, newest-wins."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, CacheEntry] = {}
+        self.inserts = 0
+        self.replacements = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert or replace the entry for ``entry.fingerprint``."""
+        if entry.fingerprint in self._table:
+            self.replacements += 1
+        self.inserts += 1
+        self._table[entry.fingerprint] = entry
+
+    def get(self, fingerprint: int) -> Optional[CacheEntry]:
+        return self._table.get(fingerprint)
+
+    def remove(self, fingerprint: int) -> None:
+        self._table.pop(fingerprint, None)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def entries(self) -> Iterator[CacheEntry]:
+        return iter(self._table.values())
+
+
+class ByteCache:
+    """The combined cache used by an encoder or decoder gateway."""
+
+    def __init__(self, byte_budget: int = 4 * 1024 * 1024,
+                 max_packets: Optional[int] = None,
+                 eviction: str = "fifo"):
+        self.store = PacketStore(byte_budget, max_packets, eviction)
+        self.table = FingerprintTable()
+        self.flushes = 0
+        self._external_ids: Dict[int, int] = {}
+        self._unusable_store_ids: set = set()
+        # One generation of history: when a fingerprint's entry is
+        # replaced, the displaced entry is kept here.  Decoders use it
+        # to resolve references made against a slightly older cache
+        # state (the encoder's view can lag by up to one RTT).
+        self._previous_entries: Dict[int, CacheEntry] = {}
+
+    def insert_packet(self, payload: bytes,
+                      anchors: list,
+                      tcp_seq: Optional[int] = None,
+                      flow: Optional[tuple] = None,
+                      packet_counter: int = 0,
+                      external_id: Optional[int] = None) -> int:
+        """Cache ``payload`` and point all its anchors at it.
+
+        This is the Cache Update Procedure of Fig. 2 / Fig. 7: each
+        selected fingerprint's table entry is replaced to reference the
+        new packet.
+        """
+        store_id = self.store.add(payload)
+        if external_id is not None:
+            self._external_ids[store_id] = external_id
+            if len(self._external_ids) > 4 * len(self.store._data) + 64:
+                self._prune_external_ids()
+        for offset, fingerprint in anchors:
+            displaced = self.table.get(fingerprint)
+            if displaced is not None and displaced.store_id != store_id:
+                self._previous_entries[fingerprint] = displaced
+            self.table.put(CacheEntry(
+                fingerprint=fingerprint,
+                store_id=store_id,
+                offset=offset,
+                tcp_seq=tcp_seq,
+                flow=flow,
+                packet_counter=packet_counter,
+            ))
+        return store_id
+
+    def lookup(self, fingerprint: int) -> Optional[Tuple[CacheEntry, bytes]]:
+        """Return (entry, cached payload) or None.
+
+        Entries pointing at evicted payloads are removed lazily.
+        """
+        entry = self.table.get(fingerprint)
+        if entry is None or not entry.usable:
+            return None
+        if entry.store_id in self._unusable_store_ids:
+            return None
+        payload = self.store.get(entry.store_id)
+        if payload is None:
+            self.table.remove(fingerprint)
+            return None
+        return entry, payload
+
+    def lookup_previous(self, fingerprint: int) -> Optional[Tuple[CacheEntry, bytes]]:
+        """The displaced (one-generation-older) entry for a fingerprint.
+
+        Used by decoders to resolve references encoded against a cache
+        state from just before the latest replacement.
+        """
+        entry = self._previous_entries.get(fingerprint)
+        if entry is None or not entry.usable:
+            return None
+        if entry.store_id in self._unusable_store_ids:
+            return None
+        payload = self.store.get(entry.store_id)
+        if payload is None:
+            self._previous_entries.pop(fingerprint, None)
+            return None
+        return entry, payload
+
+    def external_id_for(self, store_id: int) -> Optional[int]:
+        """Originating packet id of a stored payload (for dependency
+        tracking in the metrics layer), if one was recorded."""
+        return self._external_ids.get(store_id)
+
+    def flush(self) -> None:
+        """Drop everything (the Cache Flush policy's reset, §V-A)."""
+        self.store.clear()
+        self.table.clear()
+        self._external_ids.clear()
+        self._unusable_store_ids.clear()
+        self._previous_entries.clear()
+        self.flushes += 1
+
+    def _prune_external_ids(self) -> None:
+        live = set(self.store.ids())
+        self._external_ids = {sid: ext for sid, ext in self._external_ids.items()
+                              if sid in live}
+        self._unusable_store_ids &= live
+        self._previous_entries = {
+            fp: entry for fp, entry in self._previous_entries.items()
+            if entry.store_id in live}
+
+    def mark_unusable(self, fingerprint: int) -> bool:
+        """Informed marking: forbid encodings against the packet this
+        fingerprint currently resolves to.
+
+        The unit of marking is the *cached packet* (Lumezanu et al.
+        mark lost packets), so every other fingerprint resolving to the
+        same payload is disabled too — otherwise the encoder would just
+        re-reference the lost packet through one of its other anchors.
+        """
+        entry = self.table.get(fingerprint)
+        if entry is None:
+            return False
+        entry.usable = False
+        self._unusable_store_ids.add(entry.store_id)
+        return True

@@ -1,0 +1,231 @@
+"""The byte-caching decoder.
+
+Performs the reciprocal steps of the encoder (§III-B): parse the
+encoding fields, fetch each referenced payload from the local cache,
+splice literals and copied regions back together, and then run the same
+Cache Update procedure over the reconstructed payload so the decoder's
+cache tracks the encoder's.
+
+Failure handling is the crux of the paper: a referenced fingerprint
+that is absent (its carrier packet was lost) makes the packet
+*undecodable* and it is dropped (§IV-A t3), raising the perceived loss
+rate (§VII).  A stale entry — present but pointing at different bytes
+because the replacing packet was lost — is caught by the end-to-end
+payload checksum and the packet is likewise dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..net.checksum import verify_payload
+from .cache import ByteCache
+from .fingerprint import FingerprintScheme
+from .policies.base import DecoderPolicy, PacketMeta
+from .wire import (EncodedPayload, MissingFingerprintError, WireFormatError,
+                   parse_payload)
+
+
+class DecodeStatus(enum.Enum):
+    OK_RAW = "ok_raw"                 # pass-through payload
+    OK_DECODED = "ok_decoded"         # regions reconstructed successfully
+    MISSING = "missing"               # referenced fingerprint not cached
+    BUFFERED = "buffered"             # policy held the packet for repair
+    CHECKSUM_MISMATCH = "checksum"    # reconstruction produced wrong bytes
+    MALFORMED = "malformed"           # wire format damaged (corruption)
+
+
+@dataclass
+class DecodeResult:
+    status: DecodeStatus
+    payload: Optional[bytes] = None
+    missing: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (DecodeStatus.OK_RAW, DecodeStatus.OK_DECODED)
+
+
+@dataclass
+class DecoderStats:
+    packets: int = 0
+    raw: int = 0
+    decoded: int = 0
+    missing: int = 0
+    buffered: int = 0
+    checksum_mismatch: int = 0
+    history_decodes: int = 0     # saved by one-generation-older entries
+    malformed: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    @property
+    def undecodable(self) -> int:
+        """Packets lost to cache desynchronisation (not channel loss)."""
+        return self.missing + self.checksum_mismatch + self.malformed
+
+
+class ByteCachingDecoder:
+    """Decodes shimmed payloads against a local byte cache."""
+
+    def __init__(self, scheme: FingerprintScheme, cache: ByteCache,
+                 policy: Optional[DecoderPolicy] = None):
+        self.scheme = scheme
+        self.cache = cache
+        self.policy = policy if policy is not None else DecoderPolicy()
+        self.stats = DecoderStats()
+        self.policy.attach_decoder(self)
+
+    def decode(self, data: bytes, meta: PacketMeta,
+               checksum: Optional[int] = None, pkt=None) -> DecodeResult:
+        """Decode one wire payload.
+
+        ``checksum`` is the sender's end-to-end payload checksum (the
+        TCP checksum's role); when given, reconstructed bytes are
+        verified against it before being accepted.
+        """
+        self.stats.packets += 1
+        self.stats.bytes_in += len(data)
+
+        try:
+            parsed = parse_payload(data)
+        except WireFormatError:
+            self.stats.malformed += 1
+            return DecodeResult(DecodeStatus.MALFORMED)
+
+        if isinstance(parsed, bytes):
+            payload = parsed
+            if checksum is not None and not verify_payload(payload, checksum):
+                # Raw payload corrupted on the wire.
+                self.stats.checksum_mismatch += 1
+                return DecodeResult(DecodeStatus.CHECKSUM_MISMATCH)
+            self._accept(payload, meta)
+            self.stats.raw += 1
+            self.stats.bytes_out += len(payload)
+            return DecodeResult(DecodeStatus.OK_RAW, payload)
+
+        missing = self._missing_fingerprints(parsed)
+        if missing:
+            self.stats.missing += 1
+            took_ownership = self.policy.on_undecodable(missing, pkt, self.cache)
+            if took_ownership:
+                self.stats.buffered += 1
+                return DecodeResult(DecodeStatus.BUFFERED, missing=missing)
+            return DecodeResult(DecodeStatus.MISSING, missing=missing)
+
+        try:
+            payload = self._reconstruct(parsed)
+        except (WireFormatError, MissingFingerprintError):
+            self.stats.malformed += 1
+            return DecodeResult(DecodeStatus.MALFORMED)
+
+        if checksum is not None and not verify_payload(payload, checksum):
+            # Stale cache entry: some fingerprint resolved to bytes that
+            # differ from what the encoder referenced.  The encoder's
+            # view may simply lag ours by one replacement generation
+            # (references race cache updates by up to an RTT), so retry
+            # against the displaced entries before giving up.
+            fallback = self._reconstruct_with_history(parsed, checksum)
+            if fallback is not None:
+                self.stats.history_decodes += 1
+                self._accept(fallback, meta)
+                self.stats.decoded += 1
+                self.stats.bytes_out += len(fallback)
+                return DecodeResult(DecodeStatus.OK_DECODED, fallback)
+            self.stats.checksum_mismatch += 1
+            suspects = [region.fingerprint for region in parsed.regions]
+            took_ownership = self.policy.on_checksum_mismatch(
+                suspects, pkt, self.cache)
+            if took_ownership:
+                self.stats.buffered += 1
+                return DecodeResult(DecodeStatus.BUFFERED, missing=suspects)
+            return DecodeResult(DecodeStatus.CHECKSUM_MISMATCH)
+
+        self._accept(payload, meta)
+        self.stats.decoded += 1
+        self.stats.bytes_out += len(payload)
+        return DecodeResult(DecodeStatus.OK_DECODED, payload)
+
+    def insert_raw_payload(self, payload: bytes, meta: PacketMeta) -> None:
+        """Cache a payload that arrived out of band (NACK repairs)."""
+        self._accept(payload, meta)
+
+    # -- internal ---------------------------------------------------------
+
+    def _missing_fingerprints(self, parsed: EncodedPayload) -> List[int]:
+        missing = []
+        for region in parsed.regions:
+            if self.cache.lookup(region.fingerprint) is None:
+                missing.append(region.fingerprint)
+        return missing
+
+    def _reconstruct_with_history(self, parsed: EncodedPayload,
+                                  checksum: int) -> Optional[bytes]:
+        """Retry reconstruction substituting displaced cache entries.
+
+        Tries every combination of {current, previous} entry per
+        distinct referenced fingerprint (bounded to 4 swappable
+        fingerprints = 15 extra attempts) and returns the first
+        reconstruction matching the end-to-end checksum.
+        """
+        from .wire import reconstruct
+
+        fingerprints = []
+        for region in parsed.regions:
+            if region.fingerprint not in fingerprints:
+                fingerprints.append(region.fingerprint)
+        swappable = [fp for fp in fingerprints
+                     if self.cache.lookup_previous(fp) is not None]
+        if not swappable or len(swappable) > 4:
+            return None
+
+        for mask in range(1, 1 << len(swappable)):
+            use_previous = {fp for index, fp in enumerate(swappable)
+                            if mask >> index & 1}
+
+            def resolve(fingerprint: int) -> Optional[bytes]:
+                if fingerprint in use_previous:
+                    hit = self.cache.lookup_previous(fingerprint)
+                else:
+                    hit = self.cache.lookup(fingerprint)
+                return hit[1] if hit is not None else None
+
+            try:
+                payload = reconstruct(parsed, resolve)
+            except (WireFormatError, MissingFingerprintError):
+                continue
+            if verify_payload(payload, checksum):
+                return payload
+        return None
+
+    def _reconstruct(self, parsed: EncodedPayload) -> bytes:
+        from .wire import reconstruct
+
+        def resolve(fingerprint: int) -> Optional[bytes]:
+            hit = self.cache.lookup(fingerprint)
+            if hit is None:
+                return None
+            _, stored = hit
+            return stored
+
+        return reconstruct(parsed, resolve)
+
+    def _accept(self, payload: bytes, meta: PacketMeta) -> None:
+        """Mirror the encoder's Cache Update procedure."""
+        anchors = self.scheme.anchors(payload)
+        if not self.policy.should_cache_now(meta):
+            self.policy.defer_cache(payload, anchors, meta)
+            return
+        self.insert_anchors(payload, anchors, meta)
+
+    def insert_anchors(self, payload: bytes, anchors, meta: PacketMeta) -> None:
+        """Commit one payload (and its anchors) into the decoder cache."""
+        self.cache.insert_packet(
+            payload, anchors,
+            tcp_seq=meta.tcp_seq,
+            flow=meta.flow,
+            packet_counter=meta.counter,
+            external_id=meta.packet_id,
+        )

@@ -1,0 +1,173 @@
+"""The byte-caching encoder (Fig. 2 / Fig. 7 logic).
+
+The encoder is policy-parameterised: the Redundancy Identification and
+Elimination procedure and the Cache Update procedure are exactly Spring
+& Wetherall's, with the paper's three loss-robust algorithms expressed
+as small hooks (see :mod:`repro.core.policies.base`):
+
+* *before_packet* — Cache Flush's retransmission-triggered flush;
+* *may_encode*    — k-distance's unencoded reference packets;
+* *entry_eligible* — TCP-seq's "only encode against a strictly earlier
+  segment" rule and k-distance's reference-window rule;
+* *should_cache_now* — the ACK-gated extension's deferred cache update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from .cache import ByteCache
+from .fingerprint import FingerprintScheme
+from .region import Region, expand_match
+from .wire import MIN_REGION_LENGTH, encode_payload, wrap_raw
+from .policies.base import EncoderPolicy, PacketMeta
+
+
+@dataclass
+class EncodeResult:
+    """Outcome of encoding one packet payload."""
+
+    data: bytes                  # shimmed bytes to put on the wire
+    encoded: bool                # True if any region was eliminated
+    bytes_in: int                # original payload size
+    bytes_out: int               # shimmed wire payload size
+    regions: List[Region] = field(default_factory=list)
+    dependencies: Set[int] = field(default_factory=set)   # packet ids referenced
+    cached: bool = True          # False when the cache update was deferred
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_in - (self.bytes_out - 2)  # net of the 2-byte shim
+
+
+@dataclass
+class EncoderStats:
+    """Counters accumulated by an encoder over a run."""
+
+    packets: int = 0
+    packets_encoded: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    regions: int = 0
+    matched_bytes: int = 0
+    collisions: int = 0          # fingerprint hits rejected by byte compare
+    ineligible_hits: int = 0     # hits rejected by the policy
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.bytes_in == 0:
+            return 1.0
+        return self.bytes_out / self.bytes_in
+
+
+class ByteCachingEncoder:
+    """Encodes packet payloads against a local byte cache."""
+
+    def __init__(self, scheme: FingerprintScheme, cache: ByteCache,
+                 policy: EncoderPolicy,
+                 min_region_length: int = MIN_REGION_LENGTH):
+        self.scheme = scheme
+        self.cache = cache
+        self.policy = policy
+        self.min_region_length = min_region_length
+        self.stats = EncoderStats()
+        policy.attach_encoder(self)
+
+    def encode(self, payload: bytes, meta: PacketMeta) -> EncodeResult:
+        """Run the full encoder pass over one outgoing payload."""
+        self.stats.packets += 1
+        self.stats.bytes_in += len(payload)
+
+        self.policy.before_packet(meta, self.cache)
+        anchors = self.scheme.anchors(payload)
+
+        regions: List[Region] = []
+        dependencies: Set[int] = set()
+        if self.policy.may_encode(meta):
+            regions, dependencies = self._find_regions(payload, anchors, meta)
+
+        if regions:
+            data = encode_payload(payload, regions)
+            if len(data) >= len(payload) + 2:
+                # Net loss after headers; ship raw instead.
+                regions = []
+                dependencies = set()
+                data = wrap_raw(payload)
+        else:
+            data = wrap_raw(payload)
+
+        cached = False
+        if self.policy.should_cache_now(meta):
+            self.insert_into_cache(payload, anchors, meta)
+            cached = True
+        else:
+            self.policy.defer_cache(payload, anchors, meta)
+
+        self.stats.bytes_out += len(data)
+        if regions:
+            self.stats.packets_encoded += 1
+            self.stats.regions += len(regions)
+            self.stats.matched_bytes += sum(r.length for r in regions)
+
+        return EncodeResult(
+            data=data,
+            encoded=bool(regions),
+            bytes_in=len(payload),
+            bytes_out=len(data),
+            regions=regions,
+            dependencies=dependencies,
+            cached=cached,
+        )
+
+    def insert_into_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+                          meta: PacketMeta) -> None:
+        """Cache Update Procedure (Fig. 2 part C / Fig. 7 part C)."""
+        self.cache.insert_packet(
+            payload, anchors,
+            tcp_seq=meta.tcp_seq,
+            flow=meta.flow,
+            packet_counter=meta.counter,
+            external_id=meta.packet_id,
+        )
+
+    # -- internal ---------------------------------------------------------
+
+    def _find_regions(self, payload: bytes, anchors: List[Tuple[int, int]],
+                      meta: PacketMeta) -> Tuple[List[Region], Set[int]]:
+        """Redundancy Identification and Elimination (Fig. 2 part B)."""
+        regions: List[Region] = []
+        dependencies: Set[int] = set()
+        pos = 0  # first byte not yet covered by an accepted region
+        for offset, fingerprint in anchors:
+            if offset < pos:
+                continue  # anchor swallowed by a previous region
+            hit = self.cache.lookup(fingerprint)
+            if hit is None:
+                continue
+            entry, stored = hit
+            if not self.policy.entry_eligible(entry, meta):
+                self.stats.ineligible_hits += 1
+                continue
+            match = expand_match(payload, offset, stored, entry.offset,
+                                 self.scheme.window, left_limit=pos)
+            if match is None:
+                self.stats.collisions += 1
+                continue
+            if match.length <= self.min_region_length:
+                continue
+            if not self.policy.region_acceptable(match.length, len(payload),
+                                                 meta):
+                self.stats.ineligible_hits += 1
+                continue
+            regions.append(Region(
+                fingerprint=fingerprint,
+                offset_new=match.offset_new,
+                offset_stored=match.offset_stored,
+                length=match.length,
+            ))
+            external = self.cache.external_id_for(entry.store_id)
+            if external is not None:
+                dependencies.add(external)
+            pos = match.offset_new + match.length
+        return regions, dependencies

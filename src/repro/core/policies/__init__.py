@@ -1,0 +1,78 @@
+"""Encoding/decoding policies: the paper's three algorithms (§V), the
+naive baseline (§III), and the extension schemes discussed in §VIII/IX.
+"""
+
+from typing import Callable, Dict, Optional, Tuple
+
+from .ack_gated import AckGatedDecoderPolicy, AckGatedPolicy
+from .base import DecoderPolicy, EncoderPolicy, PacketMeta, PolicyServices
+from .cache_flush import CacheFlushPolicy
+from .informed_marking import (InformedMarkingDecoderPolicy,
+                               InformedMarkingEncoderPolicy)
+from .k_distance import AdaptiveKDistancePolicy, KDistancePolicy
+from .naive import NaivePolicy
+from .nack_recovery import (NackRecoveryDecoderPolicy,
+                            NackRecoveryEncoderPolicy)
+from .tcp_seq import TcpSeqPolicy
+
+#: Registry of encoder policies by name.  ``make_policy_pair`` builds a
+#: matching (encoder_policy, decoder_policy) tuple; most schemes use the
+#: default drop-on-missing decoder.
+ENCODER_POLICIES: Dict[str, Callable[..., EncoderPolicy]] = {
+    "naive": NaivePolicy,
+    "cache_flush": CacheFlushPolicy,
+    "tcp_seq": TcpSeqPolicy,
+    "k_distance": KDistancePolicy,
+    "adaptive_k": AdaptiveKDistancePolicy,
+    "informed_marking": InformedMarkingEncoderPolicy,
+    "ack_gated": AckGatedPolicy,
+    "nack_recovery": NackRecoveryEncoderPolicy,
+}
+
+
+def make_policy_pair(name: str, **kwargs) -> Tuple[EncoderPolicy, DecoderPolicy]:
+    """Instantiate the encoder/decoder policy pair for a scheme name.
+
+    ``kwargs`` go to the encoder policy constructor (e.g. ``k=8`` for
+    k-distance), except decoder-prefixed keys (``decoder_*``) which go
+    to the decoder policy of schemes that have one.
+    """
+    if name not in ENCODER_POLICIES:
+        raise ValueError(
+            f"unknown policy {name!r}; known: {sorted(ENCODER_POLICIES)}")
+    decoder_kwargs = {key[len("decoder_"):]: value
+                      for key, value in kwargs.items()
+                      if key.startswith("decoder_")}
+    encoder_kwargs = {key: value for key, value in kwargs.items()
+                      if not key.startswith("decoder_")}
+    encoder_policy = ENCODER_POLICIES[name](**encoder_kwargs)
+    if name == "informed_marking":
+        decoder_policy: DecoderPolicy = InformedMarkingDecoderPolicy(**decoder_kwargs)
+    elif name == "nack_recovery":
+        decoder_policy = NackRecoveryDecoderPolicy(**decoder_kwargs)
+    elif name == "ack_gated":
+        decoder_policy = AckGatedDecoderPolicy(**decoder_kwargs)
+    else:
+        decoder_policy = DecoderPolicy(**decoder_kwargs)
+    return encoder_policy, decoder_policy
+
+
+__all__ = [
+    "AckGatedDecoderPolicy",
+    "AckGatedPolicy",
+    "AdaptiveKDistancePolicy",
+    "CacheFlushPolicy",
+    "DecoderPolicy",
+    "EncoderPolicy",
+    "ENCODER_POLICIES",
+    "InformedMarkingDecoderPolicy",
+    "InformedMarkingEncoderPolicy",
+    "KDistancePolicy",
+    "NaivePolicy",
+    "NackRecoveryDecoderPolicy",
+    "NackRecoveryEncoderPolicy",
+    "PacketMeta",
+    "PolicyServices",
+    "TcpSeqPolicy",
+    "make_policy_pair",
+]

@@ -1,0 +1,129 @@
+"""ACK-gated caching (§VIII, second "additional potential approach").
+
+"A second solution could consist in not caching a packet until it has
+been successfully acknowledged as received by the other endpoint."
+
+The encoder observes the reverse-path TCP ACK stream (it is on-path for
+both directions) and commits a segment's fingerprints to the cache only
+once the receiver has cumulatively acknowledged past the end of that
+segment.  An ACKed byte range implies the client received — and the
+co-located decoder therefore decoded and cached — the carrying segment,
+so encodings almost never reference state the decoder lacks.  The cost
+is a cache that trails the stream by at least one RTT, forgoing the
+short-range redundancy that dominates retransmission-heavy traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import DecoderPolicy, EncoderPolicy, PacketMeta
+
+
+class AckGatedPolicy(EncoderPolicy):
+    """Defer cache updates until the segment is cumulatively ACKed."""
+
+    name = "ack_gated"
+
+    def __init__(self, max_pending: int = 4096):
+        super().__init__()
+        self.max_pending = max_pending
+        # flow -> list of (end_seq, payload, anchors, meta), append order
+        self._pending: Dict[tuple, List[tuple]] = {}
+        # flow -> the cumulative ACK our cache state reflects.  Shipped
+        # as the wire tag so the decoder can replay its own deferred
+        # commits to exactly this point before decoding (without it,
+        # the decoder — which sees each ACK one link earlier — races
+        # ahead and every contended fingerprint reconstructs wrongly).
+        self._commit_point: Dict[tuple, int] = {}
+        self.committed = 0
+        self.dropped_pending = 0
+
+    def wire_tag(self, meta: PacketMeta) -> "int | None":
+        if meta.flow is None or meta.tcp_seq is None:
+            return None
+        return self._commit_point.get(meta.flow, 0)
+
+    def should_cache_now(self, meta: PacketMeta) -> bool:
+        # Only TCP data can be gated on ACKs; anything else caches now.
+        return meta.tcp_seq is None or meta.flow is None
+
+    def defer_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+                    meta: PacketMeta) -> None:
+        queue = self._pending.setdefault(meta.flow, [])
+        queue.append((meta.tcp_seq + len(payload), payload, anchors, meta))
+        if len(queue) > self.max_pending:
+            queue.pop(0)
+            self.dropped_pending += 1
+
+    def on_reverse_packet(self, pkt, cache) -> None:
+        segment = pkt.tcp
+        if segment is None or not segment.has_ack:
+            return
+        # The reverse flow's identity mirrors the forward one.
+        flow = (pkt.dst, segment.dst_port, pkt.src, segment.src_port)
+        ack = segment.ack
+        if ack > self._commit_point.get(flow, 0):
+            self._commit_point[flow] = ack
+        queue = self._pending.get(flow)
+        if not queue:
+            return
+        remaining = []
+        for end_seq, payload, anchors, meta in queue:
+            if end_seq <= ack:
+                assert self.encoder is not None
+                self.encoder.insert_into_cache(payload, anchors, meta)
+                self.committed += 1
+            else:
+                remaining.append((end_seq, payload, anchors, meta))
+        self._pending[flow] = remaining
+
+
+class AckGatedDecoderPolicy(DecoderPolicy):
+    """Decoder mirror of :class:`AckGatedPolicy`.
+
+    The decoder must commit its cache updates at *exactly the same
+    point in the ACK stream* as the encoder's state that encoded each
+    packet.  Committing eagerly (on seeing the ACK, or on arrival)
+    does not work: the decoder sees every ACK one link-delay before the
+    encoder does, so its cache races ahead and contended fingerprints
+    reconstruct wrong bytes.  Instead, this mirror buffers decoded
+    payloads and replays commits up to the encoder's *wire tag* — the
+    cumulative-ACK commit point the encoder stamped on the packet —
+    immediately before decoding it, making the two caches replay the
+    identical update prefix in the identical order.
+    """
+
+    name = "ack_gated"
+
+    def __init__(self, max_pending: int = 4096):
+        super().__init__()
+        self.max_pending = max_pending
+        self._pending: Dict[tuple, List[tuple]] = {}
+        self.committed = 0
+        self.dropped_pending = 0
+
+    def should_cache_now(self, meta: PacketMeta) -> bool:
+        return meta.tcp_seq is None or meta.flow is None
+
+    def defer_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+                    meta: PacketMeta) -> None:
+        queue = self._pending.setdefault(meta.flow, [])
+        queue.append((meta.tcp_seq + len(payload), payload, anchors, meta))
+        if len(queue) > self.max_pending:
+            queue.pop(0)
+            self.dropped_pending += 1
+
+    def on_wire_tag(self, tag: int, meta: PacketMeta, cache) -> None:
+        queue = self._pending.get(meta.flow)
+        if not queue:
+            return
+        remaining = []
+        for end_seq, payload, anchors, entry_meta in queue:
+            if end_seq <= tag:
+                assert self.decoder is not None
+                self.decoder.insert_anchors(payload, anchors, entry_meta)
+                self.committed += 1
+            else:
+                remaining.append((end_seq, payload, anchors, entry_meta))
+        self._pending[meta.flow] = remaining

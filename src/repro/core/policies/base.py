@@ -1,0 +1,179 @@
+"""Policy hook interfaces for the encoder and decoder.
+
+The paper's algorithms differ only in *when a cached packet may be
+referenced* and *when the cache is updated or reset*.  Expressing them
+as hooks keeps one encoder implementation (faithful to Fig. 2) and lets
+the evaluation swap algorithms by swapping policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache, CacheEntry
+    from ..encoder import ByteCachingEncoder
+    from ..decoder import ByteCachingDecoder
+
+
+@dataclass
+class PacketMeta:
+    """What the gateway knows about the packet being processed.
+
+    ``tcp_seq`` is ``None`` for non-TCP traffic (e.g. UDP streaming,
+    where only sequence-agnostic policies such as k-distance apply).
+    ``counter`` is a per-gateway monotone index over *data* packets,
+    assigned by the gateway; sequence numbers never wrap in simulation
+    so they are plain integers.
+    """
+
+    packet_id: int
+    flow: Optional[tuple] = None
+    tcp_seq: Optional[int] = None
+    counter: int = 0
+
+
+class PolicyServices:
+    """Gateway services a policy may use (control channel, clock)."""
+
+    def __init__(self,
+                 send_control: Optional[Callable[[str, object], None]] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self._send_control = send_control
+        self._clock = clock
+
+    def send_control(self, kind: str, payload: object) -> None:
+        if self._send_control is not None:
+            self._send_control(kind, payload)
+
+    def now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+
+class EncoderPolicy:
+    """Base (naive) encoder policy: the unmodified Fig. 2 algorithm.
+
+    Every hook has the permissive default, so this base class *is* the
+    naive Spring & Wetherall behaviour that §IV shows can livelock.
+    """
+
+    name = "naive"
+
+    def __init__(self) -> None:
+        self.services = PolicyServices()
+        self.encoder: "Optional[ByteCachingEncoder]" = None
+
+    def attach_encoder(self, encoder: "ByteCachingEncoder") -> None:
+        self.encoder = encoder
+
+    def attach_services(self, services: PolicyServices) -> None:
+        self.services = services
+
+    # -- hooks, in the order the encoder calls them ------------------------
+
+    def before_packet(self, meta: PacketMeta, cache: "ByteCache") -> None:
+        """Called before the elimination pass (Cache Flush acts here)."""
+
+    def may_encode(self, meta: PacketMeta) -> bool:
+        """False to force this packet out unencoded (k-distance refs)."""
+        return True
+
+    def entry_eligible(self, entry: "CacheEntry", meta: PacketMeta) -> bool:
+        """Whether a cache hit may be used as the encoding source."""
+        return True
+
+    def region_acceptable(self, length: int, payload_len: int,
+                          meta: PacketMeta) -> bool:
+        """Whether an expanded match may be emitted as an encoding field.
+
+        Called with the final region length; policies can veto, e.g.
+        k-distance refuses whole-payload matches (pure duplicates are
+        retransmissions and must stay decodable, §V-C).
+        """
+        return True
+
+    def should_cache_now(self, meta: PacketMeta) -> bool:
+        """False to defer the cache-update pass (ACK-gated extension)."""
+        return True
+
+    def defer_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+                    meta: PacketMeta) -> None:
+        """Stash a deferred cache update (only called when deferred)."""
+
+    def wire_tag(self, meta: PacketMeta) -> Optional[int]:
+        """Optional small integer shipped with the encoded packet.
+
+        The ACK-gated scheme uses it to version its references: the tag
+        is the commit point (cumulative ACK) the encoder's cache state
+        reflects, and the decoder replays its own deferred commits up to
+        exactly that point before decoding.  Costs 4 bytes of wire
+        overhead per tagged packet (charged by the gateway).
+        """
+        return None
+
+    # -- asynchronous inputs ----------------------------------------------
+
+    def on_reverse_packet(self, pkt, cache: "ByteCache") -> None:
+        """Observe a packet flowing in the reverse direction (ACKs)."""
+
+    def on_control(self, kind: str, payload: object, cache: "ByteCache") -> None:
+        """Handle a control message from the peer gateway."""
+
+class DecoderPolicy:
+    """Base decoder policy: drop undecodable packets silently.
+
+    That is precisely the behaviour of §IV-A step t3 and what the
+    paper's three algorithms assume; the informed-marking and NACK
+    extensions override the hooks.
+    """
+
+    name = "drop"
+
+    def __init__(self) -> None:
+        self.services = PolicyServices()
+        self.decoder: "Optional[ByteCachingDecoder]" = None
+
+    def attach_decoder(self, decoder: "ByteCachingDecoder") -> None:
+        self.decoder = decoder
+
+    def attach_services(self, services: PolicyServices) -> None:
+        self.services = services
+
+    def on_undecodable(self, missing_fingerprints: List[int], pkt,
+                       cache: "ByteCache") -> bool:
+        """Called when a packet references unknown fingerprints.
+
+        Return True if the policy took ownership of the packet (e.g.
+        buffered it awaiting repair); False to drop it.
+        """
+        return False
+
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
+                             cache: "ByteCache") -> bool:
+        """Called when reconstruction succeeded but produced wrong bytes.
+
+        The referenced fingerprints resolved to *stale* entries (the
+        replacing packet never reached this side).  Return True to take
+        ownership of the packet, False to drop it.
+        """
+        return False
+
+    def should_cache_now(self, meta: PacketMeta) -> bool:
+        """False to defer caching a decoded payload (ACK-gated mirror)."""
+        return True
+
+    def defer_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+                    meta: PacketMeta) -> None:
+        """Stash a deferred decoder-cache update."""
+
+    def on_reverse_packet(self, pkt, cache: "ByteCache") -> None:
+        """Observe a packet flowing in the reverse direction (ACKs)."""
+
+    def on_wire_tag(self, tag: int, meta: PacketMeta,
+                    cache: "ByteCache") -> None:
+        """React to the encoder's wire tag before this packet is decoded
+        (see :meth:`EncoderPolicy.wire_tag`)."""
+
+    def on_control(self, kind: str, payload: object, cache: "ByteCache") -> None:
+        """Handle a control message from the peer gateway."""

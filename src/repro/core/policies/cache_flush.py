@@ -1,0 +1,48 @@
+"""Cache Flush encoding (§V-A).
+
+Flush the encoder cache upon detecting a TCP retransmission, so that a
+retransmitted segment is never encoded against a succeeding segment or
+itself — it (and everything until the cache refills) goes out raw.
+
+Retransmissions are detected exactly as the paper describes: the policy
+tracks the highest TCP sequence number seen per flow, and any outgoing
+segment whose sequence number *decreases* triggers the flush.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .base import EncoderPolicy, PacketMeta
+
+
+class CacheFlushPolicy(EncoderPolicy):
+    """Flush-on-retransmission policy.
+
+    The detector tracks the sequence number of the *last* outgoing
+    segment per flow and flushes on any non-increase.  Equality counts:
+    a segment retransmitted twice in a row repeats the same (not a
+    lower) sequence number, and missing it would let the copy be
+    encoded against itself.  Tracking the last (rather than the
+    highest-ever) sequence number means an ascending burst of hole
+    retransmissions triggers exactly one flush, after which the
+    retransmissions themselves rebuild the cache — matching the
+    paper's §VII narrative where, after the flush at IP24, IP25 is
+    "encoded using only IP24".
+    """
+
+    name = "cache_flush"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_seq: Dict[tuple, int] = {}
+        self.flushes_triggered = 0
+
+    def before_packet(self, meta: PacketMeta, cache) -> None:
+        if meta.tcp_seq is None or meta.flow is None:
+            return
+        last = self._last_seq.get(meta.flow)
+        if last is not None and meta.tcp_seq <= last:
+            cache.flush()
+            self.flushes_triggered += 1
+        self._last_seq[meta.flow] = meta.tcp_seq

@@ -1,0 +1,59 @@
+"""Informed marking (Lumezanu et al., IMC 2010 — related work §VIII).
+
+The decoder, upon failing to decode a packet, reports the missing
+fingerprints to the encoder over the gateway control channel.  The
+encoder marks those cache entries unusable for future encodings, so the
+dependency chain rooted at a lost packet is cut after one round trip.
+Unlike the paper's three schemes this needs a (lossy) feedback channel;
+it is implemented here as the comparison baseline the paper discusses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import DecoderPolicy, EncoderPolicy
+
+CONTROL_KIND_MARK = "mark"
+
+
+class InformedMarkingEncoderPolicy(EncoderPolicy):
+    """Encoder half: honour mark messages from the decoder."""
+
+    name = "informed_marking"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.marks_received = 0
+
+    def on_control(self, kind: str, payload: object, cache) -> None:
+        if kind != CONTROL_KIND_MARK:
+            return
+        fingerprints: List[int] = list(payload)  # type: ignore[arg-type]
+        for fingerprint in fingerprints:
+            if cache.mark_unusable(fingerprint):
+                self.marks_received += 1
+
+
+class InformedMarkingDecoderPolicy(DecoderPolicy):
+    """Decoder half: report missing fingerprints, then drop the packet."""
+
+    name = "informed_marking"
+
+    def __init__(self, max_report_batch: int = 32):
+        super().__init__()
+        self.max_report_batch = max_report_batch
+        self.reports_sent = 0
+
+    def on_undecodable(self, missing_fingerprints: List[int], pkt, cache) -> bool:
+        batch = missing_fingerprints[: self.max_report_batch]
+        if batch:
+            self.services.send_control(CONTROL_KIND_MARK, batch)
+            self.reports_sent += 1
+        return False  # the packet itself is still dropped
+
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
+                             cache) -> bool:
+        # Stale references are as poisonous as missing ones: report them
+        # so the encoder stops using those cached packets.
+        return self.on_undecodable(suspect_fingerprints, pkt, cache)

@@ -1,0 +1,187 @@
+"""NACK recovery (§VIII, first "additional potential approach").
+
+"A first solution could consist in having the decoder — upon detecting
+a missing packet — sending a notification message to the encoder to
+retrieve a copy of the missing actual content."
+
+Decoder half: an undecodable packet is *buffered* (bounded, with a
+timeout) and a NACK listing the missing fingerprints goes to the
+encoder.  Encoder half: on a NACK it looks the fingerprints up in its
+own cache and returns the raw cached payloads as repair messages.  When
+a repair arrives the decoder inserts the payload into its cache and
+retries every buffered packet.
+
+The paper speculates the extra round trip still leaves "a large number
+of dependencies affected by the loss"; the extension benchmark
+(`benchmarks/bench_extensions.py`) measures exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import DecoderPolicy, EncoderPolicy
+
+CONTROL_KIND_NACK = "nack"
+CONTROL_KIND_REPAIR = "repair"
+
+
+class NackRecoveryEncoderPolicy(EncoderPolicy):
+    """Encoder half: answer NACKs with raw cached payloads.
+
+    Repairs are rate-limited per fingerprint (``repair_suppression``
+    seconds): bursts of undecodable packets referencing the same lost
+    carrier would otherwise request the same payload dozens of times
+    within one RTT, and repairs ride the constrained forward link.
+    """
+
+    name = "nack_recovery"
+
+    def __init__(self, max_repairs_per_nack: int = 8,
+                 repair_suppression: float = 0.1):
+        super().__init__()
+        self.max_repairs_per_nack = max_repairs_per_nack
+        self.repair_suppression = repair_suppression
+        self._last_repair: dict = {}
+        self.nacks_received = 0
+        self.repairs_sent = 0
+        self.repairs_suppressed = 0
+        self.repairs_unavailable = 0
+
+    def on_control(self, kind: str, payload: object, cache) -> None:
+        if kind != CONTROL_KIND_NACK:
+            return
+        self.nacks_received += 1
+        now = self.services.now()
+        fingerprints: List[int] = list(payload)[: self.max_repairs_per_nack]  # type: ignore[arg-type]
+        repairs = []
+        for fingerprint in fingerprints:
+            last = self._last_repair.get(fingerprint)
+            if last is not None and now - last < self.repair_suppression:
+                self.repairs_suppressed += 1
+                continue
+            hit = cache.lookup(fingerprint)
+            if hit is None:
+                self.repairs_unavailable += 1
+                continue
+            _, stored = hit
+            self._last_repair[fingerprint] = now
+            repairs.append((fingerprint, stored))
+        if repairs:
+            self.repairs_sent += len(repairs)
+            self.services.send_control(CONTROL_KIND_REPAIR, repairs)
+
+
+class PendingPacket:
+    """A buffered undecodable packet awaiting repairs.
+
+    ``verify_by_lookup`` distinguishes the two failure modes: a packet
+    whose fingerprints were *missing* becomes decodable as soon as each
+    fingerprint resolves (a repair or ordinary traffic may provide it);
+    a packet that failed its checksum resolved to *stale* entries, so
+    only an explicit repair (which overwrites the stale entry) counts.
+    """
+
+    __slots__ = ("pkt", "missing", "deadline", "verify_by_lookup")
+
+    def __init__(self, pkt, missing: List[int], deadline: float,
+                 verify_by_lookup: bool = True):
+        self.pkt = pkt
+        self.missing = set(missing)
+        self.deadline = deadline
+        self.verify_by_lookup = verify_by_lookup
+
+
+class NackRecoveryDecoderPolicy(DecoderPolicy):
+    """Decoder half: buffer undecodable packets and request repairs."""
+
+    name = "nack_recovery"
+
+    def __init__(self, buffer_limit: int = 64, timeout: float = 1.0,
+                 retry: Optional[Callable[[object], None]] = None):
+        super().__init__()
+        self.buffer_limit = buffer_limit
+        self.timeout = timeout
+        # Called with a buffered packet once its dependencies are
+        # repaired; the gateway wires this to "re-inject the packet".
+        self.retry = retry
+        self._buffer: List[PendingPacket] = []
+        self.nacks_sent = 0
+        self.repairs_received = 0
+        self.timeouts = 0
+        self.retries = 0
+
+    def on_undecodable(self, missing_fingerprints: List[int], pkt, cache) -> bool:
+        return self._buffer_and_nack(missing_fingerprints, pkt,
+                                     verify_by_lookup=True)
+
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
+                             cache) -> bool:
+        # Stale entries: request fresh copies of everything referenced.
+        # Only the repair itself proves freshness (lookups already
+        # "succeed" against the stale entries).
+        return self._buffer_and_nack(suspect_fingerprints, pkt,
+                                     verify_by_lookup=False)
+
+    def on_control(self, kind: str, payload: object, cache) -> None:
+        if kind != CONTROL_KIND_REPAIR:
+            return
+        assert self.decoder is not None
+        from .base import PacketMeta
+
+        repaired = set()
+        for fingerprint, raw_payload in payload:  # type: ignore[union-attr]
+            self.repairs_received += 1
+            repaired.add(fingerprint)
+            # A repair is an out-of-band raw payload: cache it exactly
+            # as if it had arrived as a normal unencoded packet.
+            self.decoder.insert_raw_payload(raw_payload, PacketMeta(packet_id=-1))
+        self._retry_ready(cache, repaired)
+
+    # -- internal ---------------------------------------------------------
+
+    def _buffer_and_nack(self, fingerprints: List[int], pkt,
+                         verify_by_lookup: bool) -> bool:
+        if pkt is None:
+            return False
+        self._expire()
+        if len(self._buffer) >= self.buffer_limit:
+            return False  # buffer full: fall back to dropping
+        already_requested = set()
+        for pending in self._buffer:
+            already_requested |= pending.missing
+        self._buffer.append(PendingPacket(
+            pkt, fingerprints, self.services.now() + self.timeout,
+            verify_by_lookup=verify_by_lookup))
+        # Only NACK fingerprints not already awaiting a repair; the
+        # in-flight repair will release this packet too.
+        fresh = [fp for fp in fingerprints if fp not in already_requested]
+        if fresh:
+            self.services.send_control(CONTROL_KIND_NACK, fresh)
+            self.nacks_sent += 1
+        return True
+
+    def _retry_ready(self, cache, repaired: set) -> None:
+        self._expire()
+        still_waiting = []
+        for pending in self._buffer:
+            pending.missing -= repaired
+            if pending.verify_by_lookup:
+                pending.missing = {fp for fp in pending.missing
+                                   if cache.lookup(fp) is None}
+            if pending.missing:
+                still_waiting.append(pending)
+            elif self.retry is not None:
+                self.retries += 1
+                self.retry(pending.pkt)
+        self._buffer = still_waiting
+
+    def _expire(self) -> None:
+        now = self.services.now()
+        kept = []
+        for pending in self._buffer:
+            if pending.deadline < now:
+                self.timeouts += 1
+            else:
+                kept.append(pending)
+        self._buffer = kept

@@ -1,0 +1,18 @@
+"""Naive Spring & Wetherall policy (§III, Fig. 2).
+
+No restriction at all on which cached packets may serve as encoding
+sources.  Under loss this produces the circular dependencies of §IV:
+a retransmitted segment is encoded against a succeeding copy of itself,
+the decoder can never reconstruct it, and the TCP connection stalls.
+Included as the baseline whose failure Figure 6 quantifies.
+"""
+
+from __future__ import annotations
+
+from .base import EncoderPolicy
+
+
+class NaivePolicy(EncoderPolicy):
+    """The unmodified algorithm — every hook keeps its default."""
+
+    name = "naive"

@@ -1,0 +1,122 @@
+"""Vectorised rolling fingerprints (fast path).
+
+A polynomial rolling hash modulo 2**64 with an odd base ``B``:
+
+    H(i) = sum_{j=0}^{w-1} data[i+j] * B**j        (mod 2**64)
+
+Because ``B`` is odd it is invertible modulo 2**64, so every window
+hash of a packet can be computed with a single prefix-sum:
+
+    A[i]   = sum_{j<i} data[j] * B**j              (mod 2**64)
+    H(i)   = (A[i+w] - A[i]) * B**(-i)             (mod 2**64)
+
+All of this vectorises in numpy uint64 arithmetic (which wraps modulo
+2**64 natively).  A final splitmix64-style mixing step whitens the low
+bits so the value-sampling rule (low ``k`` bits zero) selects anchors
+uniformly even on highly structured (e.g. ASCII) payloads.
+
+This scheme is *not* a GF(2) Rabin fingerprint, but it has the two
+properties byte caching actually relies on: it is a deterministic
+content-defined rolling hash, and its selected-anchor rate is ~2**-k.
+Hash collisions are immaterial for correctness because the encoder
+byte-compares candidate regions, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+_BASE = np.uint64(0x9E3779B97F4A7C15 | 1)
+_BASE_INV = np.uint64(pow(int(_BASE), -1, 1 << 64))
+_MIX1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
+
+_U64 = np.uint64
+
+
+class _PowerCache:
+    """Lazily grown arrays of B**j and B**-j modulo 2**64."""
+
+    def __init__(self) -> None:
+        self.pows = np.ones(1, dtype=np.uint64)
+        self.inv_pows = np.ones(1, dtype=np.uint64)
+
+    def ensure(self, n: int) -> None:
+        if len(self.pows) >= n:
+            return
+        size = max(n, 2 * len(self.pows), 4096)
+        # Build in Python ints (explicit mod 2**64) to avoid relying on
+        # numpy scalar overflow semantics, then freeze into arrays.
+        base = int(_BASE)
+        base_inv = int(_BASE_INV)
+        mod = 1 << 64
+        pows = [0] * size
+        inv_pows = [0] * size
+        pows[0] = 1
+        inv_pows[0] = 1
+        for i in range(1, size):
+            pows[i] = (pows[i - 1] * base) % mod
+            inv_pows[i] = (inv_pows[i - 1] * base_inv) % mod
+        self.pows = np.array(pows, dtype=np.uint64)
+        self.inv_pows = np.array(inv_pows, dtype=np.uint64)
+
+
+_POWERS = _PowerCache()
+
+
+def _mix(values: np.ndarray) -> np.ndarray:
+    """Splitmix64-style finalizer, vectorised over uint64."""
+    x = values.copy()
+    x ^= x >> _U64(33)
+    x *= _MIX1
+    x ^= x >> _U64(29)
+    x *= _MIX2
+    x ^= x >> _U64(32)
+    return x
+
+
+class PolyFingerprinter:
+    """Vectorised rolling fingerprints of a ``window``-byte window."""
+
+    FP_BITS = 64
+
+    def __init__(self, window: int = 16):
+        if window < 2:
+            raise ValueError("window must be at least 2 bytes")
+        self.window = window
+
+    def hashes(self, data: bytes) -> np.ndarray:
+        """Array of mixed window hashes; index i covers data[i:i+w]."""
+        w = self.window
+        n = len(data)
+        if n < w:
+            return np.empty(0, dtype=np.uint64)
+        _POWERS.ensure(n + 1)
+        arr = np.frombuffer(data, dtype=np.uint8).astype(np.uint64)
+        terms = arr * _POWERS.pows[:n]
+        prefix = np.empty(n + 1, dtype=np.uint64)
+        prefix[0] = 0
+        np.cumsum(terms, out=prefix[1:])
+        raw = (prefix[w:] - prefix[:-w]) * _POWERS.inv_pows[: n - w + 1]
+        return _mix(raw)
+
+    def fingerprint(self, data: bytes) -> int:
+        """Fingerprint of a single window (must be >= window bytes)."""
+        hashes = self.hashes(data[: self.window])
+        if len(hashes) == 0:
+            raise ValueError("data shorter than fingerprint window")
+        return int(hashes[0])
+
+    def window_fingerprints(self, data: bytes) -> List[Tuple[int, int]]:
+        """``(offset, fingerprint)`` for every window position."""
+        return list(enumerate(int(h) for h in self.hashes(data)))
+
+    def anchors(self, data: bytes, mask: int) -> List[Tuple[int, int]]:
+        """All ``(offset, fingerprint)`` with ``fingerprint & mask == 0``."""
+        hashes = self.hashes(data)
+        if len(hashes) == 0:
+            return []
+        selected = np.nonzero((hashes & _U64(mask)) == 0)[0]
+        return [(int(off), int(hashes[off])) for off in selected]

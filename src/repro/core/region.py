@@ -1,0 +1,108 @@
+"""Match verification and boundary expansion.
+
+When an anchor fingerprint of the incoming packet hits the cache, the
+encoder byte-compares the two windows (two different strings can share
+a fingerprint) and then grows the match left and right to find the full
+repeated region (§III-A: "determine the boundaries of the repeated
+content").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Region:
+    """A repeated region to be replaced by an encoding field.
+
+    ``offset_new``/``offset_stored`` are the region start offsets in the
+    incoming and cached payloads; ``length`` is the match length;
+    ``fingerprint`` identifies the cached payload at the decoder.
+    """
+
+    fingerprint: int
+    offset_new: int
+    offset_stored: int
+    length: int
+
+    @property
+    def end_new(self) -> int:
+        return self.offset_new + self.length
+
+    @property
+    def end_stored(self) -> int:
+        return self.offset_stored + self.length
+
+
+def common_prefix_length(a: bytes, a_start: int, b: bytes, b_start: int,
+                         limit: int) -> int:
+    """Length of the common run of ``a[a_start:]`` and ``b[b_start:]``.
+
+    Compares in chunks so long matches cost O(n/chunk) slice compares
+    rather than a per-byte Python loop.
+    """
+    n = 0
+    chunk = 256
+    while n < limit:
+        step = min(chunk, limit - n)
+        if a[a_start + n: a_start + n + step] == b[b_start + n: b_start + n + step]:
+            n += step
+            continue
+        # Mismatch inside this chunk: locate it byte by byte.
+        for i in range(step):
+            if a[a_start + n + i] != b[b_start + n + i]:
+                return n + i
+        return n + step  # unreachable, defensive
+    return n
+
+
+def common_suffix_length(a: bytes, a_end: int, b: bytes, b_end: int,
+                         limit: int) -> int:
+    """Length of the common run ending at ``a[:a_end]`` / ``b[:b_end]``."""
+    n = 0
+    chunk = 256
+    while n < limit:
+        step = min(chunk, limit - n)
+        if a[a_end - n - step: a_end - n] == b[b_end - n - step: b_end - n]:
+            n += step
+            continue
+        for i in range(1, step + 1):
+            if a[a_end - n - i] != b[b_end - n - i]:
+                return n + i - 1
+        return n + step  # unreachable, defensive
+    return n
+
+
+def expand_match(new: bytes, new_anchor: int, stored: bytes, stored_anchor: int,
+                 window: int, left_limit: int = 0) -> "Region | None":
+    """Verify and expand a candidate match around an anchor window.
+
+    Returns the maximal :class:`Region` (with a placeholder fingerprint
+    of 0 — the caller fills it in) or ``None`` when the anchor windows
+    do not actually match (a fingerprint collision).
+
+    ``left_limit`` prevents the region from growing into bytes of the
+    incoming packet that an earlier region already consumed.
+    """
+    if new_anchor < left_limit:
+        return None
+    if new_anchor + window > len(new) or stored_anchor + window > len(stored):
+        return None
+    if new[new_anchor: new_anchor + window] != stored[stored_anchor: stored_anchor + window]:
+        return None
+
+    left_room = min(new_anchor - left_limit, stored_anchor)
+    left = common_suffix_length(new, new_anchor, stored, stored_anchor, left_room)
+
+    right_room = min(len(new) - (new_anchor + window),
+                     len(stored) - (stored_anchor + window))
+    right = common_prefix_length(new, new_anchor + window,
+                                 stored, stored_anchor + window, right_room)
+
+    return Region(
+        fingerprint=0,
+        offset_new=new_anchor - left,
+        offset_stored=stored_anchor - left,
+        length=left + window + right,
+    )

@@ -1,0 +1,50 @@
+"""Winnowing anchor selection (Schleimer et al., SIGMOD 2003).
+
+The paper selects anchors by *value sampling* — keep fingerprints whose
+last k bits are zero (§III-A) — which is simple but gives geometric
+gaps between anchors: long stretches of a packet can end up with no
+anchor at all, and a repeat that falls entirely inside such a stretch
+is never found.  *Winnowing*, used by later redundancy-elimination
+systems (e.g. EndRE's SampleByte ancestry), slides a window of ``w``
+consecutive fingerprints and keeps each window's minimum, guaranteeing
+at least one anchor in every ``w`` positions.
+
+Both schemes are content-defined (encoder and decoder select
+identically from the same bytes), so they are drop-in alternatives;
+``benchmarks/bench_sampling.py`` measures the recall/savings trade.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def winnow_positions(hashes: np.ndarray, window: int) -> List[int]:
+    """Indices selected by winnowing over ``hashes``.
+
+    In each window of ``window`` consecutive positions the minimum hash
+    is selected (rightmost minimum on ties, per the original paper);
+    duplicates collapse.
+    """
+    n = len(hashes)
+    if n == 0:
+        return []
+    if n <= window:
+        return [int(n - 1 - np.argmin(hashes[::-1]))]
+    view = np.lib.stride_tricks.sliding_window_view(hashes, window)
+    # Rightmost minimum: argmin over the reversed window.
+    reversed_argmin = np.argmin(view[:, ::-1], axis=1)
+    positions = np.arange(len(view)) + (window - 1 - reversed_argmin)
+    return sorted(set(int(p) for p in positions))
+
+
+def winnow_anchors(fingerprints: List[Tuple[int, int]],
+                   window: int) -> List[Tuple[int, int]]:
+    """Winnow an ``(offset, fingerprint)`` list (pure-Python fallback)."""
+    if not fingerprints:
+        return []
+    values = np.array([fp for _, fp in fingerprints], dtype=np.uint64)
+    selected = winnow_positions(values, window)
+    return [fingerprints[index] for index in selected]

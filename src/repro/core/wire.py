@@ -1,0 +1,180 @@
+"""Encoded-packet wire format.
+
+§III-B: an encoding field consists of the Rabin fingerprint (8 bytes),
+the offset in the new packet (2 bytes), the offset in the stored packet
+(2 bytes) and the length of the repeated area (2 bytes) — 14 bytes, and
+a region is only worth encoding when it is longer than 14 bytes.
+
+Every payload leaving the encoder carries a 2-byte shim (magic + flags)
+so the decoder can tell raw pass-through from encoded payloads.  An
+encoded payload adds a 4-byte header (field count + original length)
+followed by the field table and the literal (unmatched) bytes in order.
+
+Layout::
+
+    +------+-------+                         raw payload
+    | 0xD5 | 0x00  |  payload bytes...
+    +------+-------+
+
+    +------+-------+---------+----------+
+    | 0xD5 | 0x01  | nfields | orig_len |   encoded payload
+    +------+-------+---------+----------+
+    | nfields * (fp:8 off_new:2 off_stored:2 len:2) |
+    +-----------------------------------------------+
+    | literal bytes (gaps between regions, in order)|
+    +-----------------------------------------------+
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .region import Region
+
+MAGIC = 0xD5
+FLAG_RAW = 0x00
+FLAG_ENCODED = 0x01
+
+SHIM_SIZE = 2
+ENCODED_HEADER_SIZE = 6          # shim + nfields(2) + orig_len(2)
+FIELD_SIZE = 14                  # fp(8) + off_new(2) + off_stored(2) + len(2)
+MIN_REGION_LENGTH = FIELD_SIZE + 1   # §III-B line B.8: encode only if len > 14
+
+_FIELD_STRUCT = struct.Struct(">QHHH")
+_HEADER_STRUCT = struct.Struct(">BBHH")
+
+
+class WireFormatError(Exception):
+    """Encoded payload is malformed (truncated, bad magic, bad counts)."""
+
+
+@dataclass
+class EncodedPayload:
+    """Parsed form of an encoded payload."""
+
+    orig_len: int
+    regions: List[Region]
+    literals: bytes
+
+
+def encode_payload(payload: bytes, regions: List[Region]) -> bytes:
+    """Serialise ``payload`` with ``regions`` replaced by encoding fields.
+
+    ``regions`` must be sorted by ``offset_new`` and non-overlapping.
+    """
+    if not regions:
+        return bytes([MAGIC, FLAG_RAW]) + payload
+    if len(payload) > 0xFFFF:
+        raise WireFormatError("payload too large for 2-byte offsets")
+    parts = [_HEADER_STRUCT.pack(MAGIC, FLAG_ENCODED, len(regions), len(payload))]
+    pos = 0
+    literal_parts = []
+    for region in regions:
+        if region.offset_new < pos:
+            raise WireFormatError("overlapping or unsorted regions")
+        if region.end_new > len(payload):
+            raise WireFormatError("region exceeds payload")
+        parts.append(_FIELD_STRUCT.pack(region.fingerprint, region.offset_new,
+                                        region.offset_stored, region.length))
+        literal_parts.append(payload[pos: region.offset_new])
+        pos = region.end_new
+    literal_parts.append(payload[pos:])
+    parts.extend(literal_parts)
+    return b"".join(parts)
+
+
+def wrap_raw(payload: bytes) -> bytes:
+    """Shim a payload that is sent without any encoding."""
+    return bytes([MAGIC, FLAG_RAW]) + payload
+
+
+def is_encoded(data: bytes) -> bool:
+    """True when the shimmed payload carries encoding fields."""
+    if len(data) < SHIM_SIZE or data[0] != MAGIC:
+        raise WireFormatError("missing shim")
+    return data[1] == FLAG_ENCODED
+
+
+def parse_payload(data: bytes) -> "EncodedPayload | bytes":
+    """Parse a shimmed payload.
+
+    Returns raw payload ``bytes`` for pass-through packets, or an
+    :class:`EncodedPayload` for encoded ones.  Raises
+    :class:`WireFormatError` on malformed input (e.g. bit corruption
+    that survived into the shim).
+    """
+    if len(data) < SHIM_SIZE:
+        raise WireFormatError("payload shorter than shim")
+    if data[0] != MAGIC:
+        raise WireFormatError(f"bad magic byte: {data[0]:#x}")
+    flags = data[1]
+    if flags == FLAG_RAW:
+        return data[SHIM_SIZE:]
+    if flags != FLAG_ENCODED:
+        raise WireFormatError(f"bad flags byte: {flags:#x}")
+    if len(data) < ENCODED_HEADER_SIZE:
+        raise WireFormatError("truncated encoded header")
+    _, _, nfields, orig_len = _HEADER_STRUCT.unpack_from(data, 0)
+    fields_end = ENCODED_HEADER_SIZE + nfields * FIELD_SIZE
+    if len(data) < fields_end:
+        raise WireFormatError("truncated field table")
+    regions = []
+    for i in range(nfields):
+        fp, off_new, off_stored, length = _FIELD_STRUCT.unpack_from(
+            data, ENCODED_HEADER_SIZE + i * FIELD_SIZE)
+        regions.append(Region(fingerprint=fp, offset_new=off_new,
+                              offset_stored=off_stored, length=length))
+    return EncodedPayload(orig_len=orig_len, regions=regions,
+                          literals=data[fields_end:])
+
+
+class MissingFingerprintError(Exception):
+    """Decoder cache has no (live) entry for a referenced fingerprint."""
+
+    def __init__(self, fingerprint: int):
+        super().__init__(f"missing fingerprint {fingerprint:#018x}")
+        self.fingerprint = fingerprint
+
+
+def reconstruct(parsed: EncodedPayload,
+                resolve: Callable[[int], Optional[bytes]]) -> bytes:
+    """Rebuild the original payload from an :class:`EncodedPayload`.
+
+    ``resolve`` maps a fingerprint to the cached payload it references
+    (or ``None`` when the decoder's cache has no entry — the decoder
+    counts that packet as undecodable, §IV-A step t3).
+    """
+    out = bytearray()
+    literals = parsed.literals
+    lit_pos = 0
+    pos = 0
+    for region in sorted(parsed.regions, key=lambda r: r.offset_new):
+        if region.offset_new < pos:
+            raise WireFormatError("overlapping regions in encoded payload")
+        gap = region.offset_new - pos
+        if lit_pos + gap > len(literals):
+            raise WireFormatError("literal underrun")
+        out += literals[lit_pos: lit_pos + gap]
+        lit_pos += gap
+        source = resolve(region.fingerprint)
+        if source is None:
+            raise MissingFingerprintError(region.fingerprint)
+        if region.end_stored > len(source):
+            raise WireFormatError("region exceeds cached payload")
+        out += source[region.offset_stored: region.end_stored]
+        pos = region.end_new
+    out += literals[lit_pos:]
+    if len(out) != parsed.orig_len:
+        raise WireFormatError(
+            f"reconstructed {len(out)} bytes, expected {parsed.orig_len}")
+    return bytes(out)
+
+
+def encoded_size(payload_len: int, regions: List[Region]) -> int:
+    """Size on the wire of ``payload_len`` bytes with ``regions`` encoded."""
+    if not regions:
+        return SHIM_SIZE + payload_len
+    matched = sum(r.length for r in regions)
+    return ENCODED_HEADER_SIZE + FIELD_SIZE * len(regions) + (payload_len - matched)

@@ -1,0 +1,21 @@
+"""Experiment harness: configs, runners, and paper scenarios."""
+
+from .config import ExperimentConfig
+from .mobility import MobilityConfig, MobilityResult, run_mobility
+from .multiflow import (MultiFlowResult, run_concurrent_fetches,
+                        run_sequential_fetches)
+from .runner import Testbed, build_testbed, run_paired, run_transfer
+
+__all__ = [
+    "ExperimentConfig",
+    "MobilityConfig",
+    "MobilityResult",
+    "run_mobility",
+    "MultiFlowResult",
+    "run_concurrent_fetches",
+    "run_sequential_fetches",
+    "Testbed",
+    "build_testbed",
+    "run_paired",
+    "run_transfer",
+]

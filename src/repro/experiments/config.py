@@ -1,0 +1,84 @@
+"""Experiment configuration.
+
+One :class:`ExperimentConfig` fully describes a transfer run: workload,
+encoding policy, link impairments, TCP tunables and seeds.  Defaults
+follow the paper's testbed (§III-C): a 1 MB/s traffic-shaped link whose
+loss rate is swept 0–20 %, retrieving a ~574 KB object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..net.tcp import TCPConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run (and re-run) one transfer."""
+
+    # -- workload
+    corpus: str = "file1"
+    file_size: int = 0              # 0 = corpus default
+    corpus_seed: int = 3
+
+    # -- byte caching
+    policy: Optional[str] = "cache_flush"   # None disables DRE entirely
+    policy_kwargs: Dict[str, Any] = field(default_factory=dict)
+    fingerprint_window: int = 16            # w of §III-B
+    fingerprint_zero_bits: int = 4          # k of §III-B
+    fingerprint_kind: str = "poly"
+    fingerprint_selection: str = "value"    # "value" (§III-A) | "winnowing"
+    cache_bytes: int = 16 * 1024 * 1024
+    cache_max_packets: Optional[int] = None
+    cache_eviction: str = "fifo"            # "fifo" (paper) | "lru"
+
+    # -- the constrained (wireless) segment, Fig. 3
+    bandwidth: float = 1_000_000.0          # 1 MB/s traffic shaper
+    bottleneck_delay: float = 0.0025        # one-way propagation (s)
+    loss_rate: float = 0.0                  # swept 0–20 % in the paper
+    corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reverse_loss_rate: float = 0.0          # ACK-path loss (off by default)
+
+    # -- LAN hops between hosts and gateways
+    lan_bandwidth: float = 125_000_000.0    # 1 Gb/s
+    lan_delay: float = 0.0005
+
+    # -- TCP endpoint tunables
+    tcp_mss: int = 1460
+    tcp_min_rto: float = 0.2
+    tcp_max_rto: float = 8.0
+    # Linux's tcp_retries2-style give-up threshold.  High enough that
+    # the bounded undecodable chains of k-distance (at most k failed
+    # attempts per chain, §V-C) ride out; only a genuine livelock (the
+    # naive policy's circular dependency) exhausts it.
+    tcp_max_retries: int = 20
+    # 32 KB (~22 segments) keeps the in-flight window — and therefore
+    # the span of packets a single loss can take down via encoding
+    # dependencies (Fig. 8) — at the scale of the paper's testbed.
+    tcp_rwnd: int = 32 * 1024
+    tcp_congestion: str = "reno"          # "reno" | "cubic" (Linux-2012 era)
+
+    # -- run control
+    seed: int = 0
+    time_limit: float = 600.0
+    verify_content: bool = False
+    trace: bool = False
+
+    def tcp_config(self) -> TCPConfig:
+        return TCPConfig(mss=self.tcp_mss, rwnd=self.tcp_rwnd,
+                         min_rto=self.tcp_min_rto, max_rto=self.tcp_max_rto,
+                         max_retries=self.tcp_max_retries,
+                         congestion=self.tcp_congestion)
+
+    def with_updates(self, **kwargs) -> "ExperimentConfig":
+        """Copy with fields replaced (sweeps use this heavily)."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+    @property
+    def dre_enabled(self) -> bool:
+        return self.policy is not None

@@ -1,0 +1,14 @@
+"""Byte-caching gateway appliances (IP-level and split-TCP)."""
+
+from .middlebox import DecoderGateway, EncoderGateway, GatewayStats
+from .pair import GatewayPair
+from .tcp_proxy import TcpProxyGateway, create_proxy_pair
+
+__all__ = [
+    "DecoderGateway",
+    "EncoderGateway",
+    "GatewayStats",
+    "GatewayPair",
+    "TcpProxyGateway",
+    "create_proxy_pair",
+]

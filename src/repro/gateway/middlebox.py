@@ -1,0 +1,286 @@
+"""Byte-caching gateways (the appliances of Fig. 1 / Fig. 3).
+
+Two on-path middleboxes bracket the resource-constrained segment:
+
+* :class:`EncoderGateway` intercepts data-bearing IP packets flowing in
+  the configured direction, runs the policy-parameterised encoder over
+  the transport payload, and forwards the (possibly much smaller)
+  packet.  It also shows the reverse packet stream to its policy (the
+  ACK-gated extension listens there) and consumes control messages from
+  the peer gateway.
+* :class:`DecoderGateway` reconstructs the original payload, caches it,
+  and forwards.  Undecodable packets are dropped (§IV-A t3) — the
+  source of the *perceived* packet loss studied in §VII.
+
+The gateways operate at the IP layer (§II-B): the TCP connection stays
+end-to-end and endpoints never learn the gateways exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.cache import ByteCache
+from ..core.decoder import ByteCachingDecoder, DecodeStatus
+from ..core.encoder import ByteCachingEncoder
+from ..core.fingerprint import FingerprintScheme
+from ..core.policies.base import (DecoderPolicy, EncoderPolicy, PacketMeta,
+                                  PolicyServices)
+from ..net.packet import (ControlMessage, IPPacket, PROTO_DRE_CONTROL,
+                          PROTO_TCP, PROTO_UDP)
+from ..sim.engine import Simulator
+from ..sim.node import Middlebox
+from ..sim.trace import NULL_TRACER, Tracer
+
+
+def _default_forward_pred(data_dst: Optional[str]) -> Callable[[IPPacket], bool]:
+    """Forward direction = data packets heading to ``data_dst`` (if set)."""
+    def pred(pkt: IPPacket) -> bool:
+        if data_dst is not None and pkt.dst != data_dst:
+            return False
+        return pkt.proto in (PROTO_TCP, PROTO_UDP)
+    return pred
+
+
+def _payload_of(pkt: IPPacket):
+    """Transport payload object carrying ``.data`` or None."""
+    if pkt.proto in (PROTO_TCP, PROTO_UDP):
+        return pkt.payload
+    return None
+
+
+def _flow_of(pkt: IPPacket) -> tuple:
+    payload = pkt.payload
+    return (pkt.src, payload.src_port, pkt.dst, payload.dst_port)
+
+
+@dataclass
+class GatewayStats:
+    """Wire-level accounting at a gateway."""
+
+    data_packets: int = 0
+    encoded_packets: int = 0
+    passthrough_packets: int = 0
+    bytes_before: int = 0          # wire size entering the gateway
+    bytes_after: int = 0           # wire size leaving it
+    control_messages_sent: int = 0
+    control_bytes_sent: int = 0
+    decoded_ok: int = 0
+    undecodable_dropped: int = 0
+    checksum_dropped: int = 0
+    malformed_dropped: int = 0
+    buffered: int = 0
+    reinjected: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        return (self.undecodable_dropped + self.checksum_dropped
+                + self.malformed_dropped)
+
+
+class _GatewayBase(Middlebox):
+    """Shared plumbing: addressing, control channel, direction filter."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 scheme: FingerprintScheme, cache: ByteCache,
+                 data_dst: Optional[str] = None,
+                 forward_pred: Optional[Callable[[IPPacket], bool]] = None,
+                 tracer: Tracer = NULL_TRACER):
+        super().__init__(sim, name, tracer)
+        self.address = address
+        self.scheme = scheme
+        self.cache = cache
+        self.peer_address: Optional[str] = None
+        self.forward_pred = (forward_pred if forward_pred is not None
+                             else _default_forward_pred(data_dst))
+        self.stats = GatewayStats()
+
+    def set_peer(self, peer_address: str) -> None:
+        """Address of the other gateway (for control messages)."""
+        self.peer_address = peer_address
+
+    def send_control(self, kind: str, payload: object) -> None:
+        if self.peer_address is None:
+            return
+        message = ControlMessage(kind=kind, payload=payload)
+        pkt = IPPacket(src=self.address, dst=self.peer_address,
+                       proto=PROTO_DRE_CONTROL, payload=message,
+                       created_at=self.sim.now)
+        self.stats.control_messages_sent += 1
+        self.stats.control_bytes_sent += pkt.wire_size
+        self.forward(pkt)
+
+    def _services(self) -> PolicyServices:
+        return PolicyServices(send_control=self.send_control,
+                              clock=lambda: self.sim.now)
+
+
+class EncoderGateway(_GatewayBase):
+    """The encoding appliance, deployed at the content side (Fig. 3)."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 scheme: FingerprintScheme, cache: ByteCache,
+                 policy: EncoderPolicy,
+                 data_dst: Optional[str] = None,
+                 forward_pred: Optional[Callable[[IPPacket], bool]] = None,
+                 tracer: Tracer = NULL_TRACER):
+        super().__init__(sim, name, address, scheme, cache,
+                         data_dst, forward_pred, tracer)
+        self.policy = policy
+        policy.attach_services(self._services())
+        self.encoder = ByteCachingEncoder(scheme, cache, policy)
+        self._data_counter = 0
+        #: packet_id -> set of packet ids it was encoded against
+        #: (dependency bookkeeping for the §VII analysis)
+        self.dependency_log: dict = {}
+        #: packet_id -> TCP sequence number (folds retransmissions of
+        #: one segment together in the dependency-graph analysis)
+        self.segment_log: dict = {}
+
+    def process(self, pkt: IPPacket) -> Optional[IPPacket]:
+        if pkt.proto == PROTO_DRE_CONTROL:
+            if pkt.dst == self.address:
+                message: ControlMessage = pkt.payload  # type: ignore[assignment]
+                self.policy.on_control(message.kind, message.payload, self.cache)
+                return None
+            return pkt
+
+        payload = _payload_of(pkt)
+        if payload is None:
+            return pkt
+
+        if not self.forward_pred(pkt):
+            self.policy.on_reverse_packet(pkt, self.cache)
+            return pkt
+
+        if not payload.data:
+            return pkt  # SYN / bare ACK / FIN: nothing to encode
+
+        self.stats.data_packets += 1
+        self.stats.bytes_before += pkt.wire_size
+        meta = PacketMeta(
+            packet_id=pkt.packet_id,
+            flow=_flow_of(pkt),
+            tcp_seq=payload.seq if pkt.proto == PROTO_TCP else None,
+            counter=self._data_counter,
+        )
+        self._data_counter += 1
+        if pkt.proto == PROTO_TCP:
+            self.segment_log[pkt.packet_id] = payload.seq
+        result = self.encoder.encode(payload.data, meta)
+        payload.data = result.data
+        payload.dre_encoded = True
+        tag = self.policy.wire_tag(meta)
+        if tag is not None and hasattr(payload, "options_size"):
+            # The tag rides in the shim; charge 4 bytes of wire overhead.
+            payload.dre_wire_tag = tag
+            payload.options_size += 4
+        if result.encoded:
+            self.stats.encoded_packets += 1
+            self.dependency_log[pkt.packet_id] = result.dependencies
+            self.tracer.emit(self.name, "encode", packet_id=pkt.packet_id,
+                             deps=sorted(result.dependencies),
+                             saved=result.bytes_in - result.bytes_out)
+        else:
+            self.stats.passthrough_packets += 1
+        self.stats.bytes_after += pkt.wire_size
+        return pkt
+
+
+class DecoderGateway(_GatewayBase):
+    """The decoding appliance, deployed at the client side (Fig. 3)."""
+
+    def __init__(self, sim: Simulator, name: str, address: str,
+                 scheme: FingerprintScheme, cache: ByteCache,
+                 policy: Optional[DecoderPolicy] = None,
+                 data_dst: Optional[str] = None,
+                 forward_pred: Optional[Callable[[IPPacket], bool]] = None,
+                 tracer: Tracer = NULL_TRACER):
+        super().__init__(sim, name, address, scheme, cache,
+                         data_dst, forward_pred, tracer)
+        self.policy = policy if policy is not None else DecoderPolicy()
+        self.policy.attach_services(self._services())
+        # The NACK policy re-injects buffered packets once repaired.
+        if hasattr(self.policy, "retry") and getattr(self.policy, "retry") is None:
+            self.policy.retry = self.reinject  # type: ignore[attr-defined]
+        self.decoder = ByteCachingDecoder(scheme, cache, self.policy)
+        self._data_counter = 0
+        #: packet ids successfully decoded and forwarded (for the
+        #: dependency-graph analysis of §VII)
+        self.delivered_ids: set = set()
+
+    def process(self, pkt: IPPacket) -> Optional[IPPacket]:
+        if pkt.proto == PROTO_DRE_CONTROL:
+            if pkt.dst == self.address:
+                message: ControlMessage = pkt.payload  # type: ignore[assignment]
+                self.policy.on_control(message.kind, message.payload, self.cache)
+                return None
+            return pkt
+
+        payload = _payload_of(pkt)
+        if payload is None:
+            return pkt
+        if not self.forward_pred(pkt):
+            # Reverse direction: show ACKs to the policy (the ACK-gated
+            # mirror commits its deferred cache updates here).
+            self.policy.on_reverse_packet(pkt, self.cache)
+            return pkt
+        if not payload.dre_encoded:
+            return pkt
+
+        self.stats.data_packets += 1
+        self.stats.bytes_before += pkt.wire_size
+        outcome = self._decode_in_place(pkt)
+        if outcome is None:
+            return None
+        self.stats.bytes_after += outcome.wire_size
+        return outcome
+
+    def reinject(self, pkt: IPPacket) -> None:
+        """Re-process a packet the policy buffered (NACK repairs)."""
+        self.stats.reinjected += 1
+        outcome = self._decode_in_place(pkt)
+        if outcome is not None:
+            self.stats.bytes_after += outcome.wire_size
+            self.forward(outcome)
+
+    # ------------------------------------------------------------------
+
+    def _decode_in_place(self, pkt: IPPacket) -> Optional[IPPacket]:
+        payload = pkt.payload
+        meta = PacketMeta(
+            packet_id=pkt.packet_id,
+            flow=_flow_of(pkt),
+            tcp_seq=payload.seq if pkt.proto == PROTO_TCP else None,
+            counter=self._data_counter,
+        )
+        self._data_counter += 1
+        tag = getattr(payload, "dre_wire_tag", None)
+        if tag is not None:
+            self.policy.on_wire_tag(tag, meta, self.cache)
+        result = self.decoder.decode(payload.data, meta,
+                                     checksum=payload.checksum, pkt=pkt)
+        if result.ok:
+            payload.data = result.payload
+            payload.dre_encoded = False
+            self.stats.decoded_ok += 1
+            self.delivered_ids.add(pkt.packet_id)
+            return pkt
+        if result.status is DecodeStatus.BUFFERED:
+            self.stats.buffered += 1
+            self.tracer.emit(self.name, "buffer", packet_id=pkt.packet_id,
+                             missing=len(result.missing))
+            return None
+        if result.status is DecodeStatus.MISSING:
+            self.stats.undecodable_dropped += 1
+            self.tracer.emit(self.name, "drop_undecodable",
+                             packet_id=pkt.packet_id,
+                             missing=len(result.missing))
+        elif result.status is DecodeStatus.CHECKSUM_MISMATCH:
+            self.stats.checksum_dropped += 1
+            self.tracer.emit(self.name, "drop_checksum", packet_id=pkt.packet_id)
+        else:
+            self.stats.malformed_dropped += 1
+            self.tracer.emit(self.name, "drop_malformed", packet_id=pkt.packet_id)
+        return None

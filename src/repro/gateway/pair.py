@@ -1,0 +1,55 @@
+"""Helper for creating a matched encoder/decoder gateway pair."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.cache import ByteCache
+from ..core.fingerprint import FingerprintScheme
+from ..core.policies import make_policy_pair
+from ..sim.engine import Simulator
+from ..sim.trace import NULL_TRACER, Tracer
+from .middlebox import DecoderGateway, EncoderGateway
+
+
+@dataclass
+class GatewayPair:
+    """An encoder and decoder sharing a fingerprint scheme and policy."""
+
+    encoder: EncoderGateway
+    decoder: DecoderGateway
+
+    @classmethod
+    def create(cls, sim: Simulator, policy: str = "naive",
+               scheme: Optional[FingerprintScheme] = None,
+               data_dst: Optional[str] = None,
+               cache_bytes: int = 16 * 1024 * 1024,
+               cache_max_packets: Optional[int] = None,
+               cache_eviction: str = "fifo",
+               encoder_address: str = "10.255.0.1",
+               decoder_address: str = "10.255.0.2",
+               tracer: Tracer = NULL_TRACER,
+               **policy_kwargs) -> "GatewayPair":
+        """Build both gateways for one direction of traffic.
+
+        ``policy`` is a name from
+        :data:`repro.core.policies.ENCODER_POLICIES`; ``policy_kwargs``
+        are forwarded to it (e.g. ``k=8``).  ``data_dst`` restricts the
+        encoded direction to packets destined for that address (the
+        client, in the paper's downstream-transfer setup).
+        """
+        if scheme is None:
+            scheme = FingerprintScheme()
+        encoder_policy, decoder_policy = make_policy_pair(policy, **policy_kwargs)
+        encoder = EncoderGateway(
+            sim, "encoder-gw", encoder_address, scheme,
+            ByteCache(cache_bytes, cache_max_packets, cache_eviction),
+            encoder_policy, data_dst=data_dst, tracer=tracer)
+        decoder = DecoderGateway(
+            sim, "decoder-gw", decoder_address, scheme,
+            ByteCache(cache_bytes, cache_max_packets, cache_eviction),
+            decoder_policy, data_dst=data_dst, tracer=tracer)
+        encoder.set_peer(decoder_address)
+        decoder.set_peer(encoder_address)
+        return cls(encoder=encoder, decoder=decoder)

@@ -1,0 +1,20 @@
+"""Metrics: per-run collectors, dependency graphs, reports."""
+
+from .collectors import RatioPoint, TransferResult
+from .depgraph import (DependencyGraph, format_dependency_trace,
+                       graph_from_gateways)
+from .report import format_series, format_table
+from .series import Aggregate, Series, sweep
+
+__all__ = [
+    "RatioPoint",
+    "TransferResult",
+    "DependencyGraph",
+    "format_dependency_trace",
+    "graph_from_gateways",
+    "format_series",
+    "format_table",
+    "Aggregate",
+    "Series",
+    "sweep",
+]

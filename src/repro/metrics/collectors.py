@@ -1,0 +1,119 @@
+"""Run-level metrics: everything the paper's figures are computed from.
+
+A :class:`TransferResult` snapshots one end-to-end retrieval —
+client-side outcome, bottleneck-link accounting, gateway accounting —
+and derives the paper's three headline metrics:
+
+* bytes sent on the constrained link (Fig. 10 numerator);
+* download time (Fig. 11 numerator);
+* perceived packet loss rate (Fig. 13): channel losses *plus* packets
+  the decoder had to drop as undecodable, over packets offered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..app.transfer import TransferOutcome
+from ..gateway.middlebox import GatewayStats
+from ..sim.link import LinkStats
+
+
+@dataclass
+class TransferResult:
+    """Everything measured from a single transfer run."""
+
+    outcome: TransferOutcome
+    bottleneck_forward: LinkStats
+    bottleneck_reverse: LinkStats
+    encoder_stats: Optional[GatewayStats] = None
+    decoder_stats: Optional[GatewayStats] = None
+    sim_time: float = 0.0
+    dre_enabled: bool = False
+    policy: str = "none"
+    seed: int = 0
+    server_retransmissions: int = 0
+    server_timeouts: int = 0
+    avg_data_packet_size: float = 0.0
+    data_packets_sent: int = 0
+
+    # -- headline metrics --------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome.completed
+
+    @property
+    def stalled(self) -> bool:
+        return self.outcome.stalled or not self.outcome.completed
+
+    @property
+    def fraction_retrieved(self) -> float:
+        return self.outcome.fraction_retrieved
+
+    @property
+    def bytes_on_link(self) -> int:
+        """Bytes offered to the constrained link, both directions.
+
+        Retransmissions count — that is the point: aggressive encoding
+        that triggers retransmission storms shows up here.
+        """
+        return (self.bottleneck_forward.bytes_offered
+                + self.bottleneck_reverse.bytes_offered)
+
+    @property
+    def forward_bytes_on_link(self) -> int:
+        return self.bottleneck_forward.bytes_offered
+
+    @property
+    def download_time(self) -> Optional[float]:
+        return self.outcome.duration
+
+    @property
+    def perceived_loss_rate(self) -> float:
+        """Channel loss + undecodable drops, over data packets offered.
+
+        For a no-DRE run this reduces to the channel loss fraction.
+        """
+        if self.encoder_stats is None or self.decoder_stats is None:
+            return self.bottleneck_forward.loss_fraction
+        offered = self.encoder_stats.data_packets
+        if offered == 0:
+            return 0.0
+        delivered = self.decoder_stats.decoded_ok
+        return max(0.0, 1.0 - delivered / offered)
+
+    @property
+    def undecodable_drops(self) -> int:
+        if self.decoder_stats is None:
+            return 0
+        return self.decoder_stats.dropped_total
+
+
+@dataclass
+class RatioPoint:
+    """Paired DRE / no-DRE measurement at one sweep coordinate.
+
+    The paper's Figs. 10–12 plot exactly these ratios:
+    ``value_with_DRE / value_without_DRE``.
+    """
+
+    x: float
+    bytes_ratio: float
+    delay_ratio: Optional[float]
+    dre: TransferResult = field(repr=False, default=None)  # type: ignore[assignment]
+    baseline: TransferResult = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def from_results(cls, x: float, dre: TransferResult,
+                     baseline: TransferResult) -> "RatioPoint":
+        bytes_ratio = (dre.forward_bytes_on_link
+                       / max(1, baseline.forward_bytes_on_link))
+        if dre.download_time is not None and baseline.download_time:
+            delay_ratio: Optional[float] = (dre.download_time
+                                            / baseline.download_time)
+        else:
+            delay_ratio = None
+        return cls(x=x, bytes_ratio=bytes_ratio, delay_ratio=delay_ratio,
+                   dre=dre, baseline=baseline)

@@ -1,0 +1,176 @@
+"""Dependency-graph analysis of encoded packet streams (§IV-B, §VII).
+
+The paper explains its results through the *dependency graph* between
+IP packets: packet A depends on packet B when A's encoding references a
+region cached from B (Fig. 5 shows the circular case; Fig. 14 walks an
+actual capture).  This module rebuilds that graph from an encoder
+gateway's dependency log plus the set of packets the decoder actually
+delivered, and derives the quantities the paper discusses:
+
+* which packets were *undecodable* and through which chain of missing
+  ancestors (transitive loss amplification);
+* cycle detection over same-segment retransmissions — the §IV-B
+  circular-dependency signature;
+* per-packet dependency degree (the File 1 ≈ 4 / File 2 ≈ 7 statistic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class DependencyGraph:
+    """Directed graph: edge A -> B when A was encoded using B."""
+
+    edges: Dict[int, Set[int]] = field(default_factory=dict)
+    #: packets that physically left the encoder, in order
+    sent: List[int] = field(default_factory=list)
+    #: map packet id -> TCP segment key (seq) for retransmission folding
+    segment_of: Dict[int, int] = field(default_factory=dict)
+
+    def add_packet(self, packet_id: int, dependencies: Iterable[int] = (),
+                   segment: Optional[int] = None) -> None:
+        self.sent.append(packet_id)
+        self.edges[packet_id] = set(dependencies)
+        if segment is not None:
+            self.segment_of[packet_id] = segment
+
+    def dependencies_of(self, packet_id: int) -> Set[int]:
+        return self.edges.get(packet_id, set())
+
+    def degree(self, packet_id: int) -> int:
+        return len(self.dependencies_of(packet_id))
+
+    def average_degree(self, encoded_only: bool = True) -> float:
+        degrees = [len(deps) for deps in self.edges.values()
+                   if deps or not encoded_only]
+        if not degrees:
+            return 0.0
+        return sum(degrees) / len(degrees)
+
+    # ------------------------------------------------------------------
+
+    def undecodable_closure(self, lost: Set[int]) -> Set[int]:
+        """All packets rendered undecodable by the ``lost`` set.
+
+        A packet is undecodable when any of its dependencies is lost or
+        (transitively) undecodable — the §IV-A cascade.  Packets are
+        processed in send order, mirroring the decoder's behaviour.
+        """
+        dead: Set[int] = set(lost)
+        for packet_id in self.sent:
+            if packet_id in dead:
+                continue
+            if any(dep in dead for dep in self.dependencies_of(packet_id)):
+                dead.add(packet_id)
+        return dead - set(lost)
+
+    def loss_amplification(self, lost: Set[int]) -> float:
+        """Undecodable packets per lost packet (perceived-loss driver)."""
+        if not lost:
+            return 0.0
+        return len(self.undecodable_closure(lost)) / len(lost)
+
+    def dependency_chain(self, packet_id: int, dead: Set[int],
+                         limit: int = 20) -> List[int]:
+        """One root-cause chain: packet -> dead dependency -> ... .
+
+        Follows dead dependencies breadth-first until it reaches a
+        packet with no dead ancestors (the originally lost one).
+        """
+        chain = [packet_id]
+        current = packet_id
+        for _ in range(limit):
+            dead_deps = [dep for dep in self.dependencies_of(current)
+                         if dep in dead]
+            if not dead_deps:
+                break
+            current = min(dead_deps)
+            chain.append(current)
+        return chain
+
+    # ------------------------------------------------------------------
+
+    def segment_cycles(self) -> List[Tuple[int, ...]]:
+        """Cycles after folding retransmissions of the same segment.
+
+        §IV-B: IP_{i-1}, IP_{i+1} and IP_{i+2} "are in fact all the same
+        TCP segment", so dependencies between *copies* of one segment
+        and packets that depend back on it form cycles.  Each distinct
+        cycle is returned as a tuple of segment keys.
+        """
+        # Build the folded graph over segment keys.
+        folded: Dict[int, Set[int]] = {}
+        for packet_id, deps in self.edges.items():
+            source = self.segment_of.get(packet_id)
+            if source is None:
+                continue
+            bucket = folded.setdefault(source, set())
+            for dep in deps:
+                target = self.segment_of.get(dep)
+                if target is not None and target != source:
+                    bucket.add(target)
+                elif target == source:
+                    bucket.add(source)  # self-loop: copy encoded vs copy
+
+        cycles: List[Tuple[int, ...]] = []
+        visited: Set[int] = set()
+
+        def walk(node: int, stack: List[int], on_stack: Set[int]) -> None:
+            visited.add(node)
+            stack.append(node)
+            on_stack.add(node)
+            for neighbour in sorted(folded.get(node, ())):
+                if neighbour in on_stack:
+                    cycle = tuple(stack[stack.index(neighbour):])
+                    if cycle not in cycles:
+                        cycles.append(cycle)
+                elif neighbour not in visited:
+                    walk(neighbour, stack, on_stack)
+            stack.pop()
+            on_stack.remove(node)
+
+        for node in sorted(folded):
+            if node not in visited:
+                walk(node, [], set())
+        return cycles
+
+    def has_self_dependency(self) -> bool:
+        """True when some segment's copy is encoded against another copy
+        of the same segment — the naive policy's livelock signature."""
+        return any(len(cycle) == 1 for cycle in self.segment_cycles())
+
+
+def graph_from_gateways(encoder_gateway, delivered_ids: Set[int],
+                        segment_keys: Optional[Dict[int, int]] = None
+                        ) -> Tuple[DependencyGraph, Set[int]]:
+    """Build a graph from an :class:`EncoderGateway` dependency log.
+
+    ``delivered_ids`` are the packet ids the decoder forwarded; the
+    complement (packets sent but never delivered) is returned as the
+    lost/undecodable seed set.
+    """
+    graph = DependencyGraph()
+    log = encoder_gateway.dependency_log
+    for packet_id in sorted(log):
+        segment = None
+        if segment_keys is not None:
+            segment = segment_keys.get(packet_id)
+        graph.add_packet(packet_id, log[packet_id], segment=segment)
+    lost = {packet_id for packet_id in graph.sent
+            if packet_id not in delivered_ids}
+    return graph, lost
+
+
+def format_dependency_trace(graph: DependencyGraph, dead: Set[int],
+                            max_rows: int = 20) -> str:
+    """A Fig. 14-style rendering: per packet, its dependencies and fate."""
+    lines = ["packet   fate         depends on"]
+    for packet_id in graph.sent[:max_rows]:
+        deps = sorted(graph.dependencies_of(packet_id))
+        fate = "DROPPED" if packet_id in dead else "ok"
+        dep_text = ", ".join(str(d) for d in deps) if deps else "-"
+        lines.append(f"{packet_id:<8} {fate:<12} {dep_text}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Fixed-width table and series printers for the benchmark harness.
+
+Every bench regenerates a paper artifact and prints it in a stable,
+grep-friendly format so EXPERIMENTS.md can quote the output directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .series import Series
+
+
+def format_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width table with a title rule."""
+    materialised: List[List[str]] = [[_cell(value) for value in row]
+                                     for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, series_list: Sequence[Series],
+                  precision: int = 3) -> str:
+    """Render aligned series (one column per line of a figure)."""
+    headers = [x_label] + [s.name for s in series_list]
+    xs = sorted({x for s in series_list for x in s.xs()})
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for s in series_list:
+            match = [p for p in s.points if p.x == x]
+            if match and match[0].n:
+                row.append(f"{match[0].mean:.{precision}f}"
+                           + (f" ±{match[0].ci95:.{precision}f}"
+                              if match[0].n > 1 else ""))
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(title, headers, rows)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,88 @@
+"""Sweep aggregation: mean/σ/CI over seeds for figure series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Aggregate:
+    """Summary statistics of one sweep coordinate."""
+
+    x: float
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            return math.nan
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values)
+                         / (len(self.values) - 1))
+
+    @property
+    def stderr(self) -> float:
+        if not self.values:
+            return math.nan
+        return self.std / math.sqrt(len(self.values))
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of a ~95 % normal-approximation CI."""
+        return 1.96 * self.stderr
+
+    def add(self, value: Optional[float]) -> None:
+        if value is not None and not math.isnan(value):
+            self.values.append(float(value))
+
+
+@dataclass
+class Series:
+    """A named sequence of aggregates (one figure line)."""
+
+    name: str
+    points: List[Aggregate] = field(default_factory=list)
+
+    def point(self, x: float) -> Aggregate:
+        for aggregate in self.points:
+            if aggregate.x == x:
+                return aggregate
+        aggregate = Aggregate(x=x)
+        self.points.append(aggregate)
+        return aggregate
+
+    def xs(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def means(self) -> List[float]:
+        return [p.mean for p in self.points]
+
+
+def sweep(xs: Sequence[float], seeds: Iterable[int],
+          run: Callable[[float, int], Optional[float]],
+          name: str = "series") -> Series:
+    """Run ``run(x, seed)`` over the cross product and aggregate.
+
+    ``run`` returning ``None`` (e.g. a stalled transfer with no delay)
+    is skipped in the aggregate but the attempt still counts nowhere —
+    callers that care about failure rates track them separately.
+    """
+    series = Series(name=name)
+    seed_list = list(seeds)
+    for x in xs:
+        aggregate = series.point(x)
+        for seed in seed_list:
+            aggregate.add(run(x, seed))
+    return series

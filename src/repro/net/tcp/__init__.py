@@ -1,0 +1,25 @@
+"""Simulation-grade TCP: Reno congestion control, RTO with backoff,
+cumulative ACKs, fast retransmit/recovery, and bounded-retry aborts
+(the observable "connection stall" of §IV).
+"""
+
+from ..packet import TCPSegment
+from .congestion import (CubicCongestionControl, RenoCongestionControl,
+                         RenoStats, make_congestion_control)
+from .connection import TCPConfig, TCPConnection, TCPState, TCPStats
+from .stack import TCPStack
+from .timer import RtoEstimator
+
+__all__ = [
+    "TCPSegment",
+    "CubicCongestionControl",
+    "RenoCongestionControl",
+    "make_congestion_control",
+    "RenoStats",
+    "TCPConfig",
+    "TCPConnection",
+    "TCPState",
+    "TCPStats",
+    "TCPStack",
+    "RtoEstimator",
+]

@@ -1,0 +1,768 @@
+"""TCP connection state machine (simulation grade).
+
+Implements the pieces of TCP that the paper's phenomena depend on:
+
+* three-way handshake and FIN teardown;
+* cumulative ACKs with out-of-order reassembly, duplicate-ACK
+  generation and SACK blocks at the receiver (RFC 2018);
+* Reno congestion control with SACK-based loss recovery (slow start /
+  congestion avoidance / fast retransmit / fast recovery with an
+  RFC 6675-style scoreboard and pipe algorithm) — :mod:`.congestion`
+  and :mod:`.sack`;
+* limited transmit (RFC 3042) to keep the ACK clock alive at small
+  windows;
+* Jacobson/Karels RTO with Karn's rule and exponential backoff —
+  :mod:`.timer` — with the backoff cleared whenever an ACK advances
+  ``snd_una`` (Linux behaviour; without it a retransmission-heavy phase
+  pins the RTO at its maximum);
+* bounded retransmission attempts: a segment retransmitted more than
+  ``max_retries`` consecutive times aborts the connection, which is the
+  observable "TCP connection stall" of §IV.
+
+End-to-end integrity: every data segment carries a checksum over its
+original payload; the receiving endpoint verifies it after any
+byte-caching reconstruction and drops mismatching segments, playing the
+role of the real TCP checksum.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ...sim.engine import Simulator, Timer
+from ..checksum import payload_checksum, verify_payload
+from ..packet import TCPSegment
+from .congestion import make_congestion_control
+from .sack import RangeSet, select_sack_blocks
+from .timer import RtoEstimator
+
+
+@dataclass
+class TCPConfig:
+    """Tunables for a simulated TCP endpoint."""
+
+    mss: int = 1460
+    rwnd: int = 262144
+    min_rto: float = 0.2
+    max_rto: float = 8.0
+    initial_rto: float = 1.0
+    max_retries: int = 12
+    syn_retries: int = 6
+    initial_cwnd_segments: int = 2
+    dup_ack_threshold: int = 3
+    sack_enabled: bool = True
+    congestion: str = "reno"        # "reno" | "cubic"
+    delayed_ack: bool = False       # RFC 1122 delayed ACKs (40 ms / 2 seg)
+    delayed_ack_timeout: float = 0.04
+    verify_checksums: bool = True
+
+
+@dataclass
+class TCPStats:
+    """Per-connection counters."""
+
+    segments_sent: int = 0
+    segments_received: int = 0
+    bytes_sent: int = 0            # payload bytes, first transmissions
+    bytes_delivered: int = 0       # in-order bytes handed to the app
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    dup_acks_received: int = 0
+    dup_acks_sent: int = 0
+    checksum_drops: int = 0
+    out_of_order_segments: int = 0
+    sack_retransmissions: int = 0
+
+
+class TCPState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn_sent"
+    SYN_RCVD = "syn_rcvd"
+    ESTABLISHED = "established"
+    FIN_SENT = "fin_sent"
+    DONE = "done"
+    ABORTED = "aborted"
+
+
+class TCPConnection:
+    """One endpoint of a simulated TCP connection.
+
+    Interface (socket-like)::
+
+        conn.on_receive = lambda data: ...
+        conn.on_established = lambda: ...
+        conn.on_remote_close = lambda: ...   # peer's FIN (EOF)
+        conn.on_close = lambda reason: ...   # "fin", "stalled", ...
+        conn.send(data)
+        conn.close()
+
+    The stack (owner) provides ``transmit(segment)`` which wraps the
+    segment in an IP packet and hands it to the host.
+    """
+
+    def __init__(self, sim: Simulator, transmit: Callable[[TCPSegment], None],
+                 local_addr: str, local_port: int,
+                 remote_addr: str, remote_port: int,
+                 config: Optional[TCPConfig] = None,
+                 iss: int = 0):
+        self.sim = sim
+        self._transmit = transmit
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.config = config if config is not None else TCPConfig()
+        self.state = TCPState.CLOSED
+        self.stats = TCPStats()
+
+        # ---- sender state
+        self.iss = iss
+        self.snd_una = iss           # oldest unacknowledged sequence number
+        self.snd_nxt = iss           # next sequence number to send
+        self._buffer = bytearray()   # unsent + unacked application bytes
+        self._buffer_seq = iss + 1   # seq of _buffer[0]
+        self._fin_queued = False
+        self._fin_seq: Optional[int] = None
+        self._peer_rwnd = 0xFFFF
+        self._dup_ack_count = 0
+        self._retx_count = 0
+        # Single in-progress RTT measurement: (end_seq, tx_time).  Any
+        # retransmission invalidates it — a cumulative ACK that arrives
+        # after hole repairs would otherwise be measured as a
+        # multi-second "RTT" and blow up the RTO estimate.
+        self._timing: Optional[tuple] = None
+        self._sacked = RangeSet()               # receiver-reported holes filled
+        self._retx_marked = RangeSet()          # retransmitted this recovery
+        self._recovery_point: Optional[int] = None
+        self._rto_mode = False                  # recovery entered via RTO
+        self.rto = RtoEstimator(min_rto=self.config.min_rto,
+                                max_rto=self.config.max_rto,
+                                initial_rto=self.config.initial_rto)
+        self.cc = make_congestion_control(
+            self.config.congestion, self.config.mss,
+            self.config.initial_cwnd_segments, clock=lambda: sim.now)
+        self._retx_timer = Timer(sim, self._on_rto)
+
+        # ---- receiver state
+        self.irs: Optional[int] = None
+        self.rcv_nxt: Optional[int] = None
+        self._ooo_data: Dict[int, bytes] = {}
+        self._ooo_ranges = RangeSet()
+        self._recent_ooo_seqs: list = []   # most recent first, for SACK
+        self._delack_timer = Timer(sim, self._delack_fire)
+        self._delack_pending = 0
+        self._remote_fin_seq: Optional[int] = None
+        self._remote_fin_delivered = False
+
+        # ---- app callbacks
+        self.on_receive: Optional[Callable[[bytes], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_close: Optional[Callable[[str], None]] = None
+        self.on_remote_close: Optional[Callable[[], None]] = None
+
+        # ---- timeline markers for metrics
+        self.established_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+        self.close_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Active open: send SYN."""
+        if self.state is not TCPState.CLOSED:
+            raise RuntimeError(f"connect() in state {self.state}")
+        self.state = TCPState.SYN_SENT
+        self.snd_nxt = self.iss + 1   # SYN consumes one sequence number
+        self._send_segment(TCPSegment.SYN, seq=self.iss)
+        self._arm_retx_timer()
+
+    def send(self, data: bytes) -> None:
+        """Queue application data for transmission."""
+        if self.state in (TCPState.DONE, TCPState.ABORTED):
+            raise RuntimeError(f"send() on closed connection ({self.state})")
+        if self._fin_queued:
+            raise RuntimeError("send() after close()")
+        self._buffer.extend(data)
+        self._try_send()
+
+    def close(self) -> None:
+        """Half-close: FIN goes out once all queued data has been sent."""
+        if self._fin_queued or self.state in (TCPState.DONE, TCPState.ABORTED):
+            return
+        self._fin_queued = True
+        self._try_send()
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Tear the connection down immediately."""
+        self._finish(TCPState.ABORTED, reason)
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (TCPState.SYN_SENT, TCPState.SYN_RCVD,
+                              TCPState.ESTABLISHED, TCPState.FIN_SENT)
+
+    @property
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._recovery_point is not None
+
+    # ------------------------------------------------------------------
+    # passive open (used by the stack's listener)
+    # ------------------------------------------------------------------
+
+    def accept_syn(self, segment: TCPSegment) -> None:
+        """Passive open: a SYN arrived for a listening port."""
+        self.state = TCPState.SYN_RCVD
+        self.irs = segment.seq
+        self.rcv_nxt = segment.seq + 1
+        self.snd_nxt = self.iss + 1
+        self._send_segment(TCPSegment.SYN | TCPSegment.ACK, seq=self.iss)
+        self._arm_retx_timer()
+
+    # ------------------------------------------------------------------
+    # segment arrival
+    # ------------------------------------------------------------------
+
+    def segment_arrived(self, segment: TCPSegment) -> None:
+        """Entry point from the stack's demultiplexer."""
+        self.stats.segments_received += 1
+
+        if segment.rst:
+            self._finish(TCPState.ABORTED, "reset")
+            return
+
+        if self.state is TCPState.SYN_SENT:
+            self._handle_in_syn_sent(segment)
+            return
+        if self.state is TCPState.SYN_RCVD:
+            if segment.has_ack and segment.ack > self.iss:
+                self._become_established()
+            elif segment.syn:
+                # Retransmitted SYN: the SYN-ACK was lost; resend it.
+                self._send_segment(TCPSegment.SYN | TCPSegment.ACK, seq=self.iss)
+                return
+            # fall through: the ACK may carry data
+
+        if self.state not in (TCPState.ESTABLISHED, TCPState.FIN_SENT):
+            return
+
+        if segment.syn:
+            # Stray retransmitted SYN: the peer never saw our SYN-ACK.
+            self._send_segment(TCPSegment.SYN | TCPSegment.ACK, seq=self.iss)
+            return
+
+        if segment.has_ack:
+            self._process_ack(segment)
+
+        if segment.data or segment.fin:
+            self._process_payload(segment)
+
+    # ------------------------------------------------------------------
+    # handshake helpers
+    # ------------------------------------------------------------------
+
+    def _handle_in_syn_sent(self, segment: TCPSegment) -> None:
+        if not (segment.syn and segment.has_ack and segment.ack == self.iss + 1):
+            return
+        self.irs = segment.seq
+        self.rcv_nxt = segment.seq + 1
+        self.snd_una = segment.ack
+        self._peer_rwnd = segment.window
+        self._retx_count = 0
+        self._become_established()
+        self._send_ack()
+        self._try_send()
+
+    def _become_established(self) -> None:
+        if self.state is TCPState.ESTABLISHED:
+            return
+        self.state = TCPState.ESTABLISHED
+        self.established_at = self.sim.now
+        self._retx_timer.stop()
+        self._retx_count = 0
+        if self.on_established is not None:
+            self.on_established()
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def _effective_window(self) -> int:
+        window = min(self.cc.window(), self._peer_rwnd)
+        if 0 < self._dup_ack_count < self.config.dup_ack_threshold:
+            # RFC 3042 limited transmit: the first two duplicate ACKs
+            # each allow one new segment, keeping the ACK clock alive
+            # when the window is too small for fast retransmit.
+            window += self._dup_ack_count * self.config.mss
+        return window
+
+    def _buffer_end_seq(self) -> int:
+        return self._buffer_seq + len(self._buffer)
+
+    def _try_send(self) -> None:
+        """Transmit as much new data as the windows allow."""
+        if self.state not in (TCPState.ESTABLISHED, TCPState.FIN_SENT):
+            return
+        if self.in_recovery and self.config.sack_enabled:
+            self._sack_transmit()
+            return
+        mss = self.config.mss
+        limit = self.snd_una + self._effective_window()
+        while self.snd_nxt < self._buffer_end_seq():
+            chunk_len = min(mss, self._buffer_end_seq() - self.snd_nxt)
+            if self.snd_nxt + chunk_len > limit:
+                # Never emit a window-truncated runt: segments stay
+                # MSS-quantised (as Linux does), which keeps packet
+                # boundaries identical across retransmissions — a
+                # boundary-shifted copy would poison the byte caches
+                # with same-fingerprint-different-payload entries.
+                break
+            self._send_from_buffer(self.snd_nxt, chunk_len, fresh=True)
+            self.snd_nxt += chunk_len
+        self._maybe_send_fin()
+        if self.flight_size > 0:
+            self._arm_retx_timer(only_if_unarmed=True)
+
+    def _send_new_data_once(self) -> bool:
+        """Send one new segment if data is available (recovery rule b)."""
+        if self.snd_nxt >= self._buffer_end_seq():
+            return False
+        chunk_len = min(self.config.mss, self._buffer_end_seq() - self.snd_nxt)
+        self._send_from_buffer(self.snd_nxt, chunk_len, fresh=True)
+        self.snd_nxt += chunk_len
+        return True
+
+    def _send_from_buffer(self, seq: int, length: int, fresh: bool) -> None:
+        start = seq - self._buffer_seq
+        data = bytes(self._buffer[start: start + length])
+        self._send_data_segment(seq, data, fresh=fresh)
+
+    def _maybe_send_fin(self) -> None:
+        if not self._fin_queued or self._fin_seq is not None:
+            return  # no close requested, or FIN already sent
+        if self.snd_nxt < self._buffer_end_seq():
+            return  # data still unsent; FIN goes after it
+        self._fin_seq = self._buffer_end_seq()
+        self._send_segment(TCPSegment.FIN | TCPSegment.ACK, seq=self._fin_seq)
+        self.snd_nxt = self._fin_seq + 1
+        self.state = TCPState.FIN_SENT
+        self._arm_retx_timer(only_if_unarmed=True)
+
+    def _send_data_segment(self, seq: int, data: bytes, fresh: bool) -> None:
+        flags = TCPSegment.ACK | TCPSegment.PSH
+        segment = TCPSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=seq, ack=self.rcv_nxt if self.rcv_nxt is not None else 0,
+            flags=flags, window=self._advertised_window(),
+            data=data, checksum=payload_checksum(data))
+        if fresh:
+            self.stats.bytes_sent += len(data)
+            if self._timing is None:
+                self._timing = (seq + len(data), self.sim.now)
+        else:
+            self.stats.retransmissions += 1
+            self._timing = None  # Karn: a retransmission spoils the sample
+        self.stats.segments_sent += 1
+        self._transmit(segment)
+
+    def _send_segment(self, flags: int, seq: int,
+                      sack_blocks: tuple = ()) -> None:
+        """Send a zero-data control segment (SYN / FIN / bare ACK)."""
+        options_size = 10 + 8 * len(sack_blocks) if sack_blocks else 0
+        segment = TCPSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=seq,
+            ack=self.rcv_nxt if self.rcv_nxt is not None else 0,
+            flags=flags, window=self._advertised_window(),
+            options_size=options_size)
+        segment.sack_blocks = sack_blocks
+        self.stats.segments_sent += 1
+        self._transmit(segment)
+
+    def _send_ack(self) -> None:
+        self._delack_pending = 0
+        self._delack_timer.stop()
+        blocks: tuple = ()
+        if self.config.sack_enabled and self._ooo_ranges:
+            blocks = select_sack_blocks(self._ooo_ranges,
+                                        self._recent_ooo_seqs)
+        self._send_segment(TCPSegment.ACK, seq=self.snd_nxt,
+                           sack_blocks=blocks)
+
+    def _delack_fire(self) -> None:
+        if self._delack_pending > 0:
+            self._send_ack()
+
+    def _advertised_window(self) -> int:
+        return min(self.config.rwnd, 0xFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # ACK processing (sender side)
+    # ------------------------------------------------------------------
+
+    def _process_ack(self, segment: TCPSegment) -> None:
+        ack = segment.ack
+        self._peer_rwnd = max(segment.window, self.config.mss)
+
+        if ack > self.snd_nxt:
+            return  # acks data we never sent; ignore
+
+        sack_advanced = self._absorb_sack(segment)
+
+        if ack > self.snd_una:
+            self._handle_new_ack(ack)
+            return
+
+        if ack == self.snd_una and self.flight_size > 0 and not segment.data:
+            self.stats.dup_acks_received += 1
+            self._dup_ack_count += 1
+            if self._dup_ack_count < self.config.dup_ack_threshold \
+                    and not self._should_enter_recovery():
+                self._try_send()  # limited transmit
+            elif not self.in_recovery:
+                self._enter_recovery()
+            else:
+                self.cc.on_dup_ack_in_recovery()
+                self._try_send()
+        elif sack_advanced and self.in_recovery:
+            self._sack_transmit()
+
+    def _handle_new_ack(self, ack: int) -> None:
+        acked = ack - self.snd_una
+        self.snd_una = ack
+        self._retx_count = 0
+        self._dup_ack_count = 0
+        # Forward progress clears RTO backoff (Linux resets icsk_backoff
+        # when snd_una advances; without this a retransmission-heavy
+        # phase pins the RTO at max_rto and the connection crawls).
+        self.rto.reset_backoff()
+        self._sample_rtt(ack)
+        self._trim_buffer(ack)
+        self._sacked.remove_below(ack)
+        self._retx_marked.remove_below(ack)
+
+        if self.in_recovery:
+            assert self._recovery_point is not None
+            if self.snd_una >= self._recovery_point:
+                self._exit_recovery()
+            else:
+                # NewReno/RFC 6675 partial ACK: keep filling holes.
+                self.cc.on_new_ack(acked, self.snd_una)
+                self._sack_transmit(force_front=True)
+                self._arm_retx_timer()
+                return
+        else:
+            self.cc.on_new_ack(acked, self.snd_una)
+
+        if self.flight_size > 0:
+            self._arm_retx_timer()
+        else:
+            self._retx_timer.stop()
+        self._check_send_complete()
+        self._try_send()
+
+    def _absorb_sack(self, segment: TCPSegment) -> bool:
+        blocks = getattr(segment, "sack_blocks", ()) or ()
+        if not self.config.sack_enabled or not blocks:
+            return False
+        before = self._sacked.coverage(self.snd_una, self.snd_nxt)
+        for start, end in blocks:
+            if end > self.snd_una:
+                self._sacked.add(max(start, self.snd_una),
+                                 min(end, self.snd_nxt))
+        return self._sacked.coverage(self.snd_una, self.snd_nxt) > before
+
+    def _should_enter_recovery(self) -> bool:
+        """RFC 6675 trigger: enough SACKed bytes imply a loss."""
+        if not self.config.sack_enabled:
+            return False
+        sacked = self._sacked.coverage(self.snd_una, self.snd_nxt)
+        return sacked > (self.config.dup_ack_threshold - 1) * self.config.mss
+
+    def _enter_recovery(self) -> None:
+        self.stats.fast_retransmits += 1
+        self._recovery_point = self.snd_nxt
+        self._retx_marked.clear()
+        self.cc.on_fast_retransmit(self.flight_size, self.snd_nxt)
+        if self.config.sack_enabled:
+            self._sack_transmit(force_front=True)
+        else:
+            self._retransmit_front()
+        self._arm_retx_timer()
+
+    def _exit_recovery(self) -> None:
+        self._recovery_point = None
+        self._rto_mode = False
+        self._retx_marked.clear()
+        if self.cc.in_fast_recovery:
+            self.cc.on_new_ack(0, self.snd_una)  # full-ACK deflation
+
+    # -- SACK-based recovery transmission ---------------------------------
+
+    def _loss_domain_end(self) -> int:
+        """Highest sequence presumed lost when unsacked.
+
+        After an RTO everything outstanding is presumed lost (go-back-N
+        over the scoreboard); in SACK fast recovery only holes below the
+        highest SACKed byte are known-lost (RFC 6675).
+        """
+        if self._rto_mode and self._recovery_point is not None:
+            return min(self._recovery_point, self.snd_nxt)
+        return min(self._sacked.max_end(), self.snd_nxt)
+
+    def _pipe(self) -> int:
+        """RFC 6675 pipe: bytes considered in flight.
+
+        flight minus SACKed minus presumed-lost-and-not-yet-
+        retransmitted holes in the loss domain.
+        """
+        flight = self.flight_size
+        sacked = self._sacked.coverage(self.snd_una, self.snd_nxt)
+        lost = 0
+        domain_end = self._loss_domain_end()
+        for gap_start, gap_end in self._sacked.gaps(self.snd_una, domain_end):
+            lost += (gap_end - gap_start) - self._retx_marked.coverage(
+                gap_start, gap_end)
+        return flight - sacked - lost
+
+    def _next_hole(self) -> Optional[tuple]:
+        """Lowest unsacked, un-retransmitted hole in the loss domain."""
+        data_end = min(self._loss_domain_end(), self._buffer_end_seq())
+        for gap_start, gap_end in self._sacked.gaps(self.snd_una, data_end):
+            for sub_start, sub_end in self._retx_marked.gaps(gap_start, gap_end):
+                if sub_end > sub_start:
+                    return (sub_start, min(sub_end, sub_start + self.config.mss))
+        return None
+
+    def _sack_transmit(self, force_front: bool = False) -> None:
+        """Fill holes / send new data while the pipe has room."""
+        mss = self.config.mss
+        if force_front and not self._retx_marked.contains_point(self.snd_una) \
+                and not self._sacked.contains_point(self.snd_una):
+            self._retransmit_range(self.snd_una,
+                                   min(self.snd_una + mss,
+                                       self._buffer_end_seq()))
+        budget = 200  # hard bound on work per ACK
+        while budget > 0:
+            budget -= 1
+            if self._pipe() + mss > self.cc.window():
+                break
+            hole = self._next_hole()
+            if hole is not None:
+                self._retransmit_range(hole[0], hole[1])
+                continue
+            # New data is additionally bounded by the peer's window:
+            # outstanding (unacked) bytes must never exceed it.
+            if self.flight_size + mss > self._peer_rwnd:
+                break
+            if not self._send_new_data_once():
+                break
+        self._maybe_send_fin()
+
+    def _retransmit_range(self, start: int, end: int) -> None:
+        if end <= start:
+            return
+        if start >= self._buffer_end_seq():
+            # The hole is the FIN.
+            if self._fin_seq is not None and start == self._fin_seq:
+                self._send_segment(TCPSegment.FIN | TCPSegment.ACK,
+                                   seq=self._fin_seq)
+            return
+        self.stats.sack_retransmissions += 1
+        self._send_from_buffer(start, end - start, fresh=False)
+        self._retx_marked.add(start, end)
+
+    def _retransmit_front(self) -> None:
+        """Retransmit the earliest unacknowledged segment."""
+        if self.state is TCPState.SYN_SENT:
+            self._send_segment(TCPSegment.SYN, seq=self.iss)
+            return
+        if self.state is TCPState.SYN_RCVD:
+            self._send_segment(TCPSegment.SYN | TCPSegment.ACK, seq=self.iss)
+            return
+        if self._fin_seq is not None and self.snd_una == self._fin_seq:
+            self._send_segment(TCPSegment.FIN | TCPSegment.ACK, seq=self._fin_seq)
+            return
+        seq = self.snd_una
+        end = min(seq + self.config.mss, self._buffer_end_seq())
+        if end <= seq:
+            return
+        # Goes through _retransmit_range so the recovery scoreboard
+        # knows this range is back in the pipe.
+        self._retransmit_range(seq, end)
+
+    def _sample_rtt(self, ack: int) -> None:
+        if self._timing is None:
+            return
+        end_seq, tx_time = self._timing
+        if ack >= end_seq:
+            self._timing = None
+            self.rto.sample(self.sim.now - tx_time)
+
+    def _trim_buffer(self, ack: int) -> None:
+        """Release acknowledged bytes from the send buffer."""
+        end = min(ack, self._buffer_end_seq())
+        if end > self._buffer_seq:
+            del self._buffer[: end - self._buffer_seq]
+            self._buffer_seq = end
+
+    def _check_send_complete(self) -> None:
+        if (self.state is TCPState.FIN_SENT and self._fin_seq is not None
+                and self.snd_una > self._fin_seq):
+            self._finish(TCPState.DONE, "fin")
+
+    # ------------------------------------------------------------------
+    # retransmission timeout
+    # ------------------------------------------------------------------
+
+    def _arm_retx_timer(self, only_if_unarmed: bool = False) -> None:
+        if only_if_unarmed and self._retx_timer.armed:
+            return
+        self._retx_timer.start(self.rto.rto)
+
+    def _on_rto(self) -> None:
+        if self.flight_size == 0 and self.state not in (
+                TCPState.SYN_SENT, TCPState.SYN_RCVD):
+            return
+        self._retx_count += 1
+        self.stats.timeouts += 1
+        max_retries = (self.config.syn_retries
+                       if self.state in (TCPState.SYN_SENT, TCPState.SYN_RCVD)
+                       else self.config.max_retries)
+        if self._retx_count > max_retries:
+            self._finish(TCPState.ABORTED, "stalled")
+            return
+        self.cc.on_timeout(self.flight_size)
+        self.rto.back_off()
+        self._dup_ack_count = 0
+        # An RTO starts a go-back-N recovery episode: everything
+        # outstanding and unsacked is presumed lost and will be resent
+        # as the (collapsed, slow-starting) window allows.  The SACK
+        # scoreboard itself stays valid — SACKed data is not resent.
+        if self.state not in (TCPState.SYN_SENT, TCPState.SYN_RCVD):
+            self._recovery_point = self.snd_nxt
+            self._rto_mode = True
+        self._retx_marked.clear()
+        self._retransmit_front()
+        self._arm_retx_timer()
+
+    # ------------------------------------------------------------------
+    # receiver internals
+    # ------------------------------------------------------------------
+
+    def _process_payload(self, segment: TCPSegment) -> None:
+        assert self.rcv_nxt is not None
+
+        if segment.data and self.config.verify_checksums:
+            if not verify_payload(segment.data, segment.checksum):
+                self.stats.checksum_drops += 1
+                return  # corrupted payload: no ACK, as if never received
+
+        if segment.fin:
+            self._remote_fin_seq = segment.seq + len(segment.data)
+
+        advanced = False
+        if segment.data:
+            advanced = self._ingest_data(segment.seq, segment.data)
+
+        # FIN consumes one sequence number once all data before it is in.
+        if (self._remote_fin_seq is not None
+                and self.rcv_nxt == self._remote_fin_seq
+                and not self._remote_fin_delivered):
+            self._remote_fin_delivered = True
+            self.rcv_nxt += 1
+            self._send_ack()
+            self._on_remote_fin()
+            return
+
+        if segment.data or segment.fin:
+            if not advanced:
+                # Out-of-order or duplicate: ACK immediately so the
+                # sender's dup-ack machinery keeps working (RFC 1122
+                # exempts these from delaying).
+                self.stats.dup_acks_sent += 1
+                self._send_ack()
+            elif self.config.delayed_ack and not self._ooo_ranges:
+                self._delack_pending += 1
+                if self._delack_pending >= 2:
+                    self._send_ack()
+                else:
+                    self._delack_timer.start(self.config.delayed_ack_timeout)
+            else:
+                self._send_ack()
+
+    def _ingest_data(self, seq: int, data: bytes) -> bool:
+        """Insert a data segment; returns True if rcv_nxt advanced."""
+        assert self.rcv_nxt is not None
+        end = seq + len(data)
+        if end <= self.rcv_nxt:
+            return False  # entirely duplicate
+        if seq > self.rcv_nxt:
+            if seq - self.rcv_nxt <= self.config.rwnd:
+                if seq not in self._ooo_data or len(self._ooo_data[seq]) < len(data):
+                    self._ooo_data[seq] = data
+                    self._ooo_ranges.add(seq, end)
+                    self.stats.out_of_order_segments += 1
+                    if seq in self._recent_ooo_seqs:
+                        self._recent_ooo_seqs.remove(seq)
+                    self._recent_ooo_seqs.insert(0, seq)
+                    del self._recent_ooo_seqs[8:]
+            return False
+        # Overlapping or exactly in order: deliver the new part.
+        self._deliver(data[self.rcv_nxt - seq:])
+        self._drain_ooo()
+        self._ooo_ranges.remove_below(self.rcv_nxt)
+        return True
+
+    def _drain_ooo(self) -> None:
+        assert self.rcv_nxt is not None
+        while True:
+            match = None
+            for seq, data in self._ooo_data.items():
+                if seq <= self.rcv_nxt:
+                    match = seq
+                    break
+            if match is None:
+                return
+            data = self._ooo_data.pop(match)
+            if match + len(data) > self.rcv_nxt:
+                self._deliver(data[self.rcv_nxt - match:])
+
+    def _deliver(self, data: bytes) -> None:
+        assert self.rcv_nxt is not None
+        self.rcv_nxt += len(data)
+        self.stats.bytes_delivered += len(data)
+        if self.on_receive is not None and data:
+            self.on_receive(data)
+
+    def _on_remote_fin(self) -> None:
+        if self.state is TCPState.FIN_SENT:
+            self._check_send_complete()
+        if self.on_remote_close is not None:
+            self.on_remote_close()
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, state: TCPState, reason: str) -> None:
+        if self.state in (TCPState.DONE, TCPState.ABORTED):
+            return
+        self.state = state
+        self.close_reason = reason
+        self.closed_at = self.sim.now
+        self._retx_timer.stop()
+        if self.on_close is not None:
+            self.on_close(reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TCPConnection {self.local_addr}:{self.local_port}->"
+                f"{self.remote_addr}:{self.remote_port} {self.state.value} "
+                f"una={self.snd_una} nxt={self.snd_nxt}>")

@@ -1,0 +1,108 @@
+"""TCP stack: listeners, connection table, segment demultiplexing."""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Callable, Dict, Optional, Tuple
+
+from ...sim.engine import Simulator
+from ...sim.node import Host
+from ..packet import IPPacket, PROTO_TCP, TCPSegment
+from .connection import TCPConfig, TCPConnection
+
+ConnKey = Tuple[int, str, int]  # (local_port, remote_addr, remote_port)
+
+
+class TCPStack:
+    """Per-host TCP: owns connections and listeners, talks to IP."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 config: Optional[TCPConfig] = None):
+        self.sim = sim
+        self.host = host
+        self.config = config if config is not None else TCPConfig()
+        self._connections: Dict[ConnKey, TCPConnection] = {}
+        self._listeners: Dict[int, Callable[[TCPConnection], None]] = {}
+        self._ephemeral = itertools.count(49152)
+        host.register_protocol(PROTO_TCP, self._on_packet)
+
+    # ------------------------------------------------------------------
+
+    def listen(self, port: int, on_accept: Callable[[TCPConnection], None]) -> None:
+        """Accept incoming connections on ``port``."""
+        if port in self._listeners:
+            raise ValueError(f"port {port} already listening")
+        self._listeners[port] = on_accept
+
+    def connect(self, remote_addr: str, remote_port: int,
+                local_port: Optional[int] = None,
+                config: Optional[TCPConfig] = None) -> TCPConnection:
+        """Active-open a connection (sends the SYN immediately)."""
+        if local_port is None:
+            local_port = next(self._ephemeral)
+        conn = self._make_connection(local_port, remote_addr, remote_port, config)
+        conn.connect()
+        return conn
+
+    def close_all(self) -> None:
+        for conn in list(self._connections.values()):
+            if conn.is_open:
+                conn.abort("stack_shutdown")
+
+    # ------------------------------------------------------------------
+
+    def _make_connection(self, local_port: int, remote_addr: str,
+                         remote_port: int,
+                         config: Optional[TCPConfig] = None) -> TCPConnection:
+        key: ConnKey = (local_port, remote_addr, remote_port)
+        if key in self._connections:
+            raise ValueError(f"connection {key} already exists")
+
+        def transmit(segment: TCPSegment, _remote=remote_addr) -> None:
+            self.host.send(IPPacket(src=self.host.address, dst=_remote,
+                                    proto=PROTO_TCP, payload=segment))
+
+        # Deterministic per-connection ISS derived from the four-tuple.
+        # Distinct connections must NOT share sequence spaces: the §II
+        # mobility failure (split-connection ACKs arriving at the wrong
+        # endpoint) only manifests when, as in real TCP, the initial
+        # sequence numbers are unrelated.
+        iss = zlib.crc32(
+            f"{self.host.address}:{local_port}:{remote_addr}:{remote_port}"
+            .encode("ascii")) & 0x0FFFFFFF
+        conn = TCPConnection(self.sim, transmit,
+                             local_addr=self.host.address,
+                             local_port=local_port,
+                             remote_addr=remote_addr,
+                             remote_port=remote_port,
+                             config=config if config is not None else self.config,
+                             iss=iss)
+        self._connections[key] = conn
+        return conn
+
+    def _on_packet(self, pkt: IPPacket) -> None:
+        segment = pkt.tcp
+        if segment is None:
+            return
+        key: ConnKey = (segment.dst_port, pkt.src, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.segment_arrived(segment)
+            return
+        if segment.syn and not segment.has_ack:
+            on_accept = self._listeners.get(segment.dst_port)
+            if on_accept is not None:
+                conn = self._make_connection(segment.dst_port, pkt.src,
+                                             segment.src_port)
+                conn.accept_syn(segment)
+                on_accept(conn)
+                return
+        # No matching connection or listener: silently drop (a real
+        # stack would send RST; nothing in the evaluation needs it).
+
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def connections(self):
+        return list(self._connections.values())

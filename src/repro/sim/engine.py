@@ -1,0 +1,164 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on a single-threaded event loop with a
+simulated clock.  Events are callbacks scheduled at absolute simulated
+times; ties are broken by insertion order so runs are fully
+deterministic for a given seed.
+
+The engine is deliberately minimal: the TCP stack, links and gateways
+are ordinary objects that schedule callbacks — there are no coroutines
+or real threads involved, which keeps runs reproducible and fast.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """Handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.at` / :meth:`Simulator.after` so the
+    caller can cancel the callback (e.g. a retransmission timer being
+    disarmed by an ACK).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time, next(self._counter), fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self._now + delay, fn, *args)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn(*event.args)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class Timer:
+    """Restartable one-shot timer bound to a simulator.
+
+    Used by the TCP stack for retransmission timeouts: ``start`` arms the
+    timer, ``stop`` disarms it, and restarting implicitly cancels any
+    previously armed expiry.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expires_at(self) -> Optional[float]:
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now."""
+        self.stop()
+        self._event = self._sim.after(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

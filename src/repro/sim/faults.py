@@ -1,0 +1,143 @@
+"""Deterministic fault injection.
+
+Random loss rates (``Link(loss_rate=...)``) reproduce the paper's
+sweeps, but the §IV correctness arguments are about *single, specific*
+events — "a single occurrence of any such event (e.g., a simple packet
+loss)".  This module scripts exact faults:
+
+* :class:`FaultInjector` wraps a live :class:`~repro.sim.link.Link` and
+  applies drop/corrupt/delay actions chosen by predicates;
+* predicate builders select packets by offer index, by TCP stream
+  offset (ISS-independent), or by data-packet ordinal.
+
+Used by the integration tests, the stall-anatomy example, and available
+to library users for their own what-if experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net.packet import IPPacket
+
+Predicate = Callable[[IPPacket, int], bool]
+
+
+def drop_indices(*indices: int) -> Predicate:
+    """Match packets at the given link offer indices (0-based)."""
+    wanted = set(indices)
+    return lambda pkt, index: index in wanted
+
+
+def match_stream_offsets(*offsets: int, once: bool = True) -> Predicate:
+    """Match TCP data segments at the given stream offsets.
+
+    Offsets are relative to the first data byte seen on each flow, so
+    they are independent of the connection's ISS.  With ``once`` only
+    the first copy of each offset matches (retransmissions pass).
+    """
+    wanted = set(offsets)
+    seen: set = set()
+    base: Dict[tuple, int] = {}
+
+    def predicate(pkt: IPPacket, index: int) -> bool:
+        segment = pkt.tcp
+        if segment is None or not segment.data:
+            return False
+        flow = (pkt.src, segment.src_port, pkt.dst, segment.dst_port)
+        if flow not in base or segment.seq < base[flow]:
+            base[flow] = segment.seq
+        offset = segment.seq - base[flow]
+        if offset in wanted and (not once or (flow, offset) not in seen):
+            seen.add((flow, offset))
+            return True
+        return False
+
+    return predicate
+
+
+def match_nth_data(*ordinals: int) -> Predicate:
+    """Match the n-th, m-th, ... TCP data segments offered (1-based)."""
+    wanted = set(ordinals)
+    counter = {"data": 0}
+
+    def predicate(pkt: IPPacket, index: int) -> bool:
+        segment = pkt.tcp
+        if segment is None or not segment.data:
+            return False
+        counter["data"] += 1
+        return counter["data"] in wanted
+
+    return predicate
+
+
+@dataclass
+class FaultLog:
+    """What the injector actually did."""
+
+    dropped: List[int] = field(default_factory=list)
+    corrupted: List[int] = field(default_factory=list)
+
+    @property
+    def events(self) -> int:
+        return len(self.dropped) + len(self.corrupted)
+
+
+class FaultInjector:
+    """Scripted impairments in front of a link.
+
+    Wraps ``link.send``: each offered packet is tested against the
+    registered predicates in order; the first matching action is
+    applied (``drop`` removes the packet, ``corrupt`` zeroes a byte
+    range of its payload so the end-to-end checksum fails).
+    """
+
+    def __init__(self, link):
+        self.link = link
+        self.log = FaultLog()
+        self._offer_index = 0
+        self._rules: List[Tuple[str, Predicate]] = []
+        self._original_send = link.send
+        link.send = self._send
+
+    def drop_when(self, predicate: Predicate) -> "FaultInjector":
+        self._rules.append(("drop", predicate))
+        return self
+
+    def corrupt_when(self, predicate: Predicate) -> "FaultInjector":
+        self._rules.append(("corrupt", predicate))
+        return self
+
+    def detach(self) -> None:
+        """Restore the link's original send."""
+        try:
+            # Remove the instance-level patch so lookups fall back to
+            # the class method (preserves identity for callers holding
+            # the unbound original).
+            del self.link.send
+        except AttributeError:
+            self.link.send = self._original_send
+
+    # ------------------------------------------------------------------
+
+    def _send(self, pkt: IPPacket) -> None:
+        index = self._offer_index
+        self._offer_index += 1
+        for action, predicate in self._rules:
+            if not predicate(pkt, index):
+                continue
+            if action == "drop":
+                self.log.dropped.append(index)
+                return
+            if action == "corrupt":
+                self.log.corrupted.append(index)
+                payload = getattr(pkt.payload, "data", b"")
+                if payload:
+                    damaged = bytearray(payload)
+                    span = min(16, len(damaged))
+                    for position in range(span):
+                        damaged[position] ^= 0xFF
+                    pkt.payload.data = bytes(damaged)
+                break
+        self._original_send(pkt)

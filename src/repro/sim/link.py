@@ -1,0 +1,198 @@
+"""Unidirectional point-to-point link with wireless impairments.
+
+Models the paper's test segment (Fig. 3): a traffic-shaped 1 MB/s link
+whose packet loss rate is swept from 0 to 20 %.  In addition to random
+loss the link supports payload corruption and re-ordering, the other
+two trigger conditions for the circular-dependency bug (§IV).
+
+Serialisation is modelled exactly: a packet of ``wire_size`` bytes
+occupies the link for ``wire_size / bandwidth`` seconds, packets queue
+FIFO behind one another (bounded by ``queue_limit``), and then take
+``prop_delay`` seconds to propagate.  Loss/corruption/re-ordering are
+applied per packet with independent probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..net.packet import IPPacket
+from .engine import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated by a link over a run."""
+
+    packets_offered: int = 0
+    packets_delivered: int = 0
+    packets_lost: int = 0
+    packets_corrupted: int = 0
+    packets_reordered: int = 0
+    packets_queue_dropped: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.packets_offered == 0:
+            return 0.0
+        return (self.packets_lost + self.packets_queue_dropped) / self.packets_offered
+
+
+class Link:
+    """One direction of a point-to-point link.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    bandwidth:
+        Link rate in bytes per second (the paper shapes to 1 MB/s).
+    prop_delay:
+        One-way propagation delay in seconds.
+    loss_rate / corrupt_rate / reorder_rate:
+        Independent per-packet probabilities of drop, payload
+        corruption, and re-ordering.
+    reorder_extra_delay:
+        Extra delay (seconds) added to a re-ordered packet so it lands
+        behind packets transmitted after it.
+    queue_limit:
+        Maximum number of packets waiting for the transmitter; tail
+        drop beyond it.  ``None`` means unbounded.
+    rng:
+        Deterministic random stream for the impairments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth: float,
+        prop_delay: float,
+        *,
+        loss_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_extra_delay: float = 0.05,
+        queue_limit: Optional[int] = 1000,
+        rng: Optional[random.Random] = None,
+        name: str = "link",
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if prop_delay < 0:
+            raise ValueError("prop_delay must be non-negative")
+        for rate_name, rate in (("loss_rate", loss_rate),
+                                ("corrupt_rate", corrupt_rate),
+                                ("reorder_rate", reorder_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{rate_name} must be in [0, 1], got {rate}")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.prop_delay = float(prop_delay)
+        self.loss_rate = float(loss_rate)
+        self.corrupt_rate = float(corrupt_rate)
+        self.reorder_rate = float(reorder_rate)
+        self.reorder_extra_delay = float(reorder_extra_delay)
+        self.queue_limit = queue_limit
+        self.rng = rng if rng is not None else random.Random(0)
+        self.name = name
+        self.receiver: Optional[Callable[[IPPacket], None]] = None
+        self.stats = LinkStats()
+        self._busy_until = 0.0
+        self._queued = 0
+
+    def connect(self, receiver: Callable[[IPPacket], None]) -> None:
+        """Attach the callback invoked for each delivered packet."""
+        self.receiver = receiver
+
+    def send(self, pkt: IPPacket) -> None:
+        """Offer ``pkt`` to the link for transmission."""
+        if self.receiver is None:
+            raise RuntimeError(f"link {self.name!r} has no receiver connected")
+        self.stats.packets_offered += 1
+        self.stats.bytes_offered += pkt.wire_size
+
+        if self.queue_limit is not None and self._queued >= self.queue_limit:
+            self.stats.packets_queue_dropped += 1
+            return
+
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        tx_time = pkt.wire_size / self.bandwidth
+        self._busy_until = start + tx_time
+        self._queued += 1
+        self.sim.at(self._busy_until, self._transmitted, pkt)
+
+    # -- internal ---------------------------------------------------------
+
+    def _transmitted(self, pkt: IPPacket) -> None:
+        """Packet finished serialising; apply impairments and propagate."""
+        self._queued -= 1
+
+        if self.rng.random() < self.loss_rate:
+            self.stats.packets_lost += 1
+            return
+
+        if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
+            self.stats.packets_corrupted += 1
+            pkt = self._corrupt(pkt)
+
+        delay = self.prop_delay
+        if self.reorder_rate and self.rng.random() < self.reorder_rate:
+            self.stats.packets_reordered += 1
+            delay += self.rng.uniform(0.0, self.reorder_extra_delay)
+
+        self.sim.after(delay, self._deliver, pkt)
+
+    def _deliver(self, pkt: IPPacket) -> None:
+        self.stats.packets_delivered += 1
+        self.stats.bytes_delivered += pkt.wire_size
+        assert self.receiver is not None
+        self.receiver(pkt)
+
+    def _corrupt(self, pkt: IPPacket) -> IPPacket:
+        """Flip some payload bytes in place.
+
+        With 20 % probability the damage hits the headers instead
+        (modelled as ``header_corrupt``, dropped by the next IP hop the
+        way a bad IP checksum would be).
+        """
+        if self.rng.random() < 0.2 or not getattr(pkt.payload, "data", b""):
+            pkt.header_corrupt = True
+            return pkt
+        data = bytearray(pkt.payload.data)
+        n_flips = max(1, self.rng.randint(1, 4))
+        for _ in range(n_flips):
+            pos = self.rng.randrange(len(data))
+            data[pos] ^= self.rng.randint(1, 255)
+        pkt.payload.data = bytes(data)
+        return pkt
+
+
+@dataclass
+class DuplexLink:
+    """A symmetric pair of :class:`Link` objects (forward / reverse)."""
+
+    forward: Link
+    reverse: Link
+
+    @classmethod
+    def create(
+        cls,
+        sim: Simulator,
+        bandwidth: float,
+        prop_delay: float,
+        *,
+        rng_forward: Optional[random.Random] = None,
+        rng_reverse: Optional[random.Random] = None,
+        name: str = "link",
+        **impairments,
+    ) -> "DuplexLink":
+        fwd = Link(sim, bandwidth, prop_delay, rng=rng_forward,
+                   name=f"{name}.fwd", **impairments)
+        rev = Link(sim, bandwidth, prop_delay, rng=rng_reverse,
+                   name=f"{name}.rev", **impairments)
+        return cls(forward=fwd, reverse=rev)

@@ -1,0 +1,47 @@
+"""Named deterministic random streams.
+
+Every stochastic component (link loss, corruption byte positions,
+workload content, ...) draws from its own named child stream derived
+from a single experiment seed.  This keeps components independent:
+adding a random draw inside the link does not perturb the workload
+generator, so results stay comparable across code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 63-bit child seed from ``root_seed`` and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class RngRegistry:
+    """Hands out named, independent, deterministic random streams."""
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._py: Dict[str, random.Random] = {}
+        self._np: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return (creating if needed) the named ``random.Random`` stream."""
+        if name not in self._py:
+            self._py[name] = random.Random(derive_seed(self.seed, name))
+        return self._py[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the named numpy generator stream."""
+        if name not in self._np:
+            self._np[name] = np.random.default_rng(derive_seed(self.seed, name))
+        return self._np[name]
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Return a child registry rooted at a derived seed."""
+        return RngRegistry(derive_seed(self.seed, name))

@@ -1,0 +1,71 @@
+"""Structured event tracing.
+
+A lightweight pcap-analogue: components append :class:`TraceRecord`
+rows to a shared :class:`Tracer`.  Traces power the dependency-graph
+analysis in §VII (Fig. 14) and make failed runs debuggable without a
+real packet capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    source: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.6f}] {self.source:<14} {self.event:<22} {kv}"
+
+
+class Tracer:
+    """Collects trace records; filtering happens at query time.
+
+    Tracing is off by default (``enabled=False``) so hot paths pay only
+    an attribute check per event.
+    """
+
+    def __init__(self, enabled: bool = True, max_records: Optional[int] = None):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulator clock used to timestamp records."""
+        self._clock = clock
+
+    def emit(self, source: str, event: str, **detail: Any) -> None:
+        """Record one event (no-op when disabled or at capacity)."""
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            return
+        self.records.append(TraceRecord(self._clock(), source, event, detail))
+
+    def query(self, source: Optional[str] = None,
+              event: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate records matching the given source/event filters."""
+        for record in self.records:
+            if source is not None and record.source != source:
+                continue
+            if event is not None and record.event != event:
+                continue
+            yield record
+
+    def count(self, source: Optional[str] = None, event: Optional[str] = None) -> int:
+        return sum(1 for _ in self.query(source, event))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+NULL_TRACER = Tracer(enabled=False)

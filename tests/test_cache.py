@@ -1,0 +1,171 @@
+"""Unit tests for the byte caches (packet store + fingerprint table)."""
+
+import pytest
+
+from repro.core.cache import (ByteCache, CacheEntry, FingerprintTable,
+                              PacketStore)
+
+
+class TestPacketStore:
+    def test_add_and_get(self):
+        store = PacketStore()
+        store_id = store.add(b"payload")
+        assert store.get(store_id) == b"payload"
+        assert store_id in store
+
+    def test_byte_budget_evicts_fifo(self):
+        store = PacketStore(byte_budget=100)
+        ids = [store.add(b"x" * 40) for _ in range(4)]
+        assert ids[0] not in store
+        assert ids[1] not in store  # 160 -> evict until <= 100
+        assert ids[2] in store and ids[3] in store
+        assert store.evictions == 2
+
+    def test_max_packets_evicts_fifo(self):
+        store = PacketStore(byte_budget=1 << 20, max_packets=2)
+        ids = [store.add(b"abc") for _ in range(3)]
+        assert ids[0] not in store
+        assert len(store) == 2
+
+    def test_bytes_used_tracks_evictions(self):
+        store = PacketStore(byte_budget=100)
+        store.add(b"x" * 60)
+        store.add(b"y" * 60)
+        assert store.bytes_used == 60
+
+    def test_clear(self):
+        store = PacketStore()
+        store.add(b"data")
+        store.clear()
+        assert len(store) == 0
+        assert store.bytes_used == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"byte_budget": 0}, {"byte_budget": -1},
+        {"byte_budget": 10, "max_packets": 0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            PacketStore(**kwargs)
+
+
+class TestFingerprintTable:
+    def test_put_get_remove(self):
+        table = FingerprintTable()
+        entry = CacheEntry(fingerprint=42, store_id=1, offset=0)
+        table.put(entry)
+        assert table.get(42) is entry
+        table.remove(42)
+        assert table.get(42) is None
+
+    def test_newest_wins_replacement(self):
+        table = FingerprintTable()
+        table.put(CacheEntry(fingerprint=42, store_id=1, offset=0))
+        newer = CacheEntry(fingerprint=42, store_id=2, offset=7)
+        table.put(newer)
+        assert table.get(42) is newer
+        assert table.replacements == 1
+        assert len(table) == 1
+
+    def test_remove_missing_is_noop(self):
+        FingerprintTable().remove(999)
+
+
+class TestByteCache:
+    def anchors(self, payload):
+        return [(0, 100), (20, 200)]
+
+    def test_insert_and_lookup(self):
+        cache = ByteCache()
+        cache.insert_packet(b"p" * 64, self.anchors(None), tcp_seq=5,
+                            flow=("f",), packet_counter=3, external_id=77)
+        entry, payload = cache.lookup(100)
+        assert payload == b"p" * 64
+        assert entry.tcp_seq == 5
+        assert entry.flow == ("f",)
+        assert entry.packet_counter == 3
+        assert cache.external_id_for(entry.store_id) == 77
+
+    def test_lookup_miss_returns_none(self):
+        assert ByteCache().lookup(123) is None
+
+    def test_lazy_invalidation_after_eviction(self):
+        cache = ByteCache(byte_budget=100)
+        cache.insert_packet(b"a" * 80, [(0, 1)])
+        cache.insert_packet(b"b" * 80, [(0, 2)])  # evicts the first
+        assert cache.lookup(1) is None            # removed lazily
+        assert cache.table.get(1) is None
+        entry, payload = cache.lookup(2)
+        assert payload == b"b" * 80
+
+    def test_replacement_points_to_newest_packet(self):
+        """§III-A: 'updates its cache by replacing the entry for r from
+        Pstored to Pnew'."""
+        cache = ByteCache()
+        cache.insert_packet(b"old" * 30, [(4, 55)])
+        cache.insert_packet(b"new" * 30, [(9, 55)])
+        entry, payload = cache.lookup(55)
+        assert payload == b"new" * 30
+        assert entry.offset == 9
+
+    def test_flush_clears_everything(self):
+        cache = ByteCache()
+        cache.insert_packet(b"data", [(0, 9)], external_id=5)
+        cache.flush()
+        assert cache.lookup(9) is None
+        assert len(cache.store) == 0
+        assert cache.flushes == 1
+        assert cache.external_id_for(1) is None
+
+    def test_mark_unusable_blocks_lookup(self):
+        cache = ByteCache()
+        cache.insert_packet(b"data" * 10, [(0, 9)])
+        assert cache.mark_unusable(9) is True
+        assert cache.lookup(9) is None
+
+    def test_mark_unusable_missing_fingerprint(self):
+        assert ByteCache().mark_unusable(9) is False
+
+    def test_unusable_entry_revives_on_replacement(self):
+        cache = ByteCache()
+        cache.insert_packet(b"one" * 20, [(0, 9)])
+        cache.mark_unusable(9)
+        cache.insert_packet(b"two" * 20, [(3, 9)])
+        entry, payload = cache.lookup(9)
+        assert payload == b"two" * 20
+
+    def test_lookup_previous_returns_displaced_entry(self):
+        cache = ByteCache()
+        cache.insert_packet(b"old-payload" * 10, [(2, 9)])
+        cache.insert_packet(b"new-payload" * 10, [(5, 9)])
+        current = cache.lookup(9)
+        previous = cache.lookup_previous(9)
+        assert current[1] == b"new-payload" * 10
+        assert previous[1] == b"old-payload" * 10
+        assert previous[0].offset == 2
+
+    def test_lookup_previous_empty_when_never_replaced(self):
+        cache = ByteCache()
+        cache.insert_packet(b"only" * 20, [(0, 9)])
+        assert cache.lookup_previous(9) is None
+
+    def test_lookup_previous_invalidated_by_eviction(self):
+        cache = ByteCache(byte_budget=250)
+        cache.insert_packet(b"a" * 100, [(0, 9)])
+        cache.insert_packet(b"b" * 100, [(0, 9)])   # displaces a
+        cache.insert_packet(b"c" * 100, [(0, 9)])   # evicts a's payload
+        assert cache.lookup_previous(9) is None or \
+            cache.lookup_previous(9)[1] == b"b" * 100
+
+    def test_flush_clears_history(self):
+        cache = ByteCache()
+        cache.insert_packet(b"a" * 50, [(0, 9)])
+        cache.insert_packet(b"b" * 50, [(0, 9)])
+        cache.flush()
+        assert cache.lookup_previous(9) is None
+
+    def test_external_id_map_pruned(self):
+        cache = ByteCache(byte_budget=1000, max_packets=4)
+        for i in range(200):
+            cache.insert_packet(b"x" * 100, [(0, i)], external_id=i)
+        assert len(cache._external_ids) <= 4 * 4 + 64

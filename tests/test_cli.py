@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_run_basic(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "cache_flush",
+                        "--loss", "0", "--size", "87600")
+    assert code == 0
+    assert "completed" in out
+    assert "True" in out
+
+
+def test_run_with_baseline_ratios(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "cache_flush",
+                        "--size", "87600", "--baseline")
+    assert code == 0
+    assert "bytes ratio vs no-DRE" in out
+
+
+def test_run_no_dre(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "none",
+                        "--size", "87600")
+    assert code == 0
+    assert "perceived loss" in out
+
+
+def test_run_unknown_policy(capsys):
+    code = main(["run", "--policy", "wat"])
+    assert code == 2
+
+
+def test_run_k_distance_with_k(capsys):
+    code, out = run_cli(capsys, "run", "--policy", "k_distance", "--k", "4",
+                        "--size", "87600")
+    assert code == 0
+
+
+def test_sweep(capsys):
+    code, out = run_cli(capsys, "sweep", "--policies", "cache_flush",
+                        "--losses", "0,2")
+    assert code == 0
+    assert "bytes ratio" in out
+    assert "cache_flush" in out
+
+
+def test_mobility_command(capsys):
+    code, out = run_cli(capsys, "mobility", "--mode", "tcp-proxy",
+                        "--handoff", "0.25")
+    assert code == 0
+    assert "STALLED" in out
+
+
+def test_corpus_listing(capsys):
+    code, out = run_cli(capsys, "corpus")
+    assert code == 0
+    assert "file1" in out and "ebook" in out
+
+
+def test_corpus_details(capsys):
+    code, out = run_cli(capsys, "corpus", "file1")
+    assert code == 0
+    assert "byte savings" in out
+
+
+def test_policies_listing(capsys):
+    code, out = run_cli(capsys, "policies")
+    assert code == 0
+    assert "cache_flush" in out
+    assert "NackRecoveryEncoderPolicy" in out
+
+
+def test_trace_command(capsys):
+    code, out = run_cli(capsys, "trace", "--policy", "naive", "--loss", "2",
+                        "--size", str(40 * 1460), "--seed", "2")
+    assert code == 0
+    assert "dependency analysis" in out
+    assert "self-dependency livelock" in out
+
+
+def test_artifact_headline(capsys):
+    code, out = run_cli(capsys, "artifact", "headline")
+    assert code == 0
+    assert "byte savings" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_bad_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["artifact", "figure99"])

@@ -1,0 +1,91 @@
+"""Tests for RFC 1122 delayed ACKs."""
+
+import random
+
+from repro.net.tcp import TCPConfig
+
+from tests.tcp_helpers import TcpTestbed, drop_data_segments
+
+
+def payload(n, seed=0):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def ack_count(testbed):
+    return sum(1 for pkt in testbed.c2s.delivered
+               if pkt.tcp is not None and not pkt.tcp.data
+               and not pkt.tcp.syn)
+
+
+def test_delayed_acks_halve_the_ack_stream():
+    data = payload(40 * 1460)
+    immediate = TcpTestbed(config=TCPConfig(delayed_ack=False))
+    immediate.serve_bytes(data)
+    conn, received, _ = immediate.fetch()
+    immediate.sim.run(until=30)
+    assert bytes(received) == data
+    immediate_acks = ack_count(immediate)
+
+    delayed = TcpTestbed(config=TCPConfig(delayed_ack=True))
+    delayed.serve_bytes(data)
+    conn, received, _ = delayed.fetch()
+    delayed.sim.run(until=30)
+    assert bytes(received) == data
+    delayed_acks = ack_count(delayed)
+
+    assert delayed_acks < 0.75 * immediate_acks
+
+
+def test_delayed_ack_timer_bounds_latency():
+    """A lone segment (no second one to trigger the every-2 rule) must
+    still be ACKed within the delayed-ACK timeout."""
+    testbed = TcpTestbed(config=TCPConfig(delayed_ack=True))
+    testbed.serve_bytes(b"tiny")
+    conn, received, events = testbed.fetch()
+    testbed.sim.run(until=5)
+    assert bytes(received) == b"tiny"
+    assert "eof" in events
+
+
+def test_dup_acks_still_immediate_under_loss():
+    """Loss recovery must not be slowed: out-of-order segments generate
+    immediate duplicate ACKs even with delayed ACKs on."""
+    testbed = TcpTestbed(config=TCPConfig(delayed_ack=True),
+                         drop_s2c=drop_data_segments(3 * 1460))
+    data = payload(30 * 1460, seed=1)
+    testbed.serve_bytes(data)
+    conn, received, _ = testbed.fetch()
+    testbed.sim.run(until=30)
+    assert bytes(received) == data
+    server_conn = testbed.server_stack.connections()[0]
+    assert server_conn.stats.timeouts == 0  # fast retransmit worked
+
+
+def test_transfer_with_dre_and_delayed_acks():
+    from repro.experiments import ExperimentConfig, run_transfer
+
+    config = ExperimentConfig(policy="cache_flush", file_size=60 * 1460,
+                              seed=5, loss_rate=0.02, verify_content=True)
+    config = config.with_updates()
+    # Wire delayed acks through a custom TCP config.
+    tcp = config.tcp_config()
+    tcp.delayed_ack = True
+    from repro.experiments.runner import (FILE_NAME, SERVER_ADDR,
+                                          build_testbed)
+    from repro.app.transfer import FileClient, FileServer
+    from repro.workload.corpus import corpus_object
+
+    testbed = build_testbed(config)
+    # Replace stacks' config for both endpoints.
+    testbed.client_stack.config.delayed_ack = True
+    testbed.server_stack.config.delayed_ack = True
+    data = corpus_object(config.corpus, config.file_size, config.corpus_seed)
+    FileServer(testbed.server_stack, {FILE_NAME: data})
+    client = FileClient(testbed.client_stack, testbed.sim)
+    outcome = client.fetch(SERVER_ADDR, FILE_NAME, expected_size=len(data),
+                           expected_content=data,
+                           on_done=lambda _o: testbed.sim.stop())
+    testbed.sim.run(until=120)
+    assert outcome.completed
+    assert outcome.content_ok is True

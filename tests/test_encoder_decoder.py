@@ -1,0 +1,259 @@
+"""Unit/integration tests for the encoder/decoder pair."""
+
+import random
+
+import pytest
+
+from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
+                        DecodeStatus, FingerprintScheme)
+from repro.core.policies import DecoderPolicy, NaivePolicy, PacketMeta
+from repro.net.checksum import payload_checksum
+
+FLOW = ("10.0.2.1", 80, "10.0.1.1", 5000)
+
+
+def make_pair(scheme=None, cache_kwargs=None):
+    scheme = scheme or FingerprintScheme()
+    kwargs = cache_kwargs or {}
+    encoder = ByteCachingEncoder(scheme, ByteCache(**kwargs), NaivePolicy())
+    decoder = ByteCachingDecoder(scheme, ByteCache(**kwargs), DecoderPolicy())
+    return encoder, decoder
+
+
+def meta(i, seq=None):
+    return PacketMeta(packet_id=i, flow=FLOW,
+                      tcp_seq=seq if seq is not None else i * 1460, counter=i)
+
+
+def random_payload(rng, n=1460):
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def roundtrip(encoder, decoder, payload, packet_meta):
+    result = encoder.encode(payload, packet_meta)
+    decoded = decoder.decode(result.data, packet_meta,
+                             checksum=payload_checksum(payload))
+    return result, decoded
+
+
+class TestRoundtrip:
+    def test_fresh_content_passes_through(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(0)
+        payload = random_payload(rng)
+        result, decoded = roundtrip(encoder, decoder, payload, meta(1))
+        assert not result.encoded
+        assert decoded.status is DecodeStatus.OK_RAW
+        assert decoded.payload == payload
+
+    def test_repeated_content_compresses_and_decodes(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(1)
+        base = random_payload(rng)
+        roundtrip(encoder, decoder, base, meta(1))
+        overlap = base[:800] + random_payload(rng, 660)
+        result, decoded = roundtrip(encoder, decoder, overlap, meta(2))
+        assert result.encoded
+        assert result.bytes_out < result.bytes_in
+        assert decoded.status is DecodeStatus.OK_DECODED
+        assert decoded.payload == overlap
+
+    def test_identical_retransmission_compresses_to_nearly_nothing(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(2)
+        payload = random_payload(rng)
+        roundtrip(encoder, decoder, payload, meta(1))
+        result, decoded = roundtrip(encoder, decoder, payload, meta(2))
+        assert result.encoded
+        assert result.bytes_out < 40
+        assert decoded.payload == payload
+
+    def test_long_stream_roundtrip(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(3)
+        chunks = [random_payload(rng, 400) for _ in range(6)]
+        for i in range(40):
+            payload = (chunks[rng.randrange(6)] + random_payload(rng, 200)
+                       + chunks[rng.randrange(6)])
+            _, decoded = roundtrip(encoder, decoder, payload, meta(i))
+            assert decoded.ok
+            assert decoded.payload == payload
+
+    def test_multiple_regions_in_one_packet(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(4)
+        a, b = random_payload(rng, 700), random_payload(rng, 700)
+        roundtrip(encoder, decoder, a, meta(1))
+        roundtrip(encoder, decoder, b, meta(2))
+        mixed = a[:300] + random_payload(rng, 100) + b[100:500]
+        result, decoded = roundtrip(encoder, decoder, mixed, meta(3))
+        assert len(result.regions) >= 2
+        assert decoded.payload == mixed
+
+    def test_dependencies_tracked(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(5)
+        a = random_payload(rng, 700)
+        b = random_payload(rng, 700)
+        roundtrip(encoder, decoder, a, meta(10))
+        roundtrip(encoder, decoder, b, meta(11))
+        mixed = a[:300] + b[:300] + random_payload(rng, 100)
+        result, _ = roundtrip(encoder, decoder, mixed, meta(12))
+        assert result.dependencies == {10, 11}
+
+
+class TestLossBehaviour:
+    def test_missing_dependency_is_undecodable(self):
+        """§IV-A t1-t3: the carrier packet is lost, the next packet's
+        encoding references it, the decoder must drop."""
+        encoder, decoder = make_pair()
+        rng = random.Random(6)
+        payload = random_payload(rng)
+        lost = encoder.encode(payload, meta(1))       # never decoded
+        assert lost is not None
+        result = encoder.encode(payload, meta(2))     # encoded against #1
+        assert result.encoded
+        decoded = decoder.decode(result.data, meta(2),
+                                 checksum=payload_checksum(payload))
+        assert decoded.status is DecodeStatus.MISSING
+        assert decoded.missing
+        assert decoder.stats.missing == 1
+
+    def test_stale_entry_caught_by_checksum(self):
+        """Encoder replaced an entry with a packet the decoder missed:
+        the fingerprint resolves to wrong bytes and the end-to-end
+        checksum must catch it."""
+        scheme = FingerprintScheme()
+        encoder, decoder = make_pair(scheme)
+        rng = random.Random(7)
+        shared = random_payload(rng, 600)
+        first = shared + random_payload(rng, 300)
+        # Delivered: both caches hold `first`.
+        r1 = encoder.encode(first, meta(1))
+        decoder.decode(r1.data, meta(1), checksum=payload_checksum(first))
+        # Same shared chunk at a different offset — lost in transit, so
+        # only the encoder replaces its entries.
+        second = random_payload(rng, 100) + shared + random_payload(rng, 200)
+        encoder.encode(second, meta(2))
+        # Third packet references the shared chunk; the encoder's entry
+        # points into `second`, the decoder's into `first`.
+        third = shared[:400] + random_payload(rng, 500)
+        r3 = encoder.encode(third, meta(3))
+        if r3.encoded:
+            decoded = decoder.decode(r3.data, meta(3),
+                                     checksum=payload_checksum(third))
+            assert decoded.status in (DecodeStatus.CHECKSUM_MISMATCH,
+                                      DecodeStatus.MISSING,
+                                      DecodeStatus.MALFORMED)
+            assert decoded.payload is None
+
+    def test_history_retry_rescues_one_generation_lag(self):
+        """The decoder's fingerprint entry was replaced by a packet the
+        *encoder* hadn't processed when it encoded — the displaced entry
+        still reconstructs correctly (the ACK-gating race, generalised)."""
+        scheme = FingerprintScheme()
+        encoder, decoder = make_pair(scheme)
+        rng = random.Random(20)
+        shared = random_payload(rng, 600)
+
+        first = shared + random_payload(rng, 300)
+        r1 = encoder.encode(first, meta(1))
+        decoder.decode(r1.data, meta(1), checksum=payload_checksum(first))
+
+        # The encoder, still referencing `first`, encodes a new packet.
+        third = shared[:400] + random_payload(rng, 500)
+        r3 = encoder.encode(third, meta(3))
+
+        # Before r3 arrives, the decoder processes another copy of the
+        # shared chunk at a different offset (replacing its entries).
+        second = random_payload(rng, 100) + shared + random_payload(rng, 200)
+        # Bypass the encoder: decode a raw-wrapped copy directly.
+        from repro.core.wire import wrap_raw
+        decoder.decode(wrap_raw(second), meta(2),
+                       checksum=payload_checksum(second))
+
+        if r3.encoded:
+            outcome = decoder.decode(r3.data, meta(3),
+                                     checksum=payload_checksum(third))
+            assert outcome.ok
+            assert outcome.payload == third
+            assert decoder.stats.history_decodes >= 1
+
+    def test_malformed_wire_data_counted(self):
+        _, decoder = make_pair()
+        result = decoder.decode(b"\x00garbage", meta(1), checksum=0)
+        assert result.status is DecodeStatus.MALFORMED
+        assert decoder.stats.malformed == 1
+
+    def test_corrupted_raw_payload_caught(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(8)
+        payload = random_payload(rng)
+        result = encoder.encode(payload, meta(1))
+        damaged = bytearray(result.data)
+        damaged[100] ^= 0xFF
+        decoded = decoder.decode(bytes(damaged), meta(1),
+                                 checksum=payload_checksum(payload))
+        assert decoded.status is DecodeStatus.CHECKSUM_MISMATCH
+
+
+class TestCacheSynchronisation:
+    def test_caches_stay_aligned_over_stream(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(9)
+        previous = random_payload(rng)
+        for i in range(30):
+            payload = previous[:700] + random_payload(rng, 760)
+            _, decoded = roundtrip(encoder, decoder, payload, meta(i))
+            assert decoded.ok
+            previous = payload
+        assert len(encoder.cache.table) == len(decoder.cache.table)
+
+    def test_encoder_never_grows_output_beyond_shim(self):
+        encoder, _ = make_pair()
+        rng = random.Random(10)
+        for i in range(20):
+            payload = random_payload(rng, rng.randrange(100, 1460))
+            result = encoder.encode(payload, meta(i))
+            assert result.bytes_out <= result.bytes_in + 2
+
+    def test_net_loss_region_falls_back_to_raw(self):
+        """A single tiny region whose field overhead eats the gain must
+        not produce a larger-than-raw packet."""
+        encoder, decoder = make_pair()
+        rng = random.Random(11)
+        shared = random_payload(rng, 16)
+        # Force many short windows: payload is mostly fresh with one
+        # 16-byte repeat (too small to encode: len must exceed 14... the
+        # window w=16 > 14 qualifies only after expansion).
+        first = shared + random_payload(rng, 500)
+        roundtrip(encoder, decoder, first, meta(1))
+        second = random_payload(rng, 250) + shared + random_payload(rng, 250)
+        result, decoded = roundtrip(encoder, decoder, second, meta(2))
+        assert result.bytes_out <= result.bytes_in + 2
+        assert decoded.ok and decoded.payload == second
+
+
+class TestStats:
+    def test_encoder_stats_accumulate(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(12)
+        payload = random_payload(rng)
+        roundtrip(encoder, decoder, payload, meta(1))
+        roundtrip(encoder, decoder, payload, meta(2))
+        stats = encoder.stats
+        assert stats.packets == 2
+        assert stats.packets_encoded == 1
+        assert stats.bytes_in == 2 * 1460
+        assert stats.matched_bytes > 1400
+        assert 0 < stats.compression_ratio < 1
+
+    def test_decoder_stats_accumulate(self):
+        encoder, decoder = make_pair()
+        rng = random.Random(13)
+        payload = random_payload(rng)
+        roundtrip(encoder, decoder, payload, meta(1))
+        roundtrip(encoder, decoder, payload, meta(2))
+        assert decoder.stats.raw == 1
+        assert decoder.stats.decoded == 1
+        assert decoder.stats.undecodable == 0

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "Repeated content is eliminated" in out
+    assert "decoder DROPPED" in out
+
+
+def test_stall_anatomy():
+    out = run_example("stall_anatomy.py")
+    assert "retransmission encoded against itself" in out
+    assert "stalled" in out
+
+
+def test_udp_streaming():
+    out = run_example("udp_streaming.py")
+    assert "frames delivered" in out
+    assert "k_distance(k=8)" in out
+
+
+def test_wireless_download_single_point():
+    out = run_example("wireless_download.py", "0")
+    assert "cache_flush" in out
+    assert "bytes ratio" in out
+
+
+def test_adaptive_tuning():
+    out = run_example("adaptive_tuning.py")
+    assert "adaptive_k" in out
+    assert "channel degrades" in out

@@ -1,0 +1,106 @@
+"""Tests for the deterministic fault-injection module."""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import FILE_NAME, SERVER_ADDR, build_testbed
+from repro.app.transfer import FileClient, FileServer
+from repro.sim.faults import (FaultInjector, drop_indices, match_nth_data,
+                              match_stream_offsets)
+from repro.workload.corpus import corpus_object
+
+from tests.tcp_helpers import TcpTestbed
+
+
+class TestPredicates:
+    def test_drop_indices(self):
+        predicate = drop_indices(0, 2)
+        assert predicate(None, 0)
+        assert not predicate(None, 1)
+        assert predicate(None, 2)
+
+    def test_match_nth_data_counts_only_data(self):
+        from repro.net.packet import IPPacket, PROTO_TCP, TCPSegment
+
+        predicate = match_nth_data(2)
+        ack = IPPacket(src="a", dst="b", proto=PROTO_TCP,
+                       payload=TCPSegment(src_port=1, dst_port=2, seq=0,
+                                          ack=0, flags=TCPSegment.ACK,
+                                          window=0))
+        data1 = IPPacket(src="a", dst="b", proto=PROTO_TCP,
+                         payload=TCPSegment(src_port=1, dst_port=2, seq=0,
+                                            ack=0, flags=TCPSegment.ACK,
+                                            window=0, data=b"x"))
+        data2 = IPPacket(src="a", dst="b", proto=PROTO_TCP,
+                         payload=TCPSegment(src_port=1, dst_port=2, seq=1,
+                                            ack=0, flags=TCPSegment.ACK,
+                                            window=0, data=b"y"))
+        assert not predicate(ack, 0)
+        assert not predicate(data1, 1)
+        assert predicate(data2, 2)
+
+
+class TestInjectorOnTestbed:
+    def test_drop_single_segment_recovered_by_tcp(self):
+        testbed = TcpTestbed()
+        injector = FaultInjector(testbed.s2c)
+        injector.drop_when(match_stream_offsets(3 * 1460))
+        import random
+
+        rng = random.Random(0)
+        data = bytes(rng.randrange(256) for _ in range(20 * 1460))
+        testbed.serve_bytes(data)
+        conn, received, _ = testbed.fetch()
+        testbed.sim.run(until=30)
+        assert bytes(received) == data
+        assert injector.log.dropped
+        assert injector.log.events == 1
+
+    def test_corrupt_segment_detected_by_checksum(self):
+        testbed = TcpTestbed()
+        injector = FaultInjector(testbed.s2c)
+        injector.corrupt_when(match_nth_data(4))
+        import random
+
+        rng = random.Random(1)
+        data = bytes(rng.randrange(256) for _ in range(20 * 1460))
+        testbed.serve_bytes(data)
+        conn, received, _ = testbed.fetch()
+        testbed.sim.run(until=30)
+        assert bytes(received) == data
+        assert injector.log.corrupted
+        assert conn.stats.checksum_drops >= 1
+
+    def test_detach_restores_link(self):
+        testbed = TcpTestbed()
+        injector = FaultInjector(testbed.s2c)
+        injector.drop_when(drop_indices(0))
+        injector.detach()
+        # The patch is gone: lookups resolve to the class method again
+        # and nothing is dropped.
+        assert "send" not in testbed.s2c.__dict__
+        testbed.serve_bytes(b"hello")
+        conn, received, _ = testbed.fetch()
+        testbed.sim.run(until=5)
+        assert bytes(received) == b"hello"
+        assert injector.log.events == 0
+
+
+class TestInjectorOnFullTestbed:
+    def test_single_forced_loss_stalls_naive(self):
+        """The §IV experiment via the public fault-injection API."""
+        config = ExperimentConfig(
+            corpus="file1", file_size=40 * 1460, policy="naive", seed=2,
+            tcp_max_retries=6, tcp_min_rto=0.05, tcp_max_rto=0.5,
+            time_limit=120.0)
+        testbed = build_testbed(config)
+        injector = FaultInjector(testbed.bottleneck_forward)
+        injector.drop_when(match_nth_data(5))
+        data = corpus_object(config.corpus, config.file_size,
+                             config.corpus_seed)
+        FileServer(testbed.server_stack, {FILE_NAME: data})
+        client = FileClient(testbed.client_stack, testbed.sim)
+        outcome = client.fetch(SERVER_ADDR, FILE_NAME,
+                               expected_size=len(data),
+                               on_done=lambda _o: testbed.sim.stop())
+        testbed.sim.run(until=120)
+        assert not outcome.completed
+        assert injector.log.events == 1

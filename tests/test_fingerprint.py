@@ -1,0 +1,60 @@
+"""Unit tests for the fingerprint scheme wrapper."""
+
+import pytest
+
+from repro.core.fingerprint import (DEFAULT_WINDOW, DEFAULT_ZERO_BITS,
+                                    FingerprintScheme)
+
+
+def test_defaults_match_paper_parameters():
+    scheme = FingerprintScheme()
+    assert scheme.window == DEFAULT_WINDOW == 16
+    assert scheme.zero_bits == DEFAULT_ZERO_BITS == 4
+    assert scheme.mask == 0xF
+
+
+def test_kind_selects_implementation():
+    from repro.core.polyhash import PolyFingerprinter
+    from repro.core.rabin import RabinFingerprinter
+
+    assert isinstance(FingerprintScheme(kind="poly")._impl, PolyFingerprinter)
+    assert isinstance(FingerprintScheme(kind="rabin")._impl,
+                      RabinFingerprinter)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FingerprintScheme(kind="nope")
+
+
+@pytest.mark.parametrize("zero_bits", [-1, 33])
+def test_zero_bits_bounds(zero_bits):
+    with pytest.raises(ValueError):
+        FingerprintScheme(zero_bits=zero_bits)
+
+
+def test_anchors_sorted_by_offset():
+    data = bytes(range(256)) * 8
+    anchors = FingerprintScheme().anchors(data)
+    offsets = [off for off, _ in anchors]
+    assert offsets == sorted(offsets)
+
+
+def test_zero_zero_bits_selects_everything():
+    data = bytes(range(64))
+    scheme = FingerprintScheme(zero_bits=0)
+    assert len(scheme.anchors(data)) == len(data) - scheme.window + 1
+
+
+def test_identical_schemes_identical_anchors():
+    """Encoder and decoder configured alike must select identically —
+    the cache-synchronisation prerequisite."""
+    data = b"some repeated payload content " * 50
+    a = FingerprintScheme(window=16, zero_bits=4, kind="poly")
+    b = FingerprintScheme(window=16, zero_bits=4, kind="poly")
+    assert a.anchors(data) == b.anchors(data)
+
+
+def test_expected_anchor_spacing():
+    assert FingerprintScheme(zero_bits=4).expected_anchor_spacing() == 16.0
+    assert FingerprintScheme(zero_bits=6).expected_anchor_spacing() == 64.0

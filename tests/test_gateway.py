@@ -1,0 +1,222 @@
+"""Tests for the byte-caching gateway middleboxes."""
+
+import random
+
+import pytest
+
+from repro.core.fingerprint import FingerprintScheme
+from repro.core.cache import ByteCache
+from repro.gateway import DecoderGateway, EncoderGateway, GatewayPair
+from repro.net.checksum import payload_checksum
+from repro.net.packet import (ControlMessage, IPPacket, PROTO_DRE_CONTROL,
+                              PROTO_TCP, TCPSegment)
+from repro.sim import Simulator
+
+CLIENT = "10.0.1.1"
+SERVER = "10.0.2.1"
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+
+    def send(self, pkt):
+        self.packets.append(pkt)
+
+
+def data_packet(data: bytes, seq: int = 0) -> IPPacket:
+    segment = TCPSegment(src_port=80, dst_port=5000, seq=seq, ack=0,
+                         flags=TCPSegment.ACK, window=1000, data=data,
+                         checksum=payload_checksum(data))
+    return IPPacket(src=SERVER, dst=CLIENT, proto=PROTO_TCP, payload=segment)
+
+
+def ack_packet(ack: int) -> IPPacket:
+    segment = TCPSegment(src_port=5000, dst_port=80, seq=0, ack=ack,
+                         flags=TCPSegment.ACK, window=1000)
+    return IPPacket(src=CLIENT, dst=SERVER, proto=PROTO_TCP, payload=segment)
+
+
+def make_pair(sim=None, policy="naive", **kwargs):
+    sim = sim or Simulator()
+    pair = GatewayPair.create(sim, policy=policy, data_dst=CLIENT, **kwargs)
+    enc_out, dec_out = Sink(), Sink()
+    pair.encoder.set_default_route(enc_out)
+    pair.decoder.set_default_route(dec_out)
+    return sim, pair, enc_out, dec_out
+
+
+def random_bytes(seed, n=1460):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+class TestEncodeDecodePath:
+    def test_fresh_packet_passes_shimmed(self):
+        sim, pair, enc_out, dec_out = make_pair()
+        payload = random_bytes(1)
+        pair.encoder.receive(data_packet(payload))
+        pkt = enc_out.packets[0]
+        assert pkt.tcp.dre_encoded
+        pair.decoder.receive(pkt)
+        out = dec_out.packets[0]
+        assert out.tcp.data == payload
+        assert not out.tcp.dre_encoded
+
+    def test_repeated_packet_compressed_then_restored(self):
+        sim, pair, enc_out, dec_out = make_pair()
+        payload = random_bytes(2)
+        for seq in (0, 1460):
+            pair.encoder.receive(data_packet(payload, seq=seq))
+        small = enc_out.packets[1]
+        assert len(small.tcp.data) < 100
+        for pkt in enc_out.packets:
+            pair.decoder.receive(pkt)
+        assert [p.tcp.data for p in dec_out.packets] == [payload, payload]
+        assert pair.encoder.stats.encoded_packets == 1
+        assert pair.decoder.stats.decoded_ok == 2
+
+    def test_undecodable_packet_dropped_and_counted(self):
+        """Lose the carrier packet: the dependent one must vanish at the
+        decoder (§IV-A t3)."""
+        sim, pair, enc_out, dec_out = make_pair()
+        payload = random_bytes(3)
+        pair.encoder.receive(data_packet(payload, seq=0))      # lost
+        pair.encoder.receive(data_packet(payload, seq=1460))   # dependent
+        dependent = enc_out.packets[1]
+        pair.decoder.receive(dependent)
+        assert dec_out.packets == []
+        assert pair.decoder.stats.undecodable_dropped == 1
+
+    def test_reverse_packets_pass_untouched(self):
+        sim, pair, enc_out, dec_out = make_pair()
+        pair.encoder.receive(ack_packet(1460))
+        pkt = enc_out.packets[0]
+        assert not pkt.tcp.dre_encoded
+
+    def test_empty_segments_not_shimmed(self):
+        sim, pair, enc_out, _ = make_pair()
+        syn = IPPacket(src=SERVER, dst=CLIENT, proto=PROTO_TCP,
+                       payload=TCPSegment(src_port=80, dst_port=5000, seq=0,
+                                          ack=0, flags=TCPSegment.SYN,
+                                          window=1000))
+        pair.encoder.receive(syn)
+        assert not enc_out.packets[0].tcp.dre_encoded
+
+    def test_dependency_log_records_sources(self):
+        sim, pair, enc_out, _ = make_pair()
+        payload = random_bytes(4)
+        first = data_packet(payload, seq=0)
+        pair.encoder.receive(first)
+        second = data_packet(payload, seq=1460)
+        pair.encoder.receive(second)
+        assert pair.encoder.dependency_log[second.packet_id] == \
+            {first.packet_id}
+
+    def test_byte_accounting(self):
+        sim, pair, enc_out, _ = make_pair()
+        payload = random_bytes(5)
+        pair.encoder.receive(data_packet(payload, seq=0))
+        pair.encoder.receive(data_packet(payload, seq=1460))
+        stats = pair.encoder.stats
+        assert stats.data_packets == 2
+        assert stats.bytes_after < stats.bytes_before
+
+
+class TestControlChannel:
+    def test_control_message_consumed_by_addressee(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="informed_marking")
+        message = ControlMessage(kind="mark", payload=[123])
+        pkt = IPPacket(src=pair.decoder.address, dst=pair.encoder.address,
+                       proto=PROTO_DRE_CONTROL, payload=message)
+        pair.encoder.receive(pkt)
+        assert enc_out.packets == []  # consumed, not forwarded
+
+    def test_control_message_forwarded_when_not_addressee(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="informed_marking")
+        message = ControlMessage(kind="mark", payload=[123])
+        pkt = IPPacket(src=pair.decoder.address, dst="somewhere-else",
+                       proto=PROTO_DRE_CONTROL, payload=message)
+        pair.encoder.receive(pkt)
+        assert len(enc_out.packets) == 1
+
+    def test_informed_marking_end_to_end(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="informed_marking")
+        payload = random_bytes(6)
+        pair.encoder.receive(data_packet(payload, seq=0))       # lost
+        pair.encoder.receive(data_packet(payload, seq=1460))
+        dependent = enc_out.packets[1]
+        pair.decoder.receive(dependent)                         # drops+marks
+        assert pair.decoder.stats.control_messages_sent == 1
+        mark = dec_out.packets[-1] if dec_out.packets else None
+        # The control message goes towards the encoder (reverse route).
+        control = [p for p in dec_out.packets
+                   if p.proto == PROTO_DRE_CONTROL]
+        assert control
+        pair.encoder.receive(control[0])
+        # Marked entries are unusable: the same content goes raw now.
+        pair.encoder.receive(data_packet(payload, seq=2920))
+        third = enc_out.packets[-1]
+        decoded_before = pair.decoder.stats.decoded_ok
+        pair.decoder.receive(third)
+        assert pair.decoder.stats.decoded_ok == decoded_before + 1
+
+    def test_nack_recovery_end_to_end(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="nack_recovery")
+        payload = random_bytes(7)
+        pair.encoder.receive(data_packet(payload, seq=0))       # lost
+        pair.encoder.receive(data_packet(payload, seq=1460))
+        dependent = enc_out.packets[1]
+        pair.decoder.receive(dependent)
+        # Buffered, not dropped; a NACK went out the reverse path.
+        assert pair.decoder.stats.buffered == 1
+        nacks = [p for p in dec_out.packets if p.proto == PROTO_DRE_CONTROL]
+        assert nacks
+        pair.encoder.receive(nacks[0])
+        repairs = [p for p in enc_out.packets
+                   if p.proto == PROTO_DRE_CONTROL]
+        assert repairs
+        pair.decoder.receive(repairs[0])
+        # The buffered packet was re-decoded and forwarded to the client.
+        delivered = [p for p in dec_out.packets if p.proto == PROTO_TCP]
+        assert delivered and delivered[-1].tcp.data == payload
+
+
+class TestPolicyIntegration:
+    def test_cache_flush_sends_retransmission_raw(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="cache_flush")
+        payload = random_bytes(8)
+        pair.encoder.receive(data_packet(payload, seq=0))
+        pair.encoder.receive(data_packet(payload, seq=1460))
+        pair.encoder.receive(data_packet(payload, seq=0))   # retransmission
+        retransmission = enc_out.packets[2]
+        # Raw (flush emptied the cache): full size + shim.
+        assert len(retransmission.tcp.data) == len(payload) + 2
+        pair.decoder.receive(retransmission)
+        assert dec_out.packets[-1].tcp.data == payload
+
+    def test_tcp_seq_never_references_future(self):
+        sim, pair, enc_out, dec_out = make_pair(policy="tcp_seq")
+        payload = random_bytes(9)
+        pair.encoder.receive(data_packet(payload, seq=1460))
+        pair.encoder.receive(data_packet(payload, seq=0))  # earlier seq
+        second = enc_out.packets[1]
+        assert len(second.tcp.data) == len(payload) + 2    # sent raw
+        pair.decoder.receive(second)
+        assert dec_out.packets[-1].tcp.data == payload
+
+    def test_k_distance_references_every_k(self):
+        sim, pair, enc_out, _ = make_pair(policy="k_distance", k=3)
+        payload_a = random_bytes(10)
+        for i in range(7):
+            pair.encoder.receive(data_packet(payload_a, seq=i * 1460))
+        sizes = [len(p.tcp.data) for p in enc_out.packets]
+        # References at counters 0, 3 and 6 go out raw-sized.
+        for reference_index in (0, 3, 6):
+            assert sizes[reference_index] == len(payload_a) + 2
+        # Non-reference duplicates are whole-payload matches, which
+        # k-distance refuses (sent raw) — but partial matches compress;
+        # counter 7 half-overlaps the counter-6 reference.
+        payload_b = payload_a[:700] + random_bytes(11, 760)
+        pair.encoder.receive(data_packet(payload_b, seq=7 * 1460))
+        assert len(enc_out.packets[-1].tcp.data) < len(payload_b)

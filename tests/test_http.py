@@ -1,0 +1,76 @@
+"""Tests for the minimal HTTP/1.0 layer."""
+
+import random
+
+from repro.app.http import HTTPClient, HTTPServer, _parse_response
+
+from tests.tcp_helpers import TcpTestbed, drop_data_segments
+
+
+def page(n=30000, seed=3):
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def build(resources=None, drop_s2c=None):
+    testbed = TcpTestbed(drop_s2c=drop_s2c)
+    server = HTTPServer(testbed.server_stack,
+                        resources if resources is not None else {})
+    client = HTTPClient(testbed.client_stack, testbed.sim)
+    return testbed, server, client
+
+
+def test_get_200():
+    body = page()
+    testbed, server, client = build({"/index.html": body})
+    responses = []
+    client.get("10.0.0.2", "/index.html", on_done=responses.append)
+    testbed.sim.run(until=30)
+    assert len(responses) == 1
+    response = responses[0]
+    assert response.status == 200
+    assert response.body == body
+    assert int(response.headers["content-length"]) == len(body)
+    assert server.hits == 1
+
+
+def test_get_404():
+    testbed, server, client = build({})
+    responses = []
+    client.get("10.0.0.2", "/nope", on_done=responses.append)
+    testbed.sim.run(until=10)
+    assert responses[0].status == 404
+    assert responses[0].body == b""
+    assert server.misses == 1
+
+
+def test_get_under_loss():
+    body = page(seed=4)
+    drops = drop_data_segments(*[k * 1460 for k in (0, 3)])
+    testbed, server, client = build({"/a": body}, drop_s2c=drops)
+    responses = []
+    client.get("10.0.0.2", "/a", on_done=responses.append)
+    testbed.sim.run(until=60)
+    assert responses and responses[0].body == body
+
+
+def test_parse_response_robustness():
+    assert _parse_response(b"").status == 0
+    assert _parse_response(b"HTTP/1.0 200 OK").status == 0  # no header end
+    parsed = _parse_response(b"garbage\r\n\r\nbody")
+    assert parsed.status == 0
+    assert parsed.body == b"body"
+
+
+def test_parallel_gets():
+    pages = {f"/{i}": page(5000, seed=10 + i) for i in range(3)}
+    testbed, server, client = build(dict(pages))
+    responses = {}
+    for path in pages:
+        client.get("10.0.0.2", path,
+                   on_done=lambda response, p=path: responses.setdefault(
+                       p, response))
+    testbed.sim.run(until=30)
+    assert set(responses) == set(pages)
+    for path, response in responses.items():
+        assert response.body == pages[path]

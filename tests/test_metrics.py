@@ -1,0 +1,125 @@
+"""Tests for metric aggregation and report formatting."""
+
+import math
+
+import pytest
+
+from repro.app.transfer import TransferOutcome
+from repro.metrics import (Aggregate, RatioPoint, Series, TransferResult,
+                           format_series, format_table, sweep)
+from repro.sim.link import LinkStats
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        aggregate = Aggregate(x=1.0, values=[1.0, 2.0, 3.0])
+        assert aggregate.mean == 2.0
+        assert aggregate.std == pytest.approx(1.0)
+        assert aggregate.n == 3
+
+    def test_empty_is_nan(self):
+        aggregate = Aggregate(x=1.0)
+        assert math.isnan(aggregate.mean)
+
+    def test_single_value_zero_std(self):
+        aggregate = Aggregate(x=1.0, values=[5.0])
+        assert aggregate.std == 0.0
+        assert aggregate.ci95 == 0.0
+
+    def test_add_skips_none_and_nan(self):
+        aggregate = Aggregate(x=1.0)
+        aggregate.add(None)
+        aggregate.add(float("nan"))
+        aggregate.add(2.0)
+        assert aggregate.values == [2.0]
+
+
+class TestSeries:
+    def test_point_creates_and_reuses(self):
+        series = Series("s")
+        a = series.point(1.0)
+        b = series.point(1.0)
+        assert a is b
+        series.point(2.0)
+        assert series.xs() == [1.0, 2.0]
+
+    def test_sweep_runs_cross_product(self):
+        calls = []
+
+        def run(x, seed):
+            calls.append((x, seed))
+            return x * 10 + seed
+
+        series = sweep([1.0, 2.0], [1, 2], run, name="demo")
+        assert len(calls) == 4
+        assert series.point(1.0).values == [11.0, 12.0]
+
+    def test_sweep_skips_none(self):
+        series = sweep([1.0], [1, 2],
+                       lambda x, seed: None if seed == 1 else 5.0)
+        assert series.point(1.0).values == [5.0]
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["col_a", "b"], [["x", 1], ["longer", 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col_a" in lines[2]
+        assert "longer" in lines[-1]
+        assert "2.500" in lines[-1]
+
+    def test_format_series_merges_xs(self):
+        a = Series("a")
+        a.point(1.0).add(10.0)
+        b = Series("b")
+        b.point(2.0).add(20.0)
+        text = format_series("S", "x", [a, b])
+        assert "10.000" in text
+        assert "20.000" in text
+        assert text.count("-") > 0  # missing cells rendered as dashes
+
+    def test_format_series_shows_ci_with_multiple_samples(self):
+        series = Series("s")
+        series.point(1.0).add(10.0)
+        series.point(1.0).add(12.0)
+        assert "±" in format_series("S", "x", [series])
+
+
+def make_result(bytes_offered=1000, duration=2.0, **kwargs):
+    outcome = TransferOutcome(name="o", expected_size=100,
+                              bytes_received=100, started_at=0.0,
+                              finished_at=duration)
+    outcome.completed = True
+    forward = LinkStats(bytes_offered=bytes_offered, packets_offered=10)
+    return TransferResult(outcome=outcome, bottleneck_forward=forward,
+                          bottleneck_reverse=LinkStats(), **kwargs)
+
+
+class TestTransferResult:
+    def test_perceived_loss_without_gateways_is_channel_loss(self):
+        result = make_result()
+        result.bottleneck_forward.packets_lost = 2
+        assert result.perceived_loss_rate == pytest.approx(0.2)
+
+    def test_perceived_loss_with_gateways(self):
+        from repro.gateway.middlebox import GatewayStats
+
+        result = make_result(
+            encoder_stats=GatewayStats(data_packets=100),
+            decoder_stats=GatewayStats(decoded_ok=80))
+        assert result.perceived_loss_rate == pytest.approx(0.2)
+
+    def test_ratio_point(self):
+        dre = make_result(bytes_offered=550, duration=1.5)
+        baseline = make_result(bytes_offered=1000, duration=2.0)
+        point = RatioPoint.from_results(0.05, dre, baseline)
+        assert point.bytes_ratio == pytest.approx(0.55)
+        assert point.delay_ratio == pytest.approx(0.75)
+
+    def test_ratio_point_stalled_dre(self):
+        dre = make_result(bytes_offered=550, duration=2.0)
+        dre.outcome.finished_at = None
+        baseline = make_result()
+        point = RatioPoint.from_results(0.05, dre, baseline)
+        assert point.delay_ratio is None

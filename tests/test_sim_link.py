@@ -1,0 +1,163 @@
+"""Unit tests for the impaired link model."""
+
+import random
+
+import pytest
+
+from repro.net.packet import IPPacket, PROTO_TCP, TCPSegment
+from repro.net.checksum import payload_checksum
+from repro.sim import DuplexLink, Link, Simulator
+
+
+def make_packet(size_payload: int = 1000) -> IPPacket:
+    data = bytes(size_payload)
+    segment = TCPSegment(src_port=1, dst_port=2, seq=0, ack=0,
+                         flags=TCPSegment.ACK, window=100, data=data,
+                         checksum=payload_checksum(data))
+    return IPPacket(src="a", dst="b", proto=PROTO_TCP, payload=segment)
+
+
+def test_serialisation_and_propagation_delay():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0, prop_delay=0.5)
+    arrivals = []
+    link.connect(lambda pkt: arrivals.append(sim.now))
+    pkt = make_packet(1000)   # wire size 1040 -> 1.04 s serialisation
+    link.send(pkt)
+    sim.run()
+    assert arrivals == [pytest.approx(pkt.wire_size / 1000.0 + 0.5)]
+
+
+def test_back_to_back_packets_queue_fifo():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0, prop_delay=0.0)
+    arrivals = []
+    link.connect(lambda pkt: arrivals.append((sim.now, pkt.packet_id)))
+    first, second = make_packet(460), make_packet(460)
+    link.send(first)
+    link.send(second)
+    sim.run()
+    assert [pid for _, pid in arrivals] == [first.packet_id, second.packet_id]
+    tx = first.wire_size / 1000.0
+    assert arrivals[0][0] == pytest.approx(tx)
+    assert arrivals[1][0] == pytest.approx(2 * tx)
+
+
+def test_loss_rate_statistics():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e9, prop_delay=0.0, loss_rate=0.3,
+                rng=random.Random(1), queue_limit=None)
+    delivered = []
+    link.connect(delivered.append)
+    n = 2000
+    for _ in range(n):
+        link.send(make_packet(100))
+    sim.run()
+    observed = 1 - len(delivered) / n
+    assert 0.25 < observed < 0.35
+    assert link.stats.packets_lost == n - len(delivered)
+
+
+def test_zero_loss_delivers_everything():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e9, prop_delay=0.0, queue_limit=None)
+    delivered = []
+    link.connect(delivered.append)
+    for _ in range(500):
+        link.send(make_packet(100))
+    sim.run()
+    assert len(delivered) == 500
+
+
+def test_corruption_flips_payload_or_header():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e9, prop_delay=0.0, corrupt_rate=1.0,
+                rng=random.Random(3), queue_limit=None)
+    received = []
+    link.connect(received.append)
+    for _ in range(100):
+        link.send(make_packet(500))
+    sim.run()
+    damaged = sum(
+        1 for pkt in received
+        if pkt.header_corrupt
+        or payload_checksum(pkt.payload.data) != pkt.payload.checksum)
+    assert damaged == len(received) == 100
+
+
+def test_reordering_changes_arrival_order():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e9, prop_delay=0.001, reorder_rate=0.5,
+                reorder_extra_delay=0.5, rng=random.Random(5),
+                queue_limit=None)
+    order = []
+    link.connect(lambda pkt: order.append(pkt.packet_id))
+    packets = [make_packet(100) for _ in range(50)]
+    for pkt in packets:
+        link.send(pkt)
+    sim.run()
+    assert len(order) == 50
+    assert order != [pkt.packet_id for pkt in packets]
+    assert link.stats.packets_reordered > 0
+
+
+def test_queue_limit_tail_drops():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0, prop_delay=0.0, queue_limit=5)
+    delivered = []
+    link.connect(delivered.append)
+    for _ in range(20):
+        link.send(make_packet(1000))
+    sim.run()
+    assert len(delivered) == 5
+    assert link.stats.packets_queue_dropped == 15
+
+
+def test_stats_byte_accounting():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1e9, prop_delay=0.0, queue_limit=None)
+    link.connect(lambda pkt: None)
+    pkt = make_packet(700)
+    link.send(pkt)
+    sim.run()
+    assert link.stats.bytes_offered == pkt.wire_size
+    assert link.stats.bytes_delivered == pkt.wire_size
+
+
+def test_send_without_receiver_raises():
+    sim = Simulator()
+    link = Link(sim, bandwidth=1000.0, prop_delay=0.0)
+    with pytest.raises(RuntimeError):
+        link.send(make_packet())
+
+
+@pytest.mark.parametrize("field,value", [
+    ("bandwidth", 0), ("bandwidth", -5), ("prop_delay", -0.1),
+])
+def test_invalid_link_parameters(field, value):
+    sim = Simulator()
+    kwargs = {"bandwidth": 1000.0, "prop_delay": 0.0}
+    kwargs[field] = value
+    with pytest.raises(ValueError):
+        Link(sim, **kwargs)
+
+
+@pytest.mark.parametrize("rate", [-0.1, 1.5])
+def test_invalid_rates(rate):
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, 1000.0, 0.0, loss_rate=rate)
+
+
+def test_duplex_link_has_independent_directions():
+    sim = Simulator()
+    duplex = DuplexLink.create(sim, 1000.0, 0.0, name="pair")
+    fwd, rev = [], []
+    duplex.forward.connect(fwd.append)
+    duplex.reverse.connect(rev.append)
+    duplex.forward.send(make_packet(100))
+    duplex.reverse.send(make_packet(100))
+    duplex.reverse.send(make_packet(100))
+    sim.run()
+    assert len(fwd) == 1
+    assert len(rev) == 2

@@ -1,0 +1,55 @@
+"""Unit tests for the structured tracer."""
+
+from repro.sim import Simulator, Tracer
+from repro.sim.trace import NULL_TRACER
+
+
+def test_records_timestamped_with_bound_clock():
+    sim = Simulator()
+    tracer = Tracer()
+    tracer.bind_clock(lambda: sim.now)
+    sim.at(1.5, tracer.emit, "src", "event")
+    sim.run()
+    assert tracer.records[0].time == 1.5
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit("src", "event")
+    assert tracer.records == []
+
+
+def test_null_tracer_is_disabled():
+    NULL_TRACER.emit("src", "event")
+    assert NULL_TRACER.records == []
+
+
+def test_query_filters_by_source_and_event():
+    tracer = Tracer()
+    tracer.emit("a", "x")
+    tracer.emit("a", "y")
+    tracer.emit("b", "x")
+    assert tracer.count(source="a") == 2
+    assert tracer.count(event="x") == 2
+    assert tracer.count(source="a", event="x") == 1
+    assert tracer.count() == 3
+
+
+def test_detail_kwargs_stored():
+    tracer = Tracer()
+    tracer.emit("a", "x", packet_id=7, reason="loss")
+    assert tracer.records[0].detail == {"packet_id": 7, "reason": "loss"}
+
+
+def test_max_records_caps_growth():
+    tracer = Tracer(max_records=3)
+    for i in range(10):
+        tracer.emit("a", "x", i=i)
+    assert len(tracer.records) == 3
+
+
+def test_clear_resets():
+    tracer = Tracer()
+    tracer.emit("a", "x")
+    tracer.clear()
+    assert tracer.records == []

@@ -1,0 +1,77 @@
+"""Tests for the UDP streaming experiments (§V-C)."""
+
+import pytest
+
+from repro.experiments.streaming import (StreamingConfig, StreamingResult,
+                                         make_frames, run_streaming)
+
+
+def config(**kwargs) -> StreamingConfig:
+    defaults = dict(frame_count=150, seed=11)
+    defaults.update(kwargs)
+    return StreamingConfig(**defaults)
+
+
+class TestFrameGenerator:
+    def test_counts_and_sizes(self):
+        frames = make_frames(config())
+        assert len(frames) == 150
+        assert all(len(frame) == 1200 for frame in frames)
+
+    def test_deterministic(self):
+        assert make_frames(config()) == make_frames(config())
+
+    def test_overlap_present(self):
+        frames = make_frames(config())
+        # Each frame embeds the previous frame's tail (at a different
+        # offset — which is exactly what content-defined fingerprints
+        # tolerate and fixed-offset comparison would miss).
+        assert frames[1][-400:] in frames[2]
+
+
+class TestCleanChannel:
+    def test_all_frames_delivered_no_dre(self):
+        result = run_streaming(config(policy=None))
+        assert result.frames_delivered == result.frames_sent
+
+    def test_k_distance_compresses_and_delivers(self):
+        raw = run_streaming(config(policy=None))
+        dre = run_streaming(config(policy="k_distance", k=8))
+        assert dre.frames_delivered == dre.frames_sent
+        assert dre.bytes_on_link < 0.8 * raw.bytes_on_link
+
+    def test_larger_k_compresses_more(self):
+        k4 = run_streaming(config(policy="k_distance", k=4))
+        k32 = run_streaming(config(policy="k_distance", k=32))
+        assert k32.bytes_on_link < k4.bytes_on_link
+
+
+class TestLossyChannel:
+    def test_loss_costs_frames_without_retransmission(self):
+        result = run_streaming(config(policy=None, loss_rate=0.05))
+        assert result.frames_delivered < result.frames_sent
+        assert result.channel_lost > 0
+
+    def test_dependency_amplification_grows_with_k(self):
+        """§V-C's trade in pure form: larger k → more undecodable
+        frames per channel loss (no retransmissions to repair them)."""
+        k4 = run_streaming(config(policy="k_distance", k=4,
+                                  loss_rate=0.05))
+        k32 = run_streaming(config(policy="k_distance", k=32,
+                                   loss_rate=0.05))
+        assert k32.undecodable > k4.undecodable
+        assert k32.delivery_fraction < k4.delivery_fraction
+
+    def test_k_bounds_damage(self):
+        """A single loss costs at most ~k frames."""
+        result = run_streaming(config(policy="k_distance", k=4,
+                                      loss_rate=0.02))
+        assert result.undecodable <= result.channel_lost * 4
+
+    def test_naive_policy_on_udp_also_works_but_amplifies(self):
+        """Without references, a loss can poison everything after it
+        (until the content chain naturally breaks)."""
+        naive = run_streaming(config(policy="naive", loss_rate=0.02))
+        kdist = run_streaming(config(policy="k_distance", k=8,
+                                     loss_rate=0.02))
+        assert naive.undecodable >= kdist.undecodable

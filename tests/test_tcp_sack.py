@@ -1,0 +1,115 @@
+"""Unit tests for the SACK range set and block selection."""
+
+from repro.net.tcp.sack import RangeSet, select_sack_blocks
+
+
+class TestRangeSet:
+    def test_add_and_iterate(self):
+        ranges = RangeSet()
+        ranges.add(10, 20)
+        ranges.add(30, 40)
+        assert list(ranges) == [(10, 20), (30, 40)]
+
+    def test_empty_range_ignored(self):
+        ranges = RangeSet()
+        ranges.add(10, 10)
+        ranges.add(10, 5)
+        assert not ranges
+
+    def test_merge_overlapping(self):
+        ranges = RangeSet([(10, 20), (15, 30)])
+        assert list(ranges) == [(10, 30)]
+
+    def test_merge_adjacent(self):
+        ranges = RangeSet([(10, 20), (20, 30)])
+        assert list(ranges) == [(10, 30)]
+
+    def test_merge_spanning_several(self):
+        ranges = RangeSet([(0, 5), (10, 15), (20, 25)])
+        ranges.add(4, 21)
+        assert list(ranges) == [(0, 25)]
+
+    def test_insert_between(self):
+        ranges = RangeSet([(0, 5), (20, 25)])
+        ranges.add(10, 15)
+        assert list(ranges) == [(0, 5), (10, 15), (20, 25)]
+
+    def test_contains_point(self):
+        ranges = RangeSet([(10, 20)])
+        assert ranges.contains_point(10)
+        assert ranges.contains_point(19)
+        assert not ranges.contains_point(20)
+        assert not ranges.contains_point(9)
+
+    def test_covers(self):
+        ranges = RangeSet([(10, 30)])
+        assert ranges.covers(10, 30)
+        assert ranges.covers(15, 25)
+        assert not ranges.covers(5, 15)
+        assert not ranges.covers(25, 35)
+        assert ranges.covers(5, 5)  # empty range trivially covered
+
+    def test_coverage_partial(self):
+        ranges = RangeSet([(10, 20), (30, 40)])
+        assert ranges.coverage(0, 50) == 20
+        assert ranges.coverage(15, 35) == 10
+        assert ranges.coverage(20, 30) == 0
+
+    def test_remove_below(self):
+        ranges = RangeSet([(10, 20), (30, 40)])
+        ranges.remove_below(15)
+        assert list(ranges) == [(15, 20), (30, 40)]
+        ranges.remove_below(25)
+        assert list(ranges) == [(30, 40)]
+
+    def test_first_gap(self):
+        ranges = RangeSet([(10, 20), (30, 40)])
+        assert ranges.first_gap(0, 50) == (0, 10)
+        assert ranges.first_gap(10, 50) == (20, 30)
+        assert ranges.first_gap(30, 40) is None
+        assert ranges.first_gap(40, 50) == (40, 50)
+
+    def test_gaps(self):
+        ranges = RangeSet([(10, 20), (30, 40)])
+        assert ranges.gaps(0, 50) == [(0, 10), (20, 30), (40, 50)]
+        assert ranges.gaps(10, 40) == [(20, 30)]
+        assert RangeSet().gaps(5, 8) == [(5, 8)]
+
+    def test_max_end(self):
+        assert RangeSet().max_end() == 0
+        assert RangeSet([(10, 20), (30, 40)]).max_end() == 40
+
+    def test_clear(self):
+        ranges = RangeSet([(1, 2)])
+        ranges.clear()
+        assert not ranges
+
+
+class TestSelectSackBlocks:
+    def test_limit_three(self):
+        ooo = RangeSet([(10, 20), (30, 40), (50, 60), (70, 80)])
+        blocks = select_sack_blocks(ooo)
+        assert len(blocks) == 3
+
+    def test_recent_first(self):
+        ooo = RangeSet([(10, 20), (30, 40), (50, 60)])
+        blocks = select_sack_blocks(ooo, recent_seqs=[55, 32])
+        assert blocks[0] == (50, 60)
+        assert blocks[1] == (30, 40)
+
+    def test_recent_rotation_covers_all_ranges(self):
+        """With >3 ranges, recency ordering must let every range appear
+        across successive ACKs (the sender-starvation regression)."""
+        ooo = RangeSet([(10, 20), (30, 40), (50, 60), (70, 80)])
+        first = select_sack_blocks(ooo, recent_seqs=[75])
+        assert (70, 80) in first
+        second = select_sack_blocks(ooo, recent_seqs=[15, 75])
+        assert (10, 20) == second[0]
+
+    def test_duplicate_recent_seqs_deduped(self):
+        ooo = RangeSet([(10, 20)])
+        blocks = select_sack_blocks(ooo, recent_seqs=[12, 15, 11])
+        assert blocks == ((10, 20),)
+
+    def test_empty(self):
+        assert select_sack_blocks(RangeSet()) == ()

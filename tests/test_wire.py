@@ -1,0 +1,145 @@
+"""Unit tests for the encoded-packet wire format."""
+
+import pytest
+
+from repro.core.region import Region
+from repro.core.wire import (ENCODED_HEADER_SIZE, FIELD_SIZE,
+                             MIN_REGION_LENGTH, EncodedPayload,
+                             MissingFingerprintError, WireFormatError,
+                             encode_payload, encoded_size, is_encoded,
+                             parse_payload, reconstruct, wrap_raw)
+
+
+def region(fp=0xAB, off_new=0, off_stored=0, length=20):
+    return Region(fingerprint=fp, offset_new=off_new,
+                  offset_stored=off_stored, length=length)
+
+
+class TestRawPath:
+    def test_wrap_and_parse_raw(self):
+        payload = b"hello world"
+        shimmed = wrap_raw(payload)
+        assert len(shimmed) == len(payload) + 2
+        assert not is_encoded(shimmed)
+        assert parse_payload(shimmed) == payload
+
+    def test_empty_payload(self):
+        assert parse_payload(wrap_raw(b"")) == b""
+
+
+class TestEncodedPath:
+    def test_roundtrip_single_region(self):
+        stored = bytes(range(200))
+        payload = b"head" + stored[50:100] + b"tail"
+        regions = [region(off_new=4, off_stored=50, length=50)]
+        wire = encode_payload(payload, regions)
+        assert is_encoded(wire)
+        parsed = parse_payload(wire)
+        assert isinstance(parsed, EncodedPayload)
+        rebuilt = reconstruct(parsed, lambda fp: stored)
+        assert rebuilt == payload
+
+    def test_roundtrip_multiple_regions(self):
+        stored = bytes(range(256))
+        payload = (b"A" * 10 + stored[0:30] + b"B" * 5
+                   + stored[100:140] + b"C" * 7)
+        regions = [
+            Region(fingerprint=1, offset_new=10, offset_stored=0, length=30),
+            Region(fingerprint=2, offset_new=45, offset_stored=100, length=40),
+        ]
+        wire = encode_payload(payload, regions)
+        rebuilt = reconstruct(parse_payload(wire), lambda fp: stored)
+        assert rebuilt == payload
+
+    def test_field_size_matches_paper(self):
+        """§III-B: fp 8 B + offsets 2+2 B + length 2 B = 14 bytes."""
+        assert FIELD_SIZE == 14
+        assert MIN_REGION_LENGTH == 15  # encode only when len > 14
+
+    def test_wire_size_accounting(self):
+        stored = bytes(range(200))
+        payload = stored[:100] + b"x" * 60
+        regions = [region(off_new=0, off_stored=0, length=100)]
+        wire = encode_payload(payload, regions)
+        assert len(wire) == ENCODED_HEADER_SIZE + FIELD_SIZE + 60
+        assert len(wire) == encoded_size(len(payload), regions)
+
+    def test_no_regions_is_raw(self):
+        wire = encode_payload(b"data", [])
+        assert not is_encoded(wire)
+
+    def test_region_at_payload_end(self):
+        stored = bytes(range(100))
+        payload = b"pre" + stored[20:70]
+        regions = [region(off_new=3, off_stored=20, length=50)]
+        rebuilt = reconstruct(parse_payload(encode_payload(payload, regions)),
+                              lambda fp: stored)
+        assert rebuilt == payload
+
+    def test_whole_payload_region(self):
+        stored = bytes(range(220))
+        payload = stored[10:210]
+        regions = [region(off_new=0, off_stored=10, length=200)]
+        wire = encode_payload(payload, regions)
+        assert len(wire) == ENCODED_HEADER_SIZE + FIELD_SIZE
+        rebuilt = reconstruct(parse_payload(wire), lambda fp: stored)
+        assert rebuilt == payload
+
+
+class TestErrors:
+    def test_overlapping_regions_rejected_on_encode(self):
+        payload = bytes(100)
+        regions = [region(off_new=0, length=50),
+                   region(fp=2, off_new=30, length=40)]
+        with pytest.raises(WireFormatError):
+            encode_payload(payload, regions)
+
+    def test_region_past_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode_payload(bytes(30), [region(off_new=20, length=20)])
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(WireFormatError):
+            encode_payload(bytes(70000), [region()])
+
+    def test_bad_magic(self):
+        with pytest.raises(WireFormatError):
+            parse_payload(b"\x00\x00payload")
+
+    def test_truncated_shim(self):
+        with pytest.raises(WireFormatError):
+            parse_payload(b"\xd5")
+
+    def test_bad_flags(self):
+        with pytest.raises(WireFormatError):
+            parse_payload(bytes([0xD5, 0x7F]) + b"rest")
+
+    def test_truncated_field_table(self):
+        stored = bytes(range(100))
+        payload = stored[:50]
+        wire = encode_payload(payload, [region(length=50)])
+        with pytest.raises(WireFormatError):
+            parse_payload(wire[: ENCODED_HEADER_SIZE + 5])
+
+    def test_missing_fingerprint_raises(self):
+        stored = bytes(range(100))
+        payload = stored[:50]
+        parsed = parse_payload(encode_payload(payload, [region(length=50)]))
+        with pytest.raises(MissingFingerprintError) as excinfo:
+            reconstruct(parsed, lambda fp: None)
+        assert excinfo.value.fingerprint == 0xAB
+
+    def test_region_exceeding_cached_payload(self):
+        stored = bytes(range(100))
+        payload = stored[:50]
+        parsed = parse_payload(encode_payload(payload, [region(length=50)]))
+        with pytest.raises(WireFormatError):
+            reconstruct(parsed, lambda fp: stored[:10])
+
+    def test_length_mismatch_detected(self):
+        stored = bytes(range(100))
+        payload = stored[:50] + b"xx"
+        wire = bytearray(encode_payload(payload, [region(length=50)]))
+        wire[5] += 1  # corrupt orig_len
+        with pytest.raises(WireFormatError):
+            reconstruct(parse_payload(bytes(wire)), lambda fp: stored)
