@@ -89,6 +89,21 @@ class PacketStore:
         self._data.clear()
         self._bytes = 0
 
+    def evict_oldest(self, count: int) -> int:
+        """Force out up to ``count`` oldest payloads; returns how many.
+
+        Used by the asymmetric-eviction fault action: evicting from one
+        gateway's store only reproduces a cache divergence no per-packet
+        policy can repair (the resilience layer's watchdog can).
+        """
+        evicted = 0
+        while self._data and evicted < count:
+            _, payload = self._data.popitem(last=False)
+            self._bytes -= len(payload)
+            self.evictions += 1
+            evicted += 1
+        return evicted
+
     def ids(self) -> Iterator[int]:
         return iter(self._data.keys())
 
@@ -140,6 +155,12 @@ class ByteCache:
         self.store = PacketStore(byte_budget, max_packets, eviction)
         self.table = FingerprintTable()
         self.flushes = 0
+        #: Cache generation, stamped onto encoded packets by gateways
+        #: running the resilience layer (see repro.gateway.resilience).
+        #: Bumped explicitly on resync — NOT by flush(), because the
+        #: Cache Flush policy flushes on every retransmission without
+        #: the caches diverging.
+        self.epoch = 0
         self._external_ids: Dict[int, int] = {}
         self._unusable_store_ids: set = set()
         # One generation of history: when a fingerprint's entry is
@@ -225,6 +246,21 @@ class ByteCache:
         self._unusable_store_ids.clear()
         self._previous_entries.clear()
         self.flushes += 1
+
+    def bump_epoch(self) -> int:
+        """Advance the cache generation (resync protocol commit point)."""
+        self.epoch += 1
+        return self.epoch
+
+    def evict_fraction(self, fraction: float) -> int:
+        """Evict the oldest ``fraction`` of stored payloads; returns count.
+
+        Dangling fingerprint-table entries are invalidated lazily on
+        lookup, exactly as for budget-driven eviction.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        return self.store.evict_oldest(int(len(self.store) * fraction))
 
     def _prune_external_ids(self) -> None:
         live = set(self.store.ids())

@@ -74,8 +74,15 @@ class ByteCachingEncoder:
         self.stats = EncoderStats()
         policy.attach_encoder(self)
 
-    def encode(self, payload: bytes, meta: PacketMeta) -> EncodeResult:
-        """Run the full encoder pass over one outgoing payload."""
+    def encode(self, payload: bytes, meta: PacketMeta,
+               force_raw: bool = False) -> EncodeResult:
+        """Run the full encoder pass over one outgoing payload.
+
+        With ``force_raw`` the elimination pass is skipped entirely (the
+        payload ships shimmed-raw) but the Cache Update pass still runs
+        — the resilience layer's post-resync grace window uses this to
+        rebuild reference state without emitting regions.
+        """
         self.stats.packets += 1
         self.stats.bytes_in += len(payload)
 
@@ -84,7 +91,7 @@ class ByteCachingEncoder:
 
         regions: List[Region] = []
         dependencies: Set[int] = set()
-        if self.policy.may_encode(meta):
+        if not force_raw and self.policy.may_encode(meta):
             regions, dependencies = self._find_regions(payload, anchors, meta)
 
         if regions:

@@ -34,6 +34,12 @@ class ExperimentConfig:
     cache_max_packets: Optional[int] = None
     cache_eviction: str = "fifo"            # "fifo" (paper) | "lru"
 
+    # -- gateway resilience layer (epochs / resync / heartbeats; see
+    #    repro.gateway.resilience).  Off by default: the paper's runs
+    #    model cooperative gateways that never crash.
+    resilience: bool = False
+    resilience_kwargs: Dict[str, Any] = field(default_factory=dict)
+
     # -- the constrained (wireless) segment, Fig. 3
     bandwidth: float = 1_000_000.0          # 1 MB/s traffic shaper
     bottleneck_delay: float = 0.0025        # one-way propagation (s)

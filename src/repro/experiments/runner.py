@@ -19,6 +19,7 @@ from typing import Optional
 from ..app.transfer import FileClient, FileServer
 from ..core.fingerprint import FingerprintScheme
 from ..gateway.pair import GatewayPair
+from ..gateway.resilience import ResilienceConfig
 from ..metrics.collectors import TransferResult
 from ..net.tcp import TCPStack
 from ..sim.engine import Simulator
@@ -75,7 +76,10 @@ def build_testbed(config: ExperimentConfig,
             cache_max_packets=config.cache_max_packets,
             cache_eviction=config.cache_eviction,
             encoder_address=ENCODER_ADDR, decoder_address=DECODER_ADDR,
-            tracer=tracer, **config.policy_kwargs)
+            tracer=tracer,
+            resilience=(ResilienceConfig(**config.resilience_kwargs)
+                        if config.resilience else None),
+            **config.policy_kwargs)
         enc_node: Node = gateways.encoder
         dec_node: Node = gateways.decoder
     else:
@@ -160,6 +164,14 @@ def run_transfer(config: ExperimentConfig,
                        if testbed.gateways else None),
         decoder_stats=(testbed.gateways.decoder.stats
                        if testbed.gateways else None),
+        encoder_resilience=(testbed.gateways.encoder.resilience.stats
+                            if testbed.gateways
+                            and testbed.gateways.encoder.resilience
+                            else None),
+        decoder_resilience=(testbed.gateways.decoder.resilience.stats
+                            if testbed.gateways
+                            and testbed.gateways.decoder.resilience
+                            else None),
         sim_time=sim.now,
         dre_enabled=config.dre_enabled,
         policy=config.policy or "none",

@@ -2,13 +2,19 @@
 
 from .middlebox import DecoderGateway, EncoderGateway, GatewayStats
 from .pair import GatewayPair
+from .resilience import (DecoderResilience, EncoderResilience,
+                         ResilienceConfig, ResilienceStats)
 from .tcp_proxy import TcpProxyGateway, create_proxy_pair
 
 __all__ = [
     "DecoderGateway",
+    "DecoderResilience",
     "EncoderGateway",
+    "EncoderResilience",
     "GatewayStats",
     "GatewayPair",
+    "ResilienceConfig",
+    "ResilienceStats",
     "TcpProxyGateway",
     "create_proxy_pair",
 ]

@@ -27,11 +27,15 @@ from ..core.encoder import ByteCachingEncoder
 from ..core.fingerprint import FingerprintScheme
 from ..core.policies.base import (DecoderPolicy, EncoderPolicy, PacketMeta,
                                   PolicyServices)
+from ..core.wire import WireFormatError, parse_payload
 from ..net.packet import (ControlMessage, IPPacket, PROTO_DRE_CONTROL,
                           PROTO_TCP, PROTO_UDP)
 from ..sim.engine import Simulator
 from ..sim.node import Middlebox
 from ..sim.trace import NULL_TRACER, Tracer
+from .resilience import (MODE_BYPASS, MODE_RAW, RESILIENCE_CONTROL_KINDS,
+                         DecoderResilience, EncoderResilience,
+                         ResilienceConfig)
 
 
 def _default_forward_pred(data_dst: Optional[str]) -> Callable[[IPPacket], bool]:
@@ -66,17 +70,21 @@ class GatewayStats:
     bytes_after: int = 0           # wire size leaving it
     control_messages_sent: int = 0
     control_bytes_sent: int = 0
+    control_messages_received: int = 0
+    control_bytes_received: int = 0
     decoded_ok: int = 0
     undecodable_dropped: int = 0
     checksum_dropped: int = 0
     malformed_dropped: int = 0
+    desync_dropped: int = 0        # epoch mismatch / mid-resync drops
+    dropped_while_down: int = 0    # packets offered during a crash window
     buffered: int = 0
     reinjected: int = 0
 
     @property
     def dropped_total(self) -> int:
         return (self.undecodable_dropped + self.checksum_dropped
-                + self.malformed_dropped)
+                + self.malformed_dropped + self.desync_dropped)
 
 
 class _GatewayBase(Middlebox):
@@ -95,10 +103,49 @@ class _GatewayBase(Middlebox):
         self.forward_pred = (forward_pred if forward_pred is not None
                              else _default_forward_pred(data_dst))
         self.stats = GatewayStats()
+        #: True while the gateway is crashed: every offered packet is
+        #: dropped (see repro.sim.faults.schedule_gateway_restart).
+        self.down = False
+        #: Set by subclasses when a ResilienceConfig is supplied.
+        self.resilience = None
 
     def set_peer(self, peer_address: str) -> None:
         """Address of the other gateway (for control messages)."""
         self.peer_address = peer_address
+
+    def fail(self) -> None:
+        """Crash the gateway: drop everything until :meth:`restart`."""
+        self.down = True
+
+    def restart(self) -> None:
+        """Come back up with a cold cache (and epoch reset to zero)."""
+        self.down = False
+        self.cache.flush()
+        self.cache.epoch = 0
+        if self.resilience is not None:
+            self.resilience.on_restart()
+
+    def handle(self, pkt: IPPacket) -> None:
+        if self.down:
+            self.stats.dropped_while_down += 1
+            self.tracer.emit(self.name, "drop_gateway_down",
+                             packet_id=pkt.packet_id)
+            return
+        super().handle(pkt)
+
+    def _handle_control(self, pkt: IPPacket) -> Optional[IPPacket]:
+        """Consume a control packet addressed to us; forward otherwise."""
+        if pkt.dst != self.address:
+            return pkt
+        message: ControlMessage = pkt.payload  # type: ignore[assignment]
+        self.stats.control_messages_received += 1
+        self.stats.control_bytes_received += pkt.wire_size
+        if (self.resilience is not None
+                and message.kind in RESILIENCE_CONTROL_KINDS):
+            self.resilience.on_control(message.kind, message.payload)
+        else:
+            self.policy.on_control(message.kind, message.payload, self.cache)
+        return None
 
     def send_control(self, kind: str, payload: object) -> None:
         if self.peer_address is None:
@@ -124,12 +171,15 @@ class EncoderGateway(_GatewayBase):
                  policy: EncoderPolicy,
                  data_dst: Optional[str] = None,
                  forward_pred: Optional[Callable[[IPPacket], bool]] = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER,
+                 resilience: Optional[ResilienceConfig] = None):
         super().__init__(sim, name, address, scheme, cache,
                          data_dst, forward_pred, tracer)
         self.policy = policy
         policy.attach_services(self._services())
         self.encoder = ByteCachingEncoder(scheme, cache, policy)
+        if resilience is not None:
+            self.resilience = EncoderResilience(self, resilience)
         self._data_counter = 0
         #: packet_id -> set of packet ids it was encoded against
         #: (dependency bookkeeping for the §VII analysis)
@@ -140,11 +190,7 @@ class EncoderGateway(_GatewayBase):
 
     def process(self, pkt: IPPacket) -> Optional[IPPacket]:
         if pkt.proto == PROTO_DRE_CONTROL:
-            if pkt.dst == self.address:
-                message: ControlMessage = pkt.payload  # type: ignore[assignment]
-                self.policy.on_control(message.kind, message.payload, self.cache)
-                return None
-            return pkt
+            return self._handle_control(pkt)
 
         payload = _payload_of(pkt)
         if payload is None:
@@ -159,6 +205,16 @@ class EncoderGateway(_GatewayBase):
 
         self.stats.data_packets += 1
         self.stats.bytes_before += pkt.wire_size
+        mode = (self.resilience.encode_mode()
+                if self.resilience is not None else None)
+        if mode == MODE_BYPASS:
+            # Peer unresponsive: forward untouched (no shim, no cache
+            # update) so TCP keeps flowing at zero compression instead
+            # of feeding packets to a gateway that cannot decode them.
+            self.stats.passthrough_packets += 1
+            self.resilience.stats.degraded_packets += 1
+            self.stats.bytes_after += pkt.wire_size
+            return pkt
         meta = PacketMeta(
             packet_id=pkt.packet_id,
             flow=_flow_of(pkt),
@@ -168,7 +224,10 @@ class EncoderGateway(_GatewayBase):
         self._data_counter += 1
         if pkt.proto == PROTO_TCP:
             self.segment_log[pkt.packet_id] = payload.seq
-        result = self.encoder.encode(payload.data, meta)
+        result = self.encoder.encode(payload.data, meta,
+                                     force_raw=(mode == MODE_RAW))
+        if mode == MODE_RAW:
+            self.resilience.stats.grace_packets += 1
         payload.data = result.data
         payload.dre_encoded = True
         tag = self.policy.wire_tag(meta)
@@ -176,6 +235,11 @@ class EncoderGateway(_GatewayBase):
             # The tag rides in the shim; charge 4 bytes of wire overhead.
             payload.dre_wire_tag = tag
             payload.options_size += 4
+        if self.resilience is not None:
+            # The epoch rides in the shim; charge 1 byte of overhead.
+            payload.dre_epoch = self.cache.epoch
+            if hasattr(payload, "options_size"):
+                payload.options_size += 1
         if result.encoded:
             self.stats.encoded_packets += 1
             self.dependency_log[pkt.packet_id] = result.dependencies
@@ -196,11 +260,14 @@ class DecoderGateway(_GatewayBase):
                  policy: Optional[DecoderPolicy] = None,
                  data_dst: Optional[str] = None,
                  forward_pred: Optional[Callable[[IPPacket], bool]] = None,
-                 tracer: Tracer = NULL_TRACER):
+                 tracer: Tracer = NULL_TRACER,
+                 resilience: Optional[ResilienceConfig] = None):
         super().__init__(sim, name, address, scheme, cache,
                          data_dst, forward_pred, tracer)
         self.policy = policy if policy is not None else DecoderPolicy()
         self.policy.attach_services(self._services())
+        if resilience is not None:
+            self.resilience = DecoderResilience(self, resilience)
         # The NACK policy re-injects buffered packets once repaired.
         if hasattr(self.policy, "retry") and getattr(self.policy, "retry") is None:
             self.policy.retry = self.reinject  # type: ignore[attr-defined]
@@ -212,11 +279,7 @@ class DecoderGateway(_GatewayBase):
 
     def process(self, pkt: IPPacket) -> Optional[IPPacket]:
         if pkt.proto == PROTO_DRE_CONTROL:
-            if pkt.dst == self.address:
-                message: ControlMessage = pkt.payload  # type: ignore[assignment]
-                self.policy.on_control(message.kind, message.payload, self.cache)
-                return None
-            return pkt
+            return self._handle_control(pkt)
 
         payload = _payload_of(pkt)
         if payload is None:
@@ -256,11 +319,30 @@ class DecoderGateway(_GatewayBase):
             counter=self._data_counter,
         )
         self._data_counter += 1
+        carries_regions = False
+        if self.resilience is not None:
+            try:
+                carries_regions = not isinstance(
+                    parse_payload(payload.data), bytes)
+            except WireFormatError:
+                pass  # fall through; the decoder counts it as malformed
+            if carries_regions and not self.resilience.gate_encoded(
+                    getattr(payload, "dre_epoch", None)):
+                # Foreign cache generation (or mid-resync): the
+                # references cannot be trusted, drop and let TCP
+                # retransmit into the resynced cache.
+                self.stats.desync_dropped += 1
+                self.tracer.emit(self.name, "drop_desync",
+                                 packet_id=pkt.packet_id)
+                return None
         tag = getattr(payload, "dre_wire_tag", None)
         if tag is not None:
             self.policy.on_wire_tag(tag, meta, self.cache)
         result = self.decoder.decode(payload.data, meta,
                                      checksum=payload.checksum, pkt=pkt)
+        if self.resilience is not None and carries_regions:
+            self.resilience.record_outcome(
+                result.ok or result.status is DecodeStatus.BUFFERED)
         if result.ok:
             payload.data = result.payload
             payload.dre_encoded = False

@@ -11,6 +11,7 @@ from ..core.policies import make_policy_pair
 from ..sim.engine import Simulator
 from ..sim.trace import NULL_TRACER, Tracer
 from .middlebox import DecoderGateway, EncoderGateway
+from .resilience import ResilienceConfig
 
 
 @dataclass
@@ -30,6 +31,7 @@ class GatewayPair:
                encoder_address: str = "10.255.0.1",
                decoder_address: str = "10.255.0.2",
                tracer: Tracer = NULL_TRACER,
+               resilience: Optional[ResilienceConfig] = None,
                **policy_kwargs) -> "GatewayPair":
         """Build both gateways for one direction of traffic.
 
@@ -37,7 +39,9 @@ class GatewayPair:
         :data:`repro.core.policies.ENCODER_POLICIES`; ``policy_kwargs``
         are forwarded to it (e.g. ``k=8``).  ``data_dst`` restricts the
         encoded direction to packets destined for that address (the
-        client, in the paper's downstream-transfer setup).
+        client, in the paper's downstream-transfer setup).  A
+        ``resilience`` config arms the failure-recovery layer (epochs,
+        resync, heartbeats) on both gateways.
         """
         if scheme is None:
             scheme = FingerprintScheme()
@@ -45,11 +49,13 @@ class GatewayPair:
         encoder = EncoderGateway(
             sim, "encoder-gw", encoder_address, scheme,
             ByteCache(cache_bytes, cache_max_packets, cache_eviction),
-            encoder_policy, data_dst=data_dst, tracer=tracer)
+            encoder_policy, data_dst=data_dst, tracer=tracer,
+            resilience=resilience)
         decoder = DecoderGateway(
             sim, "decoder-gw", decoder_address, scheme,
             ByteCache(cache_bytes, cache_max_packets, cache_eviction),
-            decoder_policy, data_dst=data_dst, tracer=tracer)
+            decoder_policy, data_dst=data_dst, tracer=tracer,
+            resilience=resilience)
         encoder.set_peer(decoder_address)
         decoder.set_peer(encoder_address)
         return cls(encoder=encoder, decoder=decoder)

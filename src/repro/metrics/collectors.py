@@ -8,6 +8,11 @@ and derives the paper's three headline metrics:
 * download time (Fig. 11 numerator);
 * perceived packet loss rate (Fig. 13): channel losses *plus* packets
   the decoder had to drop as undecodable, over packets offered.
+
+When the resilience layer is armed the result additionally snapshots
+both gateways' :class:`~repro.gateway.resilience.ResilienceStats`
+(time-to-resync, degraded-mode packets, watchdog trips, heartbeat
+state) — see :meth:`TransferResult.recovery_summary`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from typing import Optional
 
 from ..app.transfer import TransferOutcome
 from ..gateway.middlebox import GatewayStats
+from ..gateway.resilience import ResilienceStats
 from ..sim.link import LinkStats
 
 
@@ -29,6 +35,8 @@ class TransferResult:
     bottleneck_reverse: LinkStats
     encoder_stats: Optional[GatewayStats] = None
     decoder_stats: Optional[GatewayStats] = None
+    encoder_resilience: Optional[ResilienceStats] = None
+    decoder_resilience: Optional[ResilienceStats] = None
     sim_time: float = 0.0
     dre_enabled: bool = False
     policy: str = "none"
@@ -89,6 +97,58 @@ class TransferResult:
         if self.decoder_stats is None:
             return 0
         return self.decoder_stats.dropped_total
+
+    # -- recovery metrics (resilience layer) -------------------------------
+
+    @property
+    def resyncs_completed(self) -> int:
+        if self.decoder_resilience is None:
+            return 0
+        return self.decoder_resilience.resyncs_completed
+
+    @property
+    def time_to_resync(self) -> Optional[float]:
+        """Mean seconds from divergence detection to acknowledged resync."""
+        if self.decoder_resilience is None:
+            return None
+        return self.decoder_resilience.time_to_resync
+
+    @property
+    def degraded_packets(self) -> int:
+        """Data packets the encoder forwarded unencoded while its peer
+        was unresponsive (zero compression instead of a stall)."""
+        if self.encoder_resilience is None:
+            return 0
+        return self.encoder_resilience.degraded_packets
+
+    @property
+    def watchdog_trips(self) -> int:
+        if self.decoder_resilience is None:
+            return 0
+        return self.decoder_resilience.watchdog_trips
+
+    def recovery_summary(self) -> Optional[dict]:
+        """Recovery metrics as one flat dict (None when the layer is off).
+
+        Rendered by :func:`repro.metrics.report.format_recovery`.
+        """
+        if self.encoder_resilience is None and self.decoder_resilience is None:
+            return None
+        enc = self.encoder_resilience or ResilienceStats()
+        dec = self.decoder_resilience or ResilienceStats()
+        return {
+            "resyncs_completed": dec.resyncs_completed,
+            "resyncs_initiated": dec.resyncs_initiated,
+            "resync_retries": dec.resync_retries,
+            "time_to_resync": dec.time_to_resync,
+            "watchdog_trips": dec.watchdog_trips,
+            "epoch_mismatch_dropped": dec.epoch_mismatch_dropped,
+            "desync_dropped": dec.desync_dropped,
+            "degraded_packets": enc.degraded_packets,
+            "degraded_time": enc.degraded_time,
+            "heartbeat_state": "degraded" if enc.degraded else "ok",
+            "heartbeats_sent": enc.heartbeats_sent,
+        }
 
 
 @dataclass

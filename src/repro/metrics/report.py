@@ -49,6 +49,27 @@ def format_series(title: str, x_label: str, series_list: Sequence[Series],
     return format_table(title, headers, rows)
 
 
+def format_recovery(title: str, summaries: Sequence[dict],
+                    labels: Optional[Sequence[str]] = None) -> str:
+    """Render resilience recovery summaries, one row per run.
+
+    ``summaries`` are :meth:`TransferResult.recovery_summary` dicts;
+    ``labels`` names each row (defaults to the row index).
+    """
+    if not summaries:
+        return format_table(title, ["run"], [])
+    keys = list(summaries[0].keys())
+    if labels is None:
+        labels = [str(i) for i in range(len(summaries))]
+    rows = [[label] + [_cell_or_dash(summary.get(key)) for key in keys]
+            for label, summary in zip(labels, summaries)]
+    return format_table(title, ["run"] + keys, rows)
+
+
+def _cell_or_dash(value: object) -> str:
+    return "-" if value is None else _cell(value)
+
+
 def _cell(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"

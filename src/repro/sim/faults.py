@@ -8,7 +8,13 @@ loss)".  This module scripts exact faults:
 * :class:`FaultInjector` wraps a live :class:`~repro.sim.link.Link` and
   applies drop/corrupt/delay actions chosen by predicates;
 * predicate builders select packets by offer index, by TCP stream
-  offset (ISS-independent), or by data-packet ordinal.
+  offset (ISS-independent), by data-packet ordinal, or by control
+  message kind (so control-plane loss — a NACK or resync request
+  vanishing — is scriptable too);
+* gateway-level fault actions (:func:`schedule_gateway_restart`,
+  :func:`schedule_asymmetric_eviction`) reproduce cache-level
+  divergence: a decoder restarting with a cold cache, or one side
+  evicting entries the other still references.
 
 Used by the integration tests, the stall-anatomy example, and available
 to library users for their own what-if experiments.
@@ -19,7 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..net.packet import IPPacket
+from ..net.packet import IPPacket, PROTO_DRE_CONTROL
+from .engine import Event, Simulator
 
 Predicate = Callable[[IPPacket, int], bool]
 
@@ -72,16 +79,48 @@ def match_nth_data(*ordinals: int) -> Predicate:
     return predicate
 
 
+def match_control(*kinds: str) -> Predicate:
+    """Match gateway control messages (proto 253), optionally by kind.
+
+    With no arguments every control message matches; with arguments
+    only messages whose ``kind`` tag is listed (e.g. ``"nack"``,
+    ``"cache_resync"``).
+    """
+    wanted = set(kinds)
+
+    def predicate(pkt: IPPacket, index: int) -> bool:
+        if pkt.proto != PROTO_DRE_CONTROL:
+            return False
+        return not wanted or pkt.payload.kind in wanted
+
+    return predicate
+
+
+def match_nth_control(kind: str, *ordinals: int) -> Predicate:
+    """Match the n-th, m-th, ... control messages of ``kind`` (1-based)."""
+    wanted = set(ordinals)
+    counter = {"seen": 0}
+
+    def predicate(pkt: IPPacket, index: int) -> bool:
+        if pkt.proto != PROTO_DRE_CONTROL or pkt.payload.kind != kind:
+            return False
+        counter["seen"] += 1
+        return counter["seen"] in wanted
+
+    return predicate
+
+
 @dataclass
 class FaultLog:
     """What the injector actually did."""
 
     dropped: List[int] = field(default_factory=list)
     corrupted: List[int] = field(default_factory=list)
+    delayed: List[int] = field(default_factory=list)
 
     @property
     def events(self) -> int:
-        return len(self.dropped) + len(self.corrupted)
+        return len(self.dropped) + len(self.corrupted) + len(self.delayed)
 
 
 class FaultInjector:
@@ -89,24 +128,37 @@ class FaultInjector:
 
     Wraps ``link.send``: each offered packet is tested against the
     registered predicates in order; the first matching action is
-    applied (``drop`` removes the packet, ``corrupt`` zeroes a byte
-    range of its payload so the end-to-end checksum fails).
+    applied (``drop`` removes the packet, ``corrupt`` XORs the first 16
+    payload bytes with 0xFF so the end-to-end checksum fails, and
+    ``delay`` holds the packet back before re-offering it to the link).
     """
 
     def __init__(self, link):
         self.link = link
         self.log = FaultLog()
         self._offer_index = 0
-        self._rules: List[Tuple[str, Predicate]] = []
+        self._rules: List[Tuple[str, Predicate, Optional[float]]] = []
         self._original_send = link.send
         link.send = self._send
 
     def drop_when(self, predicate: Predicate) -> "FaultInjector":
-        self._rules.append(("drop", predicate))
+        self._rules.append(("drop", predicate, None))
         return self
 
     def corrupt_when(self, predicate: Predicate) -> "FaultInjector":
-        self._rules.append(("corrupt", predicate))
+        self._rules.append(("corrupt", predicate, None))
+        return self
+
+    def delay_when(self, predicate: Predicate, delay: float) -> "FaultInjector":
+        """Hold matching packets for ``delay`` seconds, then re-offer.
+
+        The packet re-enters the link behind anything sent in the
+        meantime — the deterministic version of the link's random
+        re-ordering impairment.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self._rules.append(("delay", predicate, delay))
         return self
 
     def detach(self) -> None:
@@ -124,11 +176,15 @@ class FaultInjector:
     def _send(self, pkt: IPPacket) -> None:
         index = self._offer_index
         self._offer_index += 1
-        for action, predicate in self._rules:
+        for action, predicate, arg in self._rules:
             if not predicate(pkt, index):
                 continue
             if action == "drop":
                 self.log.dropped.append(index)
+                return
+            if action == "delay":
+                self.log.delayed.append(index)
+                self.link.sim.after(arg, self._original_send, pkt)
                 return
             if action == "corrupt":
                 self.log.corrupted.append(index)
@@ -141,3 +197,59 @@ class FaultInjector:
                     pkt.payload.data = bytes(damaged)
                 break
         self._original_send(pkt)
+
+
+# -- gateway-level fault actions ------------------------------------------
+
+
+@dataclass
+class GatewayFaultLog:
+    """What the scheduled gateway faults actually did."""
+
+    crashes: List[float] = field(default_factory=list)       # crash times
+    restarts: List[float] = field(default_factory=list)      # recovery times
+    evictions: List[Tuple[float, int]] = field(default_factory=list)
+
+
+def schedule_gateway_restart(sim: Simulator, gateway, at: float,
+                             downtime: float = 0.0,
+                             log: Optional[GatewayFaultLog] = None) -> Event:
+    """Crash ``gateway`` at ``at`` and restart it ``downtime`` later.
+
+    While down the gateway drops every offered packet (data *and*
+    control); it comes back with a wiped cache and its epoch reset —
+    the cold-start divergence the resilience layer exists to repair.
+    """
+    if downtime < 0:
+        raise ValueError(f"negative downtime: {downtime}")
+
+    def crash() -> None:
+        gateway.fail()
+        if log is not None:
+            log.crashes.append(sim.now)
+        sim.after(downtime, restore)
+
+    def restore() -> None:
+        gateway.restart()
+        if log is not None:
+            log.restarts.append(sim.now)
+
+    return sim.at(at, crash)
+
+
+def schedule_asymmetric_eviction(sim: Simulator, gateway, at: float,
+                                 fraction: float = 0.5,
+                                 log: Optional[GatewayFaultLog] = None) -> Event:
+    """Evict the oldest ``fraction`` of ``gateway``'s cache at ``at``.
+
+    One-sided eviction leaves the peer referencing entries this side no
+    longer holds — undecodable on a decoder, stale-source encodings on
+    an encoder — without any packet ever being lost.
+    """
+
+    def evict() -> None:
+        evicted = gateway.cache.evict_fraction(fraction)
+        if log is not None:
+            log.evictions.append((sim.now, evicted))
+
+    return sim.at(at, evict)
