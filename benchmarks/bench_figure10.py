@@ -5,12 +5,12 @@ still positive at 10 %; File 2 (higher dependency degree) is more
 sensitive than File 1.
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
 SWEEP_KEY = "figure10_11"
-SWEEP_KWARGS = {"seeds": (11, 23)}
+SWEEP_KWARGS = {"seeds": (11, 23), "workers": bench_workers()}
 
 
 def test_figure10(benchmark, sweep_cache):

@@ -5,7 +5,7 @@ while delay worsens; k ≈ 8 is called out as a reasonable trade-off
 (~24 % byte savings while still limiting delay).
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
@@ -13,7 +13,8 @@ from repro.experiments import scenarios
 def test_figure12(benchmark):
     result = benchmark.pedantic(
         scenarios.figure12,
-        kwargs={"ks": (2, 4, 8, 16, 32, 64, 80), "seeds": (11, 23)},
+        kwargs={"ks": (2, 4, 8, 16, 32, 64, 80), "seeds": (11, 23),
+                "workers": bench_workers()},
         rounds=1, iterations=1)
     print_report("Figure 12", result.report())
 

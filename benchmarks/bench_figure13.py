@@ -6,7 +6,7 @@ with the aggressive TCP-seq scheme at or above Cache Flush, and
 k-distance(k=8) comparable to Cache Flush.
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
@@ -15,7 +15,7 @@ def test_figure13(benchmark):
     result = benchmark.pedantic(
         scenarios.figure13,
         kwargs={"losses": (0.0, 0.01, 0.02, 0.05, 0.10, 0.20),
-                "seeds": (11, 23)},
+                "seeds": (11, 23), "workers": bench_workers()},
         rounds=1, iterations=1)
     print_report("Figure 13", result.report())
 

@@ -4,13 +4,15 @@ Paper: byte caching reduces bytes sent by ~45 % and download time by
 ~28 % when the channel is clean.
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
 
 def test_headline(benchmark):
-    result = benchmark.pedantic(scenarios.headline, rounds=1, iterations=1)
+    result = benchmark.pedantic(scenarios.headline,
+                                kwargs={"workers": bench_workers()},
+                                rounds=1, iterations=1)
     print_report("Headline", result.report())
 
     # ~45 % byte savings (generous band; workload is synthetic).

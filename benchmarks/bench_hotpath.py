@@ -1,0 +1,297 @@
+"""Hot-path microbenchmark: anchor selection + encode, new vs pre-PR.
+
+The encoder hot path was rewritten to keep anchors in numpy end-to-end
+(:class:`repro.core.polyhash.AnchorSet`), batch the cache-update
+bookkeeping, slot :class:`~repro.core.cache.CacheEntry`, and locate
+match boundaries by binary halving.  This bench keeps a faithful inline
+copy of the *previous* implementation (per-element ``int()`` anchor
+lists, dataclass entries, double dict probes per insert, per-byte
+mismatch scans) and requires the live code to beat it by >= 1.5x on the
+combined anchor-selection + encode pipeline.
+
+Both pipelines must produce byte-identical wire output — the legacy
+copy is an oracle, not just a stopwatch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from conftest import print_report
+
+from repro.core.cache import ByteCache, PacketStore
+from repro.core.encoder import ByteCachingEncoder
+from repro.core.fingerprint import FingerprintScheme
+from repro.core.polyhash import _U64
+from repro.core.region import Region
+from repro.core.policies import PacketMeta, make_policy_pair
+from repro.core.wire import MIN_REGION_LENGTH, encode_payload, wrap_raw
+from repro.metrics.profiling import StageProfiler
+from repro.workload.corpus import corpus_object
+
+MSS = 1460
+PACKETS = 192
+ROUNDS = 5
+REQUIRED_SPEEDUP = 1.5
+
+
+# ---------------------------------------------------------------------------
+# the pre-PR implementation, inlined
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _LegacyCacheEntry:
+    fingerprint: int
+    store_id: int
+    offset: int
+    tcp_seq: Optional[int] = None
+    flow: Optional[tuple] = None
+    packet_counter: int = 0
+    usable: bool = True
+
+
+class _LegacyFingerprintTable:
+    def __init__(self) -> None:
+        self._table: Dict[int, _LegacyCacheEntry] = {}
+        self.inserts = 0
+        self.replacements = 0
+
+    def put(self, entry: _LegacyCacheEntry) -> None:
+        if entry.fingerprint in self._table:
+            self.replacements += 1
+        self.inserts += 1
+        self._table[entry.fingerprint] = entry
+
+    def get(self, fingerprint: int) -> Optional[_LegacyCacheEntry]:
+        return self._table.get(fingerprint)
+
+    def remove(self, fingerprint: int) -> None:
+        self._table.pop(fingerprint, None)
+
+
+class _LegacyByteCache:
+    def __init__(self, byte_budget: int):
+        self.store = PacketStore(byte_budget)
+        self.table = _LegacyFingerprintTable()
+        self._unusable_store_ids: set = set()
+        self._previous_entries: Dict[int, _LegacyCacheEntry] = {}
+
+    def insert_packet(self, payload: bytes, anchors: list,
+                      tcp_seq=None, flow=None, packet_counter=0) -> int:
+        store_id = self.store.add(payload)
+        for offset, fingerprint in anchors:
+            displaced = self.table.get(fingerprint)
+            if displaced is not None and displaced.store_id != store_id:
+                self._previous_entries[fingerprint] = displaced
+            self.table.put(_LegacyCacheEntry(
+                fingerprint=fingerprint,
+                store_id=store_id,
+                offset=offset,
+                tcp_seq=tcp_seq,
+                flow=flow,
+                packet_counter=packet_counter,
+            ))
+        return store_id
+
+    def lookup(self, fingerprint: int):
+        entry = self.table.get(fingerprint)
+        if entry is None or not entry.usable:
+            return None
+        if entry.store_id in self._unusable_store_ids:
+            return None
+        payload = self.store.get(entry.store_id)
+        if payload is None:
+            self.table.remove(fingerprint)
+            return None
+        return entry, payload
+
+
+def _legacy_anchors(scheme: FingerprintScheme,
+                    data: bytes) -> List[Tuple[int, int]]:
+    """Pre-PR anchor selection: one ``int()`` call per anchor."""
+    hashes = scheme._impl.hashes(data)
+    if len(hashes) == 0:
+        return []
+    selected = np.nonzero((hashes & _U64(scheme.mask)) == 0)[0]
+    return [(int(off), int(hashes[off])) for off in selected]
+
+
+def _legacy_prefix(a, a_start, b, b_start, limit):
+    n = 0
+    chunk = 256
+    while n < limit:
+        step = min(chunk, limit - n)
+        if a[a_start + n: a_start + n + step] == b[b_start + n: b_start + n + step]:
+            n += step
+            continue
+        for i in range(step):
+            if a[a_start + n + i] != b[b_start + n + i]:
+                return n + i
+        return n + step
+    return n
+
+
+def _legacy_suffix(a, a_end, b, b_end, limit):
+    n = 0
+    chunk = 256
+    while n < limit:
+        step = min(chunk, limit - n)
+        if a[a_end - n - step: a_end - n] == b[b_end - n - step: b_end - n]:
+            n += step
+            continue
+        for i in range(1, step + 1):
+            if a[a_end - n - i] != b[b_end - n - i]:
+                return n + i - 1
+        return n + step
+    return n
+
+
+def _legacy_expand(new, new_anchor, stored, stored_anchor, window, left_limit):
+    if new_anchor < left_limit:
+        return None
+    if new_anchor + window > len(new) or stored_anchor + window > len(stored):
+        return None
+    if new[new_anchor: new_anchor + window] != stored[stored_anchor: stored_anchor + window]:
+        return None
+    left_room = min(new_anchor - left_limit, stored_anchor)
+    left = _legacy_suffix(new, new_anchor, stored, stored_anchor, left_room)
+    right_room = min(len(new) - (new_anchor + window),
+                     len(stored) - (stored_anchor + window))
+    right = _legacy_prefix(new, new_anchor + window,
+                           stored, stored_anchor + window, right_room)
+    return Region(fingerprint=0, offset_new=new_anchor - left,
+                  offset_stored=stored_anchor - left,
+                  length=left + window + right)
+
+
+def _legacy_encode_pass(scheme: FingerprintScheme,
+                        packets: List[bytes]) -> int:
+    """Pre-PR encode pipeline (naive policy semantics), returns bytes out."""
+    cache = _LegacyByteCache(16 * 1024 * 1024)
+    window = scheme.window
+    total_out = 0
+    for counter, payload in enumerate(packets):
+        anchors = _legacy_anchors(scheme, payload)
+        regions: List[Region] = []
+        pos = 0
+        for offset, fingerprint in anchors:
+            if offset < pos:
+                continue
+            hit = cache.lookup(fingerprint)
+            if hit is None:
+                continue
+            entry, stored = hit
+            match = _legacy_expand(payload, offset, stored, entry.offset,
+                                   window, pos)
+            if match is None or match.length <= MIN_REGION_LENGTH:
+                continue
+            regions.append(Region(
+                fingerprint=fingerprint, offset_new=match.offset_new,
+                offset_stored=match.offset_stored, length=match.length))
+            pos = match.offset_new + match.length
+        if regions:
+            data = encode_payload(payload, regions)
+            if len(data) >= len(payload) + 2:
+                regions = []
+                data = wrap_raw(payload)
+        else:
+            data = wrap_raw(payload)
+        cache.insert_packet(payload, anchors, tcp_seq=counter * MSS,
+                            flow=("bench", 0), packet_counter=counter)
+        total_out += len(data)
+    return total_out
+
+
+# ---------------------------------------------------------------------------
+# the live implementation
+# ---------------------------------------------------------------------------
+
+def _new_encode_pass(scheme: FingerprintScheme, packets: List[bytes],
+                     profiler: Optional[StageProfiler] = None) -> int:
+    cache = ByteCache(16 * 1024 * 1024)
+    policy, _ = make_policy_pair("naive")
+    encoder = ByteCachingEncoder(scheme, cache, policy)
+    encoder.profiler = profiler
+    total_out = 0
+    for counter, payload in enumerate(packets):
+        meta = PacketMeta(packet_id=counter, flow=("bench", 0),
+                          tcp_seq=counter * MSS, counter=counter)
+        total_out += encoder.encode(payload, meta).bytes_out
+    return total_out
+
+
+def _packets() -> List[bytes]:
+    data = corpus_object("file1", seed=3)
+    return [data[i: i + MSS] for i in range(0, len(data), MSS)][:PACKETS]
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_hotpath_speedup(benchmark):
+    scheme = FingerprintScheme(window=16, zero_bits=4)
+    packets = _packets()
+
+    # Oracle check: same regions, byte-identical wire output.
+    assert (_new_encode_pass(scheme, packets)
+            == _legacy_encode_pass(scheme, packets))
+
+    new_time = _best_of(lambda: _new_encode_pass(scheme, packets))
+    legacy_time = _best_of(lambda: _legacy_encode_pass(scheme, packets))
+    speedup = legacy_time / new_time
+
+    benchmark.pedantic(lambda: _new_encode_pass(scheme, packets),
+                       rounds=3, iterations=1)
+
+    profiler = StageProfiler()
+    _new_encode_pass(scheme, packets, profiler=profiler)
+    print_report(
+        "Hot path — anchor selection + encode "
+        f"({PACKETS} x {MSS} B packets)",
+        f"legacy (pre-PR): {legacy_time * 1e3:8.2f} ms\n"
+        f"current:         {new_time * 1e3:8.2f} ms\n"
+        f"speedup:         {speedup:8.2f}x  (required >= "
+        f"{REQUIRED_SPEEDUP}x)\n\n" + profiler.report())
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"hot path regressed: {speedup:.2f}x < {REQUIRED_SPEEDUP}x "
+        f"(new {new_time * 1e3:.2f} ms vs legacy {legacy_time * 1e3:.2f} ms)")
+
+
+def test_anchor_selection_speedup(benchmark):
+    """Anchor selection alone: AnchorSet vs per-element int() lists."""
+    scheme = FingerprintScheme(window=16, zero_bits=4)
+    packets = _packets()
+
+    new_pairs = [list(scheme.anchors(p)) for p in packets]
+    legacy_pairs = [_legacy_anchors(scheme, p) for p in packets]
+    assert new_pairs == legacy_pairs
+
+    def new_pass():
+        for payload in packets:
+            scheme.anchors(payload).pairs()
+
+    def legacy_pass():
+        for payload in packets:
+            _legacy_anchors(scheme, payload)
+
+    new_time = _best_of(new_pass)
+    legacy_time = _best_of(legacy_pass)
+    benchmark.pedantic(new_pass, rounds=3, iterations=1)
+    print_report(
+        "Anchor selection only",
+        f"legacy: {legacy_time * 1e3:.2f} ms   new: {new_time * 1e3:.2f} ms"
+        f"   speedup: {legacy_time / new_time:.2f}x")
+    # The combined pipeline carries the hard >= 1.5x gate; anchors alone
+    # must at minimum not be slower than the list-building version.
+    assert new_time <= legacy_time

@@ -4,13 +4,15 @@ Paper values: ebook 0.3–1 %, video 0.009–1 %, web pages 19–42 % (k=10)
 rising to 26–52 % (k=1000).
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
 
 def test_table1(benchmark):
-    result = benchmark.pedantic(scenarios.table1, rounds=1, iterations=1)
+    result = benchmark.pedantic(scenarios.table1,
+                                kwargs={"workers": bench_workers()},
+                                rounds=1, iterations=1)
     print_report("Table I", result.report())
 
     savings = {(name, k): s for name, k, s in result.rows}

@@ -5,14 +5,14 @@ Paper values (ratios vs no-DRE):
     Delay: CacheFlush 1.64/1.84, TCPseq 2.88/3.87, k-dist(8) 2.11/4.01
 """
 
-from conftest import print_report
+from conftest import bench_workers, print_report
 
 from repro.experiments import scenarios
 
 
 def test_table2(benchmark):
     result = benchmark.pedantic(scenarios.table2,
-                                kwargs={"seeds": (11, 23)},
+                                kwargs={"seeds": (11, 23), "workers": bench_workers()},
                                 rounds=1, iterations=1)
     print_report("Table II", result.report())
 

@@ -12,10 +12,22 @@ sweep instead of re-simulating it.
 from __future__ import annotations
 
 import functools
+import os
 
 import pytest
 
 from repro.experiments import scenarios
+
+
+def bench_workers():
+    """Sweep worker count from ``REPRO_BENCH_WORKERS`` (None = serial).
+
+    Parallel and serial sweeps aggregate bit-identically (see
+    repro.experiments.sweep), so the workers knob only changes
+    wall-clock, never the reproduced numbers.
+    """
+    value = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    return int(value) if value else None
 
 
 @pytest.fixture(scope="session")

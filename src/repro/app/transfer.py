@@ -130,5 +130,7 @@ class FileClient:
         conn.on_remote_close = lambda: finish(stalled=False, reason="fin")
         conn.on_close = lambda reason: finish(
             stalled=(reason not in ("fin",)), reason=reason)
-        outcome.connection = conn  # type: ignore[attr-defined]
+        # Deliberately no back-reference to the connection: the outcome
+        # must stay a pure value object (the sweep engine pickles it
+        # across process-pool workers and round-trips it through JSON).
         return outcome

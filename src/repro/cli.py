@@ -73,6 +73,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--corpus", default="file1",
                            choices=corpus_names())
     sweep_cmd.add_argument("--seed", type=int, default=11)
+    sweep_cmd.add_argument("--seeds", default=None,
+                           help="comma-separated replicate seeds "
+                                "(overrides --seed)")
+    sweep_cmd.add_argument("--workers", type=int, default=None,
+                           help="process-pool size (default: serial)")
+    sweep_cmd.add_argument("--cache-dir", default=None,
+                           help="on-disk result cache; an unchanged "
+                                "sweep re-run is free")
+    sweep_cmd.add_argument("--out", default=None,
+                           help="write a BENCH_sweep.json file here")
 
     mob_cmd = sub.add_parser("mobility", help="§II handoff experiment")
     mob_cmd.add_argument("--mode", default="ip-dre",
@@ -151,34 +161,48 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from .experiments.sweep import SweepSpec, run_sweep, write_bench_json
+
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
     losses = [float(x) / 100 for x in args.losses.split(",") if x.strip()]
-    baselines = {}
+    seeds = ([int(x) for x in args.seeds.split(",") if x.strip()]
+             if args.seeds else [args.seed])
+    pairs = [(policy, {"k": 8} if policy == "k_distance" else {})
+             for policy in policies]
+    spec = SweepSpec(
+        base=ExperimentConfig(corpus=args.corpus),
+        grid={"policy,policy_kwargs": pairs, "loss_rate": losses},
+        seeds=tuple(seeds), paired_baseline=True)
+    swept = run_sweep(spec, workers=args.workers, cache_dir=args.cache_dir)
+
+    def mean(values):
+        return sum(values) / len(values) if values else None
+
+    cells = iter(swept)
     rows = []
-    for loss in losses:
-        base_cfg = ExperimentConfig(corpus=args.corpus, policy=None,
-                                    loss_rate=loss, seed=args.seed)
-        baselines[loss] = run_transfer(base_cfg)
-    for policy in policies:
-        kwargs = {"k": 8} if policy == "k_distance" else {}
+    for policy, _kwargs in pairs:
         for loss in losses:
-            config = ExperimentConfig(corpus=args.corpus, policy=policy,
-                                      policy_kwargs=kwargs, loss_rate=loss,
-                                      seed=args.seed)
-            result = run_transfer(config)
-            baseline = baselines[loss]
-            delay = ("-" if result.download_time is None
-                     or not baseline.download_time
-                     else f"{result.download_time / baseline.download_time:.2f}")
-            rows.append([policy, f"{loss:.0%}",
-                         "yes" if result.completed else "STALL",
-                         f"{result.forward_bytes_on_link / baseline.forward_bytes_on_link:.2f}",
-                         delay,
-                         f"{result.perceived_loss_rate:.1%}"])
+            group = [next(cells) for _ in seeds]
+            points = [cell.ratio_point(loss) for cell in group]
+            delays = [p.delay_ratio for p in points
+                      if p.delay_ratio is not None]
+            delay = mean(delays)
+            rows.append([
+                policy, f"{loss:.0%}",
+                "yes" if all(c.result.completed for c in group) else "STALL",
+                f"{mean([p.bytes_ratio for p in points]):.2f}",
+                "-" if delay is None else f"{delay:.2f}",
+                f"{mean([c.result.perceived_loss_rate for c in group]):.1%}"])
     print(format_table(
-        f"loss sweep on {args.corpus} (ratios vs no-DRE baseline)",
+        f"loss sweep on {args.corpus} (ratios vs no-DRE baseline, "
+        f"{len(seeds)} seed{'s' if len(seeds) > 1 else ''})",
         ["policy", "loss", "done", "bytes ratio", "delay ratio",
          "perceived"], rows))
+    print(f"cells: {len(swept)}  simulated: {swept.executed}  "
+          f"from cache: {swept.cached}  wall-clock: {swept.wall_clock:.1f}s")
+    if args.out:
+        write_bench_json(swept, args.out, name=f"sweep-{args.corpus}")
+        print(f"wrote {args.out}")
     return 0
 
 

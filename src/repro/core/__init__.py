@@ -5,7 +5,7 @@ from .decoder import ByteCachingDecoder, DecodeResult, DecodeStatus, DecoderStat
 from .encoder import ByteCachingEncoder, EncodeResult, EncoderStats
 from .fingerprint import (DEFAULT_WINDOW, DEFAULT_ZERO_BITS, FingerprintScheme,
                           Fingerprinter)
-from .polyhash import PolyFingerprinter
+from .polyhash import AnchorSet, PolyFingerprinter
 from .rabin import RabinFingerprinter
 from .region import Region, expand_match
 from .wire import (FIELD_SIZE, MIN_REGION_LENGTH, MissingFingerprintError,
@@ -28,6 +28,7 @@ __all__ = [
     "DEFAULT_ZERO_BITS",
     "FingerprintScheme",
     "Fingerprinter",
+    "AnchorSet",
     "PolyFingerprinter",
     "RabinFingerprinter",
     "Region",

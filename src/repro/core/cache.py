@@ -18,21 +18,49 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 
-@dataclass
 class CacheEntry:
-    """One fingerprint-table entry."""
+    """One fingerprint-table entry.
 
-    fingerprint: int
-    store_id: int          # key into the PacketStore
-    offset: int            # offset of the fingerprint window in the payload
-    tcp_seq: Optional[int] = None   # §V-B: sequence number of the cached segment
-    flow: Optional[tuple] = None    # flow identity of the cached segment
-    packet_counter: int = 0         # §V-C: monotone data-packet index
-    usable: bool = True             # informed marking can veto an entry
+    One entry is created per anchor per cached packet — millions per
+    sweep — so this is a hand-slotted class rather than a dataclass
+    (``dataclass(slots=True)`` needs Python >= 3.10).
+    """
+
+    __slots__ = ("fingerprint", "store_id", "offset", "tcp_seq", "flow",
+                 "packet_counter", "usable")
+
+    def __init__(self, fingerprint: int, store_id: int, offset: int,
+                 tcp_seq: Optional[int] = None,
+                 flow: Optional[tuple] = None,
+                 packet_counter: int = 0,
+                 usable: bool = True):
+        self.fingerprint = fingerprint
+        self.store_id = store_id          # key into the PacketStore
+        self.offset = offset              # fingerprint window offset in payload
+        self.tcp_seq = tcp_seq            # §V-B: seq of the cached segment
+        self.flow = flow                  # flow identity of the cached segment
+        self.packet_counter = packet_counter  # §V-C: monotone packet index
+        self.usable = usable              # informed marking can veto an entry
+
+    def __repr__(self) -> str:
+        return (f"CacheEntry(fingerprint={self.fingerprint}, "
+                f"store_id={self.store_id}, offset={self.offset}, "
+                f"tcp_seq={self.tcp_seq}, flow={self.flow}, "
+                f"packet_counter={self.packet_counter}, usable={self.usable})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CacheEntry):
+            return NotImplemented
+        return (self.fingerprint == other.fingerprint
+                and self.store_id == other.store_id
+                and self.offset == other.offset
+                and self.tcp_seq == other.tcp_seq
+                and self.flow == other.flow
+                and self.packet_counter == other.packet_counter
+                and self.usable == other.usable)
 
 
 class PacketStore:
@@ -56,6 +84,7 @@ class PacketStore:
         self.byte_budget = byte_budget
         self.max_packets = max_packets
         self.eviction = eviction
+        self._lru = eviction == "lru"
         self._data: "OrderedDict[int, bytes]" = OrderedDict()
         self._bytes = 0
         self._ids = itertools.count(1)
@@ -78,7 +107,7 @@ class PacketStore:
 
     def get(self, store_id: int) -> Optional[bytes]:
         payload = self._data.get(store_id)
-        if payload is not None and self.eviction == "lru":
+        if payload is not None and self._lru:
             self._data.move_to_end(store_id)
         return payload
 
@@ -186,18 +215,28 @@ class ByteCache:
             self._external_ids[store_id] = external_id
             if len(self._external_ids) > 4 * len(self.store._data) + 64:
                 self._prune_external_ids()
-        for offset, fingerprint in anchors:
-            displaced = self.table.get(fingerprint)
-            if displaced is not None and displaced.store_id != store_id:
-                self._previous_entries[fingerprint] = displaced
-            self.table.put(CacheEntry(
-                fingerprint=fingerprint,
-                store_id=store_id,
-                offset=offset,
-                tcp_seq=tcp_seq,
-                flow=flow,
-                packet_counter=packet_counter,
-            ))
+        # AnchorSet keeps anchors as numpy arrays; pairs() converts to
+        # Python ints in bulk (and is memoised, so the region-finding
+        # pass and this insert share one conversion).
+        pairs = anchors.pairs() if hasattr(anchors, "pairs") else anchors
+        if not hasattr(pairs, "__len__"):
+            pairs = list(pairs)
+        table = self.table
+        entries = table._table
+        lookup = entries.get
+        previous = self._previous_entries
+        entry_cls = CacheEntry
+        replaced = 0
+        for offset, fingerprint in pairs:
+            displaced = lookup(fingerprint)
+            if displaced is not None:
+                replaced += 1
+                if displaced.store_id != store_id:
+                    previous[fingerprint] = displaced
+            entries[fingerprint] = entry_cls(fingerprint, store_id, offset,
+                                             tcp_seq, flow, packet_counter)
+        table.inserts += len(pairs)
+        table.replacements += replaced
         return store_id
 
     def lookup(self, fingerprint: int) -> Optional[Tuple[CacheEntry, bytes]]:
@@ -205,7 +244,7 @@ class ByteCache:
 
         Entries pointing at evicted payloads are removed lazily.
         """
-        entry = self.table.get(fingerprint)
+        entry = self.table._table.get(fingerprint)
         if entry is None or not entry.usable:
             return None
         if entry.store_id in self._unusable_store_ids:

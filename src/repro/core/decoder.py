@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional
 
 from ..net.checksum import verify_payload
@@ -76,6 +77,8 @@ class ByteCachingDecoder:
         self.cache = cache
         self.policy = policy if policy is not None else DecoderPolicy()
         self.stats = DecoderStats()
+        #: Optional :class:`repro.metrics.profiling.StageProfiler`.
+        self.profiler = None
         self.policy.attach_decoder(self)
 
     def decode(self, data: bytes, meta: PacketMeta,
@@ -214,11 +217,22 @@ class ByteCachingDecoder:
 
     def _accept(self, payload: bytes, meta: PacketMeta) -> None:
         """Mirror the encoder's Cache Update procedure."""
-        anchors = self.scheme.anchors(payload)
+        profiler = self.profiler
+        if profiler is not None:
+            started = perf_counter()
+            anchors = self.scheme.anchors(payload)
+            profiler.add("fingerprint", perf_counter() - started)
+        else:
+            anchors = self.scheme.anchors(payload)
         if not self.policy.should_cache_now(meta):
             self.policy.defer_cache(payload, anchors, meta)
             return
-        self.insert_anchors(payload, anchors, meta)
+        if profiler is not None:
+            started = perf_counter()
+            self.insert_anchors(payload, anchors, meta)
+            profiler.add("cache_ops", perf_counter() - started)
+        else:
+            self.insert_anchors(payload, anchors, meta)
 
     def insert_anchors(self, payload: bytes, anchors, meta: PacketMeta) -> None:
         """Commit one payload (and its anchors) into the decoder cache."""

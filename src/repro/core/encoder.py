@@ -15,12 +15,13 @@ as small hooks (see :mod:`repro.core.policies.base`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Set, Tuple
 
 from .cache import ByteCache
 from .fingerprint import FingerprintScheme
 from .region import Region, expand_match
-from .wire import MIN_REGION_LENGTH, encode_payload, wrap_raw
+from .wire import MIN_REGION_LENGTH, SHIM_SIZE, encode_payload, wrap_raw
 from .policies.base import EncoderPolicy, PacketMeta
 
 
@@ -35,10 +36,14 @@ class EncodeResult:
     regions: List[Region] = field(default_factory=list)
     dependencies: Set[int] = field(default_factory=set)   # packet ids referenced
     cached: bool = True          # False when the cache update was deferred
+    #: Wire-format overhead every packet pays regardless of encoding:
+    #: the 2-byte shim, plus the 1-byte epoch stamp when the gateway
+    #: runs the resilience layer (see repro.gateway.resilience).
+    shim_overhead: int = SHIM_SIZE
 
     @property
     def bytes_saved(self) -> int:
-        return self.bytes_in - (self.bytes_out - 2)  # net of the 2-byte shim
+        return self.bytes_in - (self.bytes_out - self.shim_overhead)
 
 
 @dataclass
@@ -66,12 +71,18 @@ class ByteCachingEncoder:
 
     def __init__(self, scheme: FingerprintScheme, cache: ByteCache,
                  policy: EncoderPolicy,
-                 min_region_length: int = MIN_REGION_LENGTH):
+                 min_region_length: int = MIN_REGION_LENGTH,
+                 shim_overhead: int = SHIM_SIZE):
         self.scheme = scheme
         self.cache = cache
         self.policy = policy
         self.min_region_length = min_region_length
+        self.shim_overhead = shim_overhead
         self.stats = EncoderStats()
+        #: Optional :class:`repro.metrics.profiling.StageProfiler`;
+        #: when None (the default) the timing branches cost one
+        #: attribute load and an identity check per packet.
+        self.profiler = None
         policy.attach_encoder(self)
 
     def encode(self, payload: bytes, meta: PacketMeta,
@@ -85,18 +96,31 @@ class ByteCachingEncoder:
         """
         self.stats.packets += 1
         self.stats.bytes_in += len(payload)
+        profiler = self.profiler
 
         self.policy.before_packet(meta, self.cache)
-        anchors = self.scheme.anchors(payload)
+        if profiler is not None:
+            started = perf_counter()
+            anchors = self.scheme.anchors(payload)
+            profiler.add("fingerprint", perf_counter() - started)
+        else:
+            anchors = self.scheme.anchors(payload)
 
         regions: List[Region] = []
         dependencies: Set[int] = set()
         if not force_raw and self.policy.may_encode(meta):
-            regions, dependencies = self._find_regions(payload, anchors, meta)
+            if profiler is not None:
+                started = perf_counter()
+                regions, dependencies = self._find_regions(payload, anchors,
+                                                           meta)
+                profiler.add("region_expand", perf_counter() - started)
+            else:
+                regions, dependencies = self._find_regions(payload, anchors,
+                                                           meta)
 
         if regions:
             data = encode_payload(payload, regions)
-            if len(data) >= len(payload) + 2:
+            if len(data) >= len(payload) + SHIM_SIZE:
                 # Net loss after headers; ship raw instead.
                 regions = []
                 dependencies = set()
@@ -105,11 +129,15 @@ class ByteCachingEncoder:
             data = wrap_raw(payload)
 
         cached = False
+        if profiler is not None:
+            started = perf_counter()
         if self.policy.should_cache_now(meta):
             self.insert_into_cache(payload, anchors, meta)
             cached = True
         else:
             self.policy.defer_cache(payload, anchors, meta)
+        if profiler is not None:
+            profiler.add("cache_ops", perf_counter() - started)
 
         self.stats.bytes_out += len(data)
         if regions:
@@ -125,9 +153,10 @@ class ByteCachingEncoder:
             regions=regions,
             dependencies=dependencies,
             cached=cached,
+            shim_overhead=self.shim_overhead,
         )
 
-    def insert_into_cache(self, payload: bytes, anchors: List[Tuple[int, int]],
+    def insert_into_cache(self, payload: bytes, anchors,
                           meta: PacketMeta) -> None:
         """Cache Update Procedure (Fig. 2 part C / Fig. 7 part C)."""
         self.cache.insert_packet(
@@ -140,16 +169,18 @@ class ByteCachingEncoder:
 
     # -- internal ---------------------------------------------------------
 
-    def _find_regions(self, payload: bytes, anchors: List[Tuple[int, int]],
+    def _find_regions(self, payload: bytes, anchors,
                       meta: PacketMeta) -> Tuple[List[Region], Set[int]]:
         """Redundancy Identification and Elimination (Fig. 2 part B)."""
         regions: List[Region] = []
         dependencies: Set[int] = set()
         pos = 0  # first byte not yet covered by an accepted region
-        for offset, fingerprint in anchors:
+        pairs = anchors.pairs() if hasattr(anchors, "pairs") else anchors
+        lookup = self.cache.lookup
+        for offset, fingerprint in pairs:
             if offset < pos:
                 continue  # anchor swallowed by a previous region
-            hit = self.cache.lookup(fingerprint)
+            hit = lookup(fingerprint)
             if hit is None:
                 continue
             entry, stored = hit

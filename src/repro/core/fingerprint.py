@@ -8,9 +8,11 @@ bits are zero, i.e. roughly one anchor per 16 byte positions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Protocol, Tuple
+from typing import Protocol
 
-from .polyhash import PolyFingerprinter
+import numpy as np
+
+from .polyhash import AnchorSet, PolyFingerprinter
 from .rabin import RabinFingerprinter
 
 DEFAULT_WINDOW = 16
@@ -22,8 +24,12 @@ class Fingerprinter(Protocol):
 
     window: int
 
-    def anchors(self, data: bytes, mask: int) -> List[Tuple[int, int]]:
-        """All ``(offset, fingerprint)`` selected by the mask rule."""
+    def anchors(self, data: bytes, mask: int):
+        """All ``(offset, fingerprint)`` selected by the mask rule.
+
+        Either an :class:`~repro.core.polyhash.AnchorSet` (fast path)
+        or a plain list of pairs (reference implementations).
+        """
         ...
 
     def window_fingerprints(self, data: bytes):
@@ -69,21 +75,30 @@ class FingerprintScheme:
     def mask(self) -> int:
         return (1 << self.zero_bits) - 1
 
-    def anchors(self, data: bytes) -> List[Tuple[int, int]]:
-        """Selected ``(offset, fingerprint)`` anchors of ``data``."""
+    def anchors(self, data: bytes) -> AnchorSet:
+        """Selected ``(offset, fingerprint)`` anchors of ``data``.
+
+        Always an :class:`AnchorSet`, regardless of the underlying
+        fingerprinter, so the encoder/decoder hot paths see one type.
+        """
         if self.selection == "value":
-            return self._impl.anchors(data, self.mask)
+            selected = self._impl.anchors(data, self.mask)
+            if isinstance(selected, AnchorSet):
+                return selected
+            return AnchorSet.from_pairs(selected)
         from .winnowing import winnow_positions
 
         selection_window = max(2, 1 << self.zero_bits)
         if hasattr(self._impl, "hashes"):
             hashes = self._impl.hashes(data)  # type: ignore[attr-defined]
             positions = winnow_positions(hashes, selection_window)
-            return [(int(p), int(hashes[p])) for p in positions]
+            indices = np.asarray(positions, dtype=np.int64)
+            return AnchorSet(indices, hashes[indices])
         from .winnowing import winnow_anchors
 
-        return winnow_anchors(list(self._impl.window_fingerprints(data)),
-                              selection_window)
+        return AnchorSet.from_pairs(
+            winnow_anchors(list(self._impl.window_fingerprints(data)),
+                           selection_window))
 
     def expected_anchor_spacing(self) -> float:
         """Mean byte distance between anchors on random data."""

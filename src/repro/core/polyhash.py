@@ -24,7 +24,7 @@ byte-compares candidate regions, exactly as the paper does.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,75 @@ class _PowerCache:
 
 
 _POWERS = _PowerCache()
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_U64 = np.empty(0, dtype=np.uint64)
+
+
+class AnchorSet:
+    """Selected anchors of one payload, kept as numpy arrays.
+
+    The encoder hot path produces anchors with vectorised numpy code;
+    materialising a ``List[Tuple[int, int]]`` with per-element ``int()``
+    calls used to dominate the per-packet cost.  This container keeps
+    the ``offsets``/``fingerprints`` arrays and converts to Python ints
+    at most once (``tolist`` runs in C), lazily, when a consumer needs
+    pairs — the conversion is shared between region finding and the
+    cache-update pass, so a packet's anchors are materialised once.
+
+    Iteration, ``len``, truthiness, indexing and equality behave like
+    the historical list of ``(offset, fingerprint)`` tuples.
+    """
+
+    __slots__ = ("offsets", "fingerprints", "_pairs")
+
+    def __init__(self, offsets: np.ndarray, fingerprints: np.ndarray):
+        self.offsets = offsets
+        self.fingerprints = fingerprints
+        self._pairs: Optional[List[Tuple[int, int]]] = None
+
+    @classmethod
+    def empty(cls) -> "AnchorSet":
+        return cls(_EMPTY_I64, _EMPTY_U64)
+
+    @classmethod
+    def from_pairs(cls, pairs) -> "AnchorSet":
+        """Wrap an eagerly materialised pair list (reference paths)."""
+        pairs = list(pairs)
+        anchor_set = cls(
+            np.array([off for off, _ in pairs], dtype=np.int64),
+            np.array([fp for _, fp in pairs], dtype=np.uint64))
+        anchor_set._pairs = pairs
+        return anchor_set
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """``(offset, fingerprint)`` pairs as Python ints, cached."""
+        if self._pairs is None:
+            self._pairs = list(zip(self.offsets.tolist(),
+                                   self.fingerprints.tolist()))
+        return self._pairs
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.pairs())
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def __bool__(self) -> bool:
+        return len(self.offsets) > 0
+
+    def __getitem__(self, index):
+        return self.pairs()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AnchorSet):
+            return self.pairs() == other.pairs()
+        if isinstance(other, (list, tuple)):
+            return self.pairs() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AnchorSet({self.pairs()!r})"
 
 
 def _mix(values: np.ndarray) -> np.ndarray:
@@ -113,10 +182,15 @@ class PolyFingerprinter:
         """``(offset, fingerprint)`` for every window position."""
         return list(enumerate(int(h) for h in self.hashes(data)))
 
-    def anchors(self, data: bytes, mask: int) -> List[Tuple[int, int]]:
-        """All ``(offset, fingerprint)`` with ``fingerprint & mask == 0``."""
+    def anchors(self, data: bytes, mask: int) -> AnchorSet:
+        """All ``(offset, fingerprint)`` with ``fingerprint & mask == 0``.
+
+        Returned as an :class:`AnchorSet`: the selection stays in numpy
+        (one boolean mask + one fancy index over the whole hash array)
+        instead of a per-element Python loop.
+        """
         hashes = self.hashes(data)
         if len(hashes) == 0:
-            return []
+            return AnchorSet.empty()
         selected = np.nonzero((hashes & _U64(mask)) == 0)[0]
-        return [(int(off), int(hashes[off])) for off in selected]
+        return AnchorSet(selected, hashes[selected])

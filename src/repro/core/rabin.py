@@ -15,7 +15,7 @@ on selection statistics.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 # x^64 + x^4 + x^3 + x + 1, a primitive (hence irreducible) polynomial
 # over GF(2).  The low 64 coefficient bits are 0x1B; bit 64 is implicit.
@@ -31,6 +31,10 @@ def _poly_mod(value: int, poly: int = IRREDUCIBLE_POLY) -> int:
         shift = value.bit_length() - poly.bit_length()
         value ^= poly << shift
     return value
+
+
+#: window size -> (append_table, expire_table), shared by all instances.
+_TABLE_CACHE: Dict[int, Tuple[List[int], List[int]]] = {}
 
 
 def _build_tables(window: int) -> Tuple[List[int], List[int]]:
@@ -55,10 +59,11 @@ class RabinFingerprinter:
         if window < 2:
             raise ValueError("window must be at least 2 bytes")
         self.window = window
-        self._append, self._expire = _TABLE_CACHE.get(window, (None, None))
-        if self._append is None:
-            self._append, self._expire = _build_tables(window)
-            _TABLE_CACHE[window] = (self._append, self._expire)
+        tables = _TABLE_CACHE.get(window)
+        if tables is None:
+            tables = _build_tables(window)
+            _TABLE_CACHE[window] = tables
+        self._append, self._expire = tables
 
     def fingerprint(self, data: bytes) -> int:
         """Fingerprint of exactly one window (``len(data)`` arbitrary)."""
@@ -95,6 +100,3 @@ class RabinFingerprinter:
         """
         return [(off, fp) for off, fp in self.window_fingerprints(data)
                 if fp & mask == 0]
-
-
-_TABLE_CACHE: dict = {}

@@ -35,43 +35,58 @@ class Region:
         return self.offset_stored + self.length
 
 
+def _first_diff(a: bytes, a_start: int, b: bytes, b_start: int,
+                length: int) -> int:
+    """Index of the first differing byte in two ranges known to differ.
+
+    Binary halving: O(log n) slice compares instead of a per-byte loop.
+    """
+    offset = 0
+    while length > 1:
+        half = length >> 1
+        if (a[a_start + offset: a_start + offset + half]
+                == b[b_start + offset: b_start + offset + half]):
+            offset += half
+            length -= half
+        else:
+            length = half
+    return offset
+
+
 def common_prefix_length(a: bytes, a_start: int, b: bytes, b_start: int,
                          limit: int) -> int:
     """Length of the common run of ``a[a_start:]`` and ``b[b_start:]``.
 
-    Compares in chunks so long matches cost O(n/chunk) slice compares
-    rather than a per-byte Python loop.
+    One slice compare settles the (common) fully-matching case; a
+    mismatch is then located by binary halving — both avoid a per-byte
+    Python loop.
     """
-    n = 0
-    chunk = 256
-    while n < limit:
-        step = min(chunk, limit - n)
-        if a[a_start + n: a_start + n + step] == b[b_start + n: b_start + n + step]:
-            n += step
-            continue
-        # Mismatch inside this chunk: locate it byte by byte.
-        for i in range(step):
-            if a[a_start + n + i] != b[b_start + n + i]:
-                return n + i
-        return n + step  # unreachable, defensive
-    return n
+    if limit <= 0:
+        return 0
+    if a[a_start: a_start + limit] == b[b_start: b_start + limit]:
+        return limit
+    return _first_diff(a, a_start, b, b_start, limit)
 
 
 def common_suffix_length(a: bytes, a_end: int, b: bytes, b_end: int,
                          limit: int) -> int:
     """Length of the common run ending at ``a[:a_end]`` / ``b[:b_end]``."""
-    n = 0
-    chunk = 256
-    while n < limit:
-        step = min(chunk, limit - n)
-        if a[a_end - n - step: a_end - n] == b[b_end - n - step: b_end - n]:
-            n += step
-            continue
-        for i in range(1, step + 1):
-            if a[a_end - n - i] != b[b_end - n - i]:
-                return n + i - 1
-        return n + step  # unreachable, defensive
-    return n
+    if limit <= 0:
+        return 0
+    if a[a_end - limit: a_end] == b[b_end - limit: b_end]:
+        return limit
+    # Mirror of _first_diff, walking leftwards from the range ends.
+    offset = 0
+    length = limit
+    while length > 1:
+        half = length >> 1
+        if (a[a_end - offset - half: a_end - offset]
+                == b[b_end - offset - half: b_end - offset]):
+            offset += half
+            length -= half
+        else:
+            length = half
+    return offset
 
 
 def expand_match(new: bytes, new_anchor: int, stored: bytes, stored_anchor: int,

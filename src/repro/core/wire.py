@@ -38,6 +38,10 @@ FLAG_RAW = 0x00
 FLAG_ENCODED = 0x01
 
 SHIM_SIZE = 2
+#: Extra shim byte carrying the cache epoch when the gateway resilience
+#: layer is armed (see repro.gateway.resilience) — gateways charge it to
+#: the packet's wire size, and savings accounting must net it out too.
+EPOCH_STAMP_SIZE = 1
 ENCODED_HEADER_SIZE = 6          # shim + nfields(2) + orig_len(2)
 FIELD_SIZE = 14                  # fp(8) + off_new(2) + off_stored(2) + len(2)
 MIN_REGION_LENGTH = FIELD_SIZE + 1   # §III-B line B.8: encode only if len > 14

@@ -72,6 +72,9 @@ class ExperimentConfig:
     time_limit: float = 600.0
     verify_content: bool = False
     trace: bool = False
+    #: Collect per-stage hot-path timings (repro.metrics.profiling)
+    #: into TransferResult.profile.  Near-zero cost when False.
+    profile: bool = False
 
     def tcp_config(self) -> TCPConfig:
         return TCPConfig(mss=self.tcp_mss, rwnd=self.tcp_rwnd,

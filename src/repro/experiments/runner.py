@@ -21,6 +21,7 @@ from ..core.fingerprint import FingerprintScheme
 from ..gateway.pair import GatewayPair
 from ..gateway.resilience import ResilienceConfig
 from ..metrics.collectors import TransferResult
+from ..metrics.profiling import StageProfiler, profiler_if
 from ..net.tcp import TCPStack
 from ..sim.engine import Simulator
 from ..sim.link import Link
@@ -50,12 +51,14 @@ class Testbed:
     bottleneck_reverse: Link
     gateways: Optional[GatewayPair]
     tracer: Tracer
+    profiler: Optional[StageProfiler] = None
 
 
 def build_testbed(config: ExperimentConfig,
                   tracer: Optional[Tracer] = None) -> Testbed:
     """Construct the simulator, hosts, links and (optionally) gateways."""
-    sim = Simulator()
+    profiler = profiler_if(config.profile)
+    sim = Simulator(profiler=profiler)
     rng = RngRegistry(config.seed)
     if tracer is None:
         tracer = Tracer(enabled=config.trace)
@@ -82,6 +85,9 @@ def build_testbed(config: ExperimentConfig,
             **config.policy_kwargs)
         enc_node: Node = gateways.encoder
         dec_node: Node = gateways.decoder
+        if profiler is not None:
+            gateways.encoder.encoder.profiler = profiler
+            gateways.decoder.decoder.profiler = profiler
     else:
         gateways = None
         enc_node = Node(sim, "fwd-node-1", tracer)
@@ -129,7 +135,7 @@ def build_testbed(config: ExperimentConfig,
     return Testbed(sim=sim, client=client, server=server,
                    client_stack=client_stack, server_stack=server_stack,
                    bottleneck_forward=bott_fwd, bottleneck_reverse=bott_rev,
-                   gateways=gateways, tracer=tracer)
+                   gateways=gateways, tracer=tracer, profiler=profiler)
 
 
 def run_transfer(config: ExperimentConfig,
@@ -180,6 +186,8 @@ def run_transfer(config: ExperimentConfig,
         server_timeouts=timeouts,
         avg_data_packet_size=avg_packet,
         data_packets_sent=forward.packets_offered,
+        profile=(testbed.profiler.as_dict()
+                 if testbed.profiler is not None else None),
     )
 
 

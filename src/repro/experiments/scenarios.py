@@ -21,6 +21,7 @@ from ..metrics.series import Series
 from ..workload.corpus import corpus_object
 from .config import ExperimentConfig
 from .runner import run_transfer
+from .sweep import SweepSpec, parallel_map, run_sweep
 
 DEFAULT_LOSS_SWEEP = (0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20)
 DEFAULT_SEEDS = (11, 23, 37)
@@ -109,16 +110,20 @@ class Table1Result:
             ["k"] + objects, table_rows)
 
 
+def _table1_cell(job: Tuple[str, int, int]) -> Tuple[str, int, float]:
+    """One Table I cell (module-level so it pickles for parallel_map)."""
+    name, k, seed = job
+    data = corpus_object(name, seed=seed)
+    return (name, k, 1.0 - offline_compression_ratio(data, cache_packets=k))
+
+
 def table1(ks: Sequence[int] = (10, 100, 1000),
            objects: Sequence[str] = ("ebook", "video", "webpages"),
-           seed: int = 3) -> Table1Result:
-    rows = []
-    for name in objects:
-        data = corpus_object(name, seed=seed)
-        for k in ks:
-            ratio = offline_compression_ratio(data, cache_packets=k)
-            rows.append((name, k, 1.0 - ratio))
-    return Table1Result(rows=rows)
+           seed: int = 3,
+           workers: Optional[int] = None) -> Table1Result:
+    jobs = [(name, k, seed) for name in objects for k in ks]
+    return Table1Result(rows=parallel_map(_table1_cell, jobs,
+                                          workers=workers))
 
 
 # ---------------------------------------------------------------------------
@@ -162,17 +167,17 @@ class Figure6Result:
 
 
 def figure6(runs: int = 50, loss_rate: float = 0.01,
-            corpus: str = "ebook", time_limit: float = 400.0) -> Figure6Result:
+            corpus: str = "ebook", time_limit: float = 400.0,
+            workers: Optional[int] = None) -> Figure6Result:
     data = corpus_object(corpus, seed=3)
-    fractions = []
-    for run_index in range(runs):
-        config = ExperimentConfig(
-            corpus=corpus, policy="naive", loss_rate=loss_rate,
-            seed=1000 + run_index, time_limit=time_limit)
-        result = run_transfer(config)
-        fractions.append(result.fraction_retrieved)
-    return Figure6Result(fractions=fractions, loss_rate=loss_rate,
-                         file_size=len(data))
+    spec = SweepSpec(
+        base=ExperimentConfig(corpus=corpus, policy="naive",
+                              loss_rate=loss_rate, time_limit=time_limit),
+        seeds=[1000 + run_index for run_index in range(runs)])
+    swept = run_sweep(spec, workers=workers)
+    return Figure6Result(
+        fractions=[cell.result.fraction_retrieved for cell in swept],
+        loss_rate=loss_rate, file_size=len(data))
 
 
 # ---------------------------------------------------------------------------
@@ -202,8 +207,16 @@ class Figure10_11Result:
 def figure10_11(policies: Sequence[str] = ("cache_flush", "tcp_seq"),
                 files: Sequence[str] = ("file1", "file2"),
                 losses: Sequence[float] = DEFAULT_LOSS_SWEEP,
-                seeds: Sequence[int] = DEFAULT_SEEDS) -> Figure10_11Result:
-    baselines: Dict[tuple, TransferResult] = {}
+                seeds: Sequence[int] = DEFAULT_SEEDS,
+                workers: Optional[int] = None,
+                cache_dir: Optional[str] = None) -> Figure10_11Result:
+    spec = SweepSpec(
+        base=ExperimentConfig(),
+        grid={"policy": list(policies), "corpus": list(files),
+              "loss_rate": list(losses)},
+        seeds=tuple(seeds), paired_baseline=True)
+    swept = run_sweep(spec, workers=workers, cache_dir=cache_dir)
+    cells = iter(swept)
     bytes_series, delay_series = [], []
     stalls = 0
     for policy in policies:
@@ -211,10 +224,8 @@ def figure10_11(policies: Sequence[str] = ("cache_flush", "tcp_seq"),
             label = f"{policy}({corpus})"
             runs = _RatioRuns(Series(label), Series(label))
             for loss in losses:
-                for seed in seeds:
-                    config = ExperimentConfig(corpus=corpus, policy=policy,
-                                              loss_rate=loss, seed=seed)
-                    runs.add(loss, _paired_ratio(config, baselines))
+                for _seed in seeds:
+                    runs.add(loss, next(cells).ratio_point(loss))
             bytes_series.append(runs.bytes_series)
             delay_series.append(runs.delay_series)
             stalls += runs.stalls
@@ -244,25 +255,29 @@ class Figure12Result:
 def figure12(ks: Sequence[int] = (2, 4, 8, 16, 32, 48, 64, 80),
              losses: Sequence[float] = (0.05, 0.10),
              corpus: str = "file1",
-             seeds: Sequence[int] = DEFAULT_SEEDS) -> Figure12Result:
+             seeds: Sequence[int] = DEFAULT_SEEDS,
+             workers: Optional[int] = None) -> Figure12Result:
     file_size = len(corpus_object(corpus, seed=3))
+    base = ExperimentConfig(corpus=corpus, policy="k_distance")
     # Normalisation denominators, per the figure caption: file size for
     # bytes; the download time in the absence of packet losses for delay.
-    loss_free = {}
-    for seed in seeds:
-        result = run_transfer(ExperimentConfig(
-            corpus=corpus, policy="k_distance", policy_kwargs={"k": 8},
-            loss_rate=0.0, seed=seed))
-        loss_free[seed] = result.download_time
+    prelude = run_sweep(SweepSpec(
+        base=base.with_updates(policy_kwargs={"k": 8}, loss_rate=0.0),
+        seeds=tuple(seeds)), workers=workers)
+    loss_free = {cell.seed: cell.result.download_time for cell in prelude}
+    swept = run_sweep(SweepSpec(
+        base=base,
+        grid={"loss_rate": list(losses),
+              "policy_kwargs": [{"k": k} for k in ks]},
+        seeds=tuple(seeds)), workers=workers)
+    cells = iter(swept)
     bytes_series, delay_series, stalls = [], [], 0
     for loss in losses:
         bseries = Series(f"bytes({loss:.0%})")
         dseries = Series(f"delay({loss:.0%})")
         for k in ks:
             for seed in seeds:
-                result = run_transfer(ExperimentConfig(
-                    corpus=corpus, policy="k_distance",
-                    policy_kwargs={"k": k}, loss_rate=loss, seed=seed))
+                result = next(cells).result
                 bseries.point(k).add(result.forward_bytes_on_link / file_size)
                 if result.download_time is not None and loss_free[seed]:
                     dseries.point(k).add(
@@ -294,16 +309,22 @@ def figure13(policies: Sequence[Tuple[str, dict]] = (
                  ("k_distance", {"k": 8})),
              losses: Sequence[float] = DEFAULT_LOSS_SWEEP,
              corpus: str = "file1",
-             seeds: Sequence[int] = DEFAULT_SEEDS) -> Figure13Result:
+             seeds: Sequence[int] = DEFAULT_SEEDS,
+             workers: Optional[int] = None) -> Figure13Result:
+    swept = run_sweep(SweepSpec(
+        base=ExperimentConfig(corpus=corpus),
+        grid={"policy,policy_kwargs": [(policy, dict(kwargs))
+                                       for policy, kwargs in policies],
+              "loss_rate": list(losses)},
+        seeds=tuple(seeds)), workers=workers)
+    cells = iter(swept)
     series_list = []
     for policy, kwargs in policies:
         label = policy if not kwargs else f"{policy}(k={kwargs.get('k')})"
         series = Series(label)
         for loss in losses:
-            for seed in seeds:
-                result = run_transfer(ExperimentConfig(
-                    corpus=corpus, policy=policy, policy_kwargs=dict(kwargs),
-                    loss_rate=loss, seed=seed))
+            for _seed in seeds:
+                result = next(cells).result
                 series.point(loss).add(result.perceived_loss_rate * 100)
         series_list.append(series)
     return Figure13Result(series=series_list)
@@ -335,19 +356,23 @@ class Table2Result:
 
 def table2(losses: Sequence[float] = (0.05, 0.10),
            corpus: str = "file1", k: int = 8,
-           seeds: Sequence[int] = DEFAULT_SEEDS) -> Table2Result:
+           seeds: Sequence[int] = DEFAULT_SEEDS,
+           workers: Optional[int] = None) -> Table2Result:
     policies = [("cache_flush", {}), ("tcp_seq", {}),
                 ("k_distance", {"k": k})]
-    baselines: Dict[tuple, TransferResult] = {}
+    swept = run_sweep(SweepSpec(
+        base=ExperimentConfig(corpus=corpus),
+        grid={"policy,policy_kwargs": [(policy, dict(kwargs))
+                                       for policy, kwargs in policies],
+              "loss_rate": list(losses)},
+        seeds=tuple(seeds), paired_baseline=True), workers=workers)
+    sweep_cells = iter(swept)
     cells: Dict[Tuple[str, str, float], float] = {}
-    for policy, kwargs in policies:
+    for policy, _kwargs in policies:
         for loss in losses:
             byte_ratios, delay_ratios = [], []
-            for seed in seeds:
-                config = ExperimentConfig(corpus=corpus, policy=policy,
-                                          policy_kwargs=dict(kwargs),
-                                          loss_rate=loss, seed=seed)
-                point = _paired_ratio(config, baselines)
+            for _seed in seeds:
+                point = next(sweep_cells).ratio_point(loss)
                 byte_ratios.append(point.bytes_ratio)
                 if point.delay_ratio is not None:
                     delay_ratios.append(point.delay_ratio)
@@ -378,13 +403,14 @@ class HeadlineResult:
 
 
 def headline(corpus: str = "file1", policy: str = "cache_flush",
-             seeds: Sequence[int] = DEFAULT_SEEDS) -> HeadlineResult:
-    baselines: Dict[tuple, TransferResult] = {}
+             seeds: Sequence[int] = DEFAULT_SEEDS,
+             workers: Optional[int] = None) -> HeadlineResult:
+    swept = run_sweep(SweepSpec(
+        base=ExperimentConfig(corpus=corpus, policy=policy, loss_rate=0.0),
+        seeds=tuple(seeds), paired_baseline=True), workers=workers)
     byte_ratios, delay_ratios = [], []
-    for seed in seeds:
-        config = ExperimentConfig(corpus=corpus, policy=policy,
-                                  loss_rate=0.0, seed=seed)
-        point = _paired_ratio(config, baselines)
+    for cell in swept:
+        point = cell.ratio_point(0.0)
         byte_ratios.append(point.bytes_ratio)
         if point.delay_ratio is not None:
             delay_ratios.append(point.delay_ratio)

@@ -27,7 +27,8 @@ from ..core.encoder import ByteCachingEncoder
 from ..core.fingerprint import FingerprintScheme
 from ..core.policies.base import (DecoderPolicy, EncoderPolicy, PacketMeta,
                                   PolicyServices)
-from ..core.wire import WireFormatError, parse_payload
+from ..core.wire import (EPOCH_STAMP_SIZE, SHIM_SIZE, WireFormatError,
+                         parse_payload)
 from ..net.packet import (ControlMessage, IPPacket, PROTO_DRE_CONTROL,
                           PROTO_TCP, PROTO_UDP)
 from ..sim.engine import Simulator
@@ -177,7 +178,12 @@ class EncoderGateway(_GatewayBase):
                          data_dst, forward_pred, tracer)
         self.policy = policy
         policy.attach_services(self._services())
-        self.encoder = ByteCachingEncoder(scheme, cache, policy)
+        # Savings accounting nets out the per-packet wire overhead: the
+        # 2-byte shim, plus the epoch stamp when resilience is armed.
+        shim_overhead = SHIM_SIZE + (EPOCH_STAMP_SIZE
+                                     if resilience is not None else 0)
+        self.encoder = ByteCachingEncoder(scheme, cache, policy,
+                                          shim_overhead=shim_overhead)
         if resilience is not None:
             self.resilience = EncoderResilience(self, resilience)
         self._data_counter = 0
@@ -236,10 +242,10 @@ class EncoderGateway(_GatewayBase):
             payload.dre_wire_tag = tag
             payload.options_size += 4
         if self.resilience is not None:
-            # The epoch rides in the shim; charge 1 byte of overhead.
+            # The epoch rides in the shim; charge its wire overhead.
             payload.dre_epoch = self.cache.epoch
             if hasattr(payload, "options_size"):
-                payload.options_size += 1
+                payload.options_size += EPOCH_STAMP_SIZE
         if result.encoded:
             self.stats.encoded_packets += 1
             self.dependency_log[pkt.packet_id] = result.dependencies

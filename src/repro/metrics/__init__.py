@@ -3,10 +3,14 @@
 from .collectors import RatioPoint, TransferResult
 from .depgraph import (DependencyGraph, format_dependency_trace,
                        graph_from_gateways)
+from .profiling import STAGES, StageProfiler, profiler_if
 from .report import format_series, format_table
 from .series import Aggregate, Series, sweep
 
 __all__ = [
+    "STAGES",
+    "StageProfiler",
+    "profiler_if",
     "RatioPoint",
     "TransferResult",
     "DependencyGraph",

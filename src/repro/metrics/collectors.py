@@ -17,8 +17,8 @@ state) — see :meth:`TransferResult.recovery_summary`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
 
 from ..app.transfer import TransferOutcome
 from ..gateway.middlebox import GatewayStats
@@ -45,6 +45,9 @@ class TransferResult:
     server_timeouts: int = 0
     avg_data_packet_size: float = 0.0
     data_packets_sent: int = 0
+    #: Stage timing breakdown (see repro.metrics.profiling), populated
+    #: when the run was configured with ``profile=True``.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
 
     # -- headline metrics --------------------------------------------------
 
@@ -149,6 +152,35 @@ class TransferResult:
             "heartbeat_state": "degraded" if enc.degraded else "ok",
             "heartbeats_sent": enc.heartbeats_sent,
         }
+
+    # -- serialisation (sweep result cache) --------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-friendly form (all leaves are plain scalars).
+
+        The sweep engine's on-disk result cache stores exactly this;
+        :meth:`from_dict` reconstructs an equal ``TransferResult``, so a
+        cache hit is bit-identical to re-running the simulation.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransferResult":
+        """Inverse of :meth:`to_dict`."""
+        def opt(klass, value):
+            return klass(**value) if value is not None else None
+
+        fields = dict(data)
+        fields["outcome"] = TransferOutcome(**fields["outcome"])
+        fields["bottleneck_forward"] = LinkStats(**fields["bottleneck_forward"])
+        fields["bottleneck_reverse"] = LinkStats(**fields["bottleneck_reverse"])
+        fields["encoder_stats"] = opt(GatewayStats, fields.get("encoder_stats"))
+        fields["decoder_stats"] = opt(GatewayStats, fields.get("decoder_stats"))
+        fields["encoder_resilience"] = opt(ResilienceStats,
+                                           fields.get("encoder_resilience"))
+        fields["decoder_resilience"] = opt(ResilienceStats,
+                                           fields.get("decoder_resilience"))
+        return cls(**fields)
 
 
 @dataclass

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 
@@ -26,21 +27,30 @@ class Event:
 
     Returned by :meth:`Simulator.at` / :meth:`Simulator.after` so the
     caller can cancel the callback (e.g. a retransmission timer being
-    disarmed by an ACK).
+    disarmed by an ACK).  The run loop orders events by heap entries of
+    ``(time, seq, event)`` tuples, so ordering is resolved by C-level
+    tuple comparison and this class is never compared on the hot path.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "done", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.done = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled or self.done:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -53,13 +63,21 @@ class Event:
 class Simulator:
     """Deterministic discrete-event scheduler with a simulated clock."""
 
-    def __init__(self) -> None:
-        self._heap: list[Event] = []
+    def __init__(self, profiler=None) -> None:
+        # Heap of (time, seq, Event): comparisons stay on primitive
+        # tuples (C code) instead of calling Event.__lt__ per sift.
+        self._heap: list = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Live (scheduled, neither cancelled nor executed) event count;
+        #: maintained incrementally so :meth:`pending` is O(1).
+        self._live = 0
+        #: Optional :class:`repro.metrics.profiling.StageProfiler`
+        #: accumulating an "event_dispatch" stage.
+        self.profiler = profiler
 
     @property
     def now(self) -> float:
@@ -72,8 +90,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
-        event = Event(time, next(self._counter), fn, args)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -97,17 +117,26 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        profiler = self.profiler
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap and not self._stopped:
+                if until is not None and heap[0][0] > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                event = heappop(heap)[2]
                 if event.cancelled:
                     continue
+                event.done = True
+                self._live -= 1
                 self._now = event.time
-                event.fn(*event.args)
+                if profiler is not None:
+                    started = perf_counter()
+                    event.fn(*event.args)
+                    profiler.add("event_dispatch", perf_counter() - started)
+                else:
+                    event.fn(*event.args)
                 self.events_processed += 1
                 processed += 1
                 if max_events is not None and processed >= max_events:
@@ -120,8 +149,13 @@ class Simulator:
         return self._now
 
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled (non-cancelled) events still queued.
+
+        O(1): a live-event counter is maintained by ``at``/``cancel``
+        and the run loop, so the resilience watchdog (and tests) can
+        poll this without scanning the heap.
+        """
+        return self._live
 
 
 class Timer:

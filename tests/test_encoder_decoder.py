@@ -257,3 +257,21 @@ class TestStats:
         assert decoder.stats.raw == 1
         assert decoder.stats.decoded == 1
         assert decoder.stats.undecodable == 0
+
+
+def test_bytes_saved_accounts_for_shim_overhead():
+    from repro.core.encoder import EncodeResult
+    from repro.core.wire import EPOCH_STAMP_SIZE, SHIM_SIZE
+
+    plain = EncodeResult(data=b"x" * 90, encoded=True,
+                         bytes_in=100, bytes_out=90)
+    assert plain.shim_overhead == SHIM_SIZE
+    assert plain.bytes_saved == 100 - (90 - SHIM_SIZE)
+
+    # A resilience-stamped wire format carries one extra byte; the
+    # savings accounting must not charge it as eliminated payload.
+    stamped = EncodeResult(data=b"x" * 91, encoded=True,
+                           bytes_in=100, bytes_out=91,
+                           shim_overhead=SHIM_SIZE + EPOCH_STAMP_SIZE)
+    assert stamped.bytes_saved == 100 - (91 - SHIM_SIZE - EPOCH_STAMP_SIZE)
+    assert stamped.bytes_saved == plain.bytes_saved

@@ -198,3 +198,39 @@ class TestTimer:
         timer.start(1.0)
         sim.run()
         assert fired == [1.0, 2.0, 3.0]
+
+
+def test_pending_tracks_live_events_through_run():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    event = sim.at(2.0, lambda: None)
+    sim.at(3.0, lambda: None)
+    assert sim.pending() == 3
+    event.cancel()
+    event.cancel()          # idempotent: no double-decrement
+    assert sim.pending() == 2
+    sim.run(until=1.5)
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending():
+    sim = Simulator()
+    event = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    sim.run(until=1.5)
+    event.cancel()          # already fired; the live count must hold
+    assert sim.pending() == 1
+
+
+def test_dispatch_profiling_counts_every_event():
+    from repro.metrics.profiling import StageProfiler
+
+    profiler = StageProfiler()
+    sim = Simulator(profiler=profiler)
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, lambda: None)
+    sim.run()
+    assert profiler.count("event_dispatch") == 3
+    assert profiler.total("event_dispatch") >= 0.0

@@ -1,0 +1,157 @@
+"""The sweep engine: grids, hashing, parallel determinism, caching."""
+
+import json
+
+from repro.experiments import ExperimentConfig, run_transfer
+from repro.experiments.sweep import (SweepSpec, config_hash, parallel_map,
+                                     run_sweep, write_bench_json)
+
+# Small object so every transfer finishes in a few hundred sim-events.
+FILE_SIZE = 30 * 1460
+
+
+def small_spec(paired=True):
+    return SweepSpec(
+        base=ExperimentConfig(corpus="file1", file_size=FILE_SIZE),
+        grid={"policy": ["cache_flush"], "loss_rate": [0.0, 0.02]},
+        seeds=(11, 23),
+        paired_baseline=paired)
+
+
+class TestSpec:
+    def test_cells_enumerate_in_grid_product_order(self):
+        spec = SweepSpec(
+            base=ExperimentConfig(),
+            grid={"policy": ["a", "b"], "loss_rate": [0.0, 0.1]},
+            seeds=(1, 2))
+        cells = list(spec.cells())
+        assert len(cells) == 8 == spec.size()
+        assert [c.index for c in cells] == list(range(8))
+        # policy is the outer axis, loss next, seeds innermost.
+        assert [(c.params["policy"], c.params["loss_rate"], c.seed)
+                for c in cells[:4]] == [
+            ("a", 0.0, 1), ("a", 0.0, 2), ("a", 0.1, 1), ("a", 0.1, 2)]
+        assert cells[0].config.policy == "a"
+        assert cells[0].config.seed == 1
+
+    def test_comma_joined_keys_assign_fields_together(self):
+        spec = SweepSpec(
+            base=ExperimentConfig(),
+            grid={"policy,policy_kwargs": [("cache_flush", {}),
+                                           ("k_distance", {"k": 8})]})
+        cells = list(spec.cells())
+        assert len(cells) == 2
+        assert cells[1].config.policy == "k_distance"
+        assert cells[1].config.policy_kwargs == {"k": 8}
+        # No seeds given: the base config's seed is kept.
+        assert cells[0].seed == ExperimentConfig().seed
+
+    def test_cell_keys_are_hashable_and_distinct(self):
+        spec = SweepSpec(
+            base=ExperimentConfig(),
+            grid={"policy,policy_kwargs": [("k_distance", {"k": 8}),
+                                           ("k_distance", {"k": 16})]})
+        keys = [cell.key for cell in spec.cells()]
+        assert len(set(keys)) == 2
+
+
+class TestConfigHash:
+    def test_equal_configs_hash_equal(self):
+        a = ExperimentConfig(loss_rate=0.05, policy_kwargs={"k": 8})
+        b = ExperimentConfig(policy_kwargs={"k": 8}, loss_rate=0.05)
+        assert config_hash(a) == config_hash(b)
+
+    def test_any_field_change_changes_the_hash(self):
+        base = ExperimentConfig()
+        assert config_hash(base) != config_hash(base.with_updates(seed=1))
+        assert config_hash(base) != config_hash(
+            base.with_updates(policy_kwargs={"k": 8}))
+
+
+class TestRunSweep:
+    def test_parallel_is_bit_identical_to_serial(self):
+        spec = small_spec()
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        assert len(serial.cells) == len(parallel.cells) == 4
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.config_hash == b.config_hash
+            assert a.result == b.result
+            assert a.baseline == b.baseline
+
+    def test_baselines_are_shared_across_cells(self):
+        swept = run_sweep(small_spec())
+        # 4 DRE cells + 4 distinct (loss, seed) baselines.
+        assert swept.executed == 8
+        for cell in swept:
+            assert cell.baseline is not None
+            assert cell.baseline.policy == "none"
+            assert cell.ratio_point(cell.params["loss_rate"]).bytes_ratio > 0
+
+    def test_cache_hit_rerun_executes_nothing(self, tmp_path):
+        spec = small_spec()
+        first = run_sweep(spec, cache_dir=str(tmp_path))
+        assert first.executed == 8 and first.cached == 0
+        again = run_sweep(spec, cache_dir=str(tmp_path))
+        assert again.executed == 0 and again.cached == 8
+        for a, b in zip(first.cells, again.cells):
+            assert b.from_cache
+            assert a.result == b.result
+            assert a.baseline == b.baseline
+
+    def test_by_key_lookup(self):
+        swept = run_sweep(small_spec(paired=False))
+        table = swept.by_key()
+        assert len(table) == 4
+        cell = swept.cells[0]
+        assert table[cell.key] is cell
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(10))
+        assert parallel_map(_square, items) == [v * v for v in items]
+        assert parallel_map(_square, items, workers=2) == [v * v
+                                                           for v in items]
+
+
+class TestBenchJson:
+    def test_schema_and_history(self, tmp_path):
+        swept = run_sweep(small_spec(paired=False))
+        path = tmp_path / "BENCH_sweep.json"
+        write_bench_json(swept, str(path), name="unit")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "bench_sweep/v1"
+        assert payload["name"] == "unit"
+        assert payload["summary"]["cells"] == 4
+        assert payload["history"] == []
+        for cell in payload["cells"]:
+            assert set(cell) >= {"params", "seed", "config_hash",
+                                 "from_cache", "elapsed", "metrics"}
+            assert "bytes_on_link" in cell["metrics"]
+        # A second write folds the first run's summary into history.
+        write_bench_json(swept, str(path), name="unit")
+        payload = json.loads(path.read_text())
+        assert len(payload["history"]) == 1
+        assert payload["history"][0]["cells"] == 4
+
+
+class TestProfileCollection:
+    def test_profile_lands_in_result_when_enabled(self):
+        config = ExperimentConfig(corpus="file1", file_size=FILE_SIZE,
+                                  policy="cache_flush", profile=True)
+        result = run_transfer(config)
+        assert result.profile is not None
+        for stage in ("fingerprint", "cache_ops", "event_dispatch"):
+            assert result.profile[stage]["calls"] > 0
+            assert result.profile[stage]["seconds"] >= 0.0
+
+    def test_profile_is_none_by_default(self):
+        result = run_transfer(ExperimentConfig(corpus="file1",
+                                               file_size=FILE_SIZE,
+                                               policy="cache_flush"))
+        assert result.profile is None
