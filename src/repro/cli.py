@@ -8,6 +8,10 @@ mobility   the §II handoff experiment in any gateway mode
 artifact   regenerate a paper artifact (table1, figure6, ..., table2)
 corpus     list or describe the synthetic corpus objects
 policies   list the available encoding policies
+trace      dependency-graph analysis of one run (Fig. 14-style)
+timeline   one telemetry-instrumented run rendered as ASCII time
+           series (cwnd, RTO, perceived loss, cache, queues) plus the
+           flight-recorder dump on stall/watchdog/time-limit
 """
 
 from __future__ import annotations
@@ -83,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "sweep re-run is free")
     sweep_cmd.add_argument("--out", default=None,
                            help="write a BENCH_sweep.json file here")
+    sweep_cmd.add_argument("--telemetry-out", default=None,
+                           help="record per-cell telemetry and write a "
+                                "bench_telemetry/v1 export here "
+                                "(.jsonl = one cell per line)")
 
     mob_cmd = sub.add_parser("mobility", help="§II handoff experiment")
     mob_cmd.add_argument("--mode", default="ip-dre",
@@ -114,6 +122,42 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--seed", type=int, default=11)
     trace_cmd.add_argument("--rows", type=int, default=25,
                            help="how many packets of the trace to print")
+    trace_cmd.add_argument("--out", default=None,
+                           help="also archive the full event trace as "
+                                "JSON Lines to this file")
+
+    timeline_cmd = sub.add_parser(
+        "timeline", help="run one telemetry-instrumented transfer and "
+                         "render its time series + flight recorder")
+    timeline_cmd.add_argument(
+        "--policy", default="classic",
+        choices=sorted(ENCODER_POLICIES) + ["classic", "none"],
+        help="encoding policy ('classic' = the paper's §IV naive "
+             "scheme, 'none' disables DRE)")
+    timeline_cmd.add_argument("--loss", type=float, default=5.0,
+                              help="loss rate in percent")
+    timeline_cmd.add_argument("--corpus", default="file1",
+                              choices=corpus_names())
+    timeline_cmd.add_argument("--size", type=int, default=60 * 1460,
+                              help="object size in bytes")
+    timeline_cmd.add_argument("--seed", type=int, default=11)
+    timeline_cmd.add_argument("--resilience", action="store_true",
+                              help="arm the gateway resilience layer "
+                                   "(adds epoch/resync series)")
+    timeline_cmd.add_argument("--series", default=None,
+                              help="comma-separated substrings selecting "
+                                   "which series to render (default: "
+                                   "cwnd, RTO, in-flight, perceived loss, "
+                                   "cache entries, queue depth)")
+    timeline_cmd.add_argument("--width", type=int, default=64,
+                              help="chart width in columns")
+    timeline_cmd.add_argument("--height", type=int, default=8,
+                              help="chart height in rows")
+    timeline_cmd.add_argument("--events", type=int, default=20,
+                              help="flight-recorder rows to print")
+    timeline_cmd.add_argument("--out", default=None,
+                              help="also write the raw telemetry/v1 "
+                                   "export as JSON to this file")
 
     sub.add_parser("policies", help="list encoding policies")
     return parser
@@ -161,7 +205,8 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from .experiments.sweep import SweepSpec, run_sweep, write_bench_json
+    from .experiments.sweep import (SweepSpec, run_sweep, write_bench_json,
+                                    write_telemetry_export)
 
     policies = [name.strip() for name in args.policies.split(",") if name.strip()]
     losses = [float(x) / 100 for x in args.losses.split(",") if x.strip()]
@@ -170,7 +215,8 @@ def cmd_sweep(args) -> int:
     pairs = [(policy, {"k": 8} if policy == "k_distance" else {})
              for policy in policies]
     spec = SweepSpec(
-        base=ExperimentConfig(corpus=args.corpus),
+        base=ExperimentConfig(corpus=args.corpus,
+                              telemetry=bool(args.telemetry_out)),
         grid={"policy,policy_kwargs": pairs, "loss_rate": losses},
         seeds=tuple(seeds), paired_baseline=True)
     swept = run_sweep(spec, workers=args.workers, cache_dir=args.cache_dir)
@@ -203,6 +249,11 @@ def cmd_sweep(args) -> int:
     if args.out:
         write_bench_json(swept, args.out, name=f"sweep-{args.corpus}")
         print(f"wrote {args.out}")
+    if args.telemetry_out:
+        payload = write_telemetry_export(swept, args.telemetry_out,
+                                         name=f"sweep-{args.corpus}")
+        print(f"wrote {args.telemetry_out} "
+              f"({payload['summary']['with_telemetry']} cells)")
     return 0
 
 
@@ -258,7 +309,8 @@ def cmd_trace(args) -> int:
     config = ExperimentConfig(
         corpus=args.corpus, file_size=args.size, policy=args.policy,
         policy_kwargs={}, loss_rate=_percent(args.loss), seed=args.seed,
-        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0)
+        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0,
+        trace=bool(args.out))
     testbed = build_testbed(config)
     data = load_object(config.corpus, config.file_size, config.corpus_seed)
     FileServer(testbed.server_stack, {FILE_NAME: data})
@@ -285,6 +337,87 @@ def cmd_trace(args) -> int:
          ["loss amplification", f"{graph.loss_amplification(lost):.2f}x"],
          ["segment-level cycles (§IV-B)", len(cycles)],
          ["self-dependency livelock", graph.has_self_dependency()]]))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(testbed.tracer.to_jsonl())
+        print(f"\nwrote {len(testbed.tracer.records)} trace records "
+              f"to {args.out}")
+    return 0
+
+
+#: Default substring filters for ``repro timeline`` — the trajectories
+#: that explain a stall: window collapse, RTO backoff, perceived loss
+#: growth, cache occupancy, and bottleneck queueing.
+_TIMELINE_DEFAULT_SERIES = ("tcp.cwnd", "tcp.rto", "tcp.inflight",
+                            "dre.perceived_loss", "cache.entries",
+                            "link.queue_depth")
+
+
+def cmd_timeline(args) -> int:
+    from .metrics.report import format_flight_recorder, format_timeseries
+
+    # "classic" is the paper's name for the first-generation byte
+    # caching scheme — the repo implements it as the "naive" policy.
+    policy = {"classic": "naive", "none": None}.get(args.policy, args.policy)
+    config = ExperimentConfig(
+        corpus=args.corpus, file_size=args.size, policy=policy,
+        policy_kwargs={}, loss_rate=_percent(args.loss), seed=args.seed,
+        resilience=args.resilience, telemetry=True,
+        # Bounded stall settings (as in `repro trace`): a naive-policy
+        # livelock exhausts 8 retries at <= 2 s RTO in well under the
+        # 120 s limit instead of grinding through the full defaults.
+        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0)
+    result = run_transfer(config)
+    telemetry = result.telemetry
+    sampler = telemetry["sampler"]
+
+    print(format_table(
+        f"timeline: {args.corpus} @ {args.loss:.3g}% loss, "
+        f"policy={args.policy}",
+        ["metric", "value"],
+        [["run ended", telemetry["reason"]],
+         ["completed", result.completed],
+         ["sim time", f"{result.sim_time:.3f}s"],
+         ["perceived loss", f"{result.perceived_loss_rate:.1%}"],
+         ["samples", len(sampler["times"])],
+         ["sample interval", f"{sampler['interval']:.3g}s"
+          + (f" (decimated x{sampler['decimations']})"
+             if sampler["decimations"] else "")],
+         ["flight-recorder events", telemetry["flight_recorder_events_seen"]]]))
+
+    filters = ([part.strip() for part in args.series.split(",")
+                if part.strip()] if args.series
+               else list(_TIMELINE_DEFAULT_SERIES))
+    shown = 0
+    for key, values in sampler["series"].items():
+        if not any(part in key for part in filters):
+            continue
+        print()
+        print(format_timeseries(key, sampler["times"], values,
+                                width=args.width, height=args.height))
+        shown += 1
+    if not shown:
+        print("\nno series matched "
+              f"{filters}; available: {', '.join(sampler['series'])}")
+
+    events = telemetry["flight_recorder"]
+    if events:
+        print()
+        print(format_flight_recorder(
+            events[-args.events:],
+            title=f"Flight recorder (last {min(args.events, len(events))} "
+                  f"of {telemetry['flight_recorder_events_seen']} events, "
+                  f"dumped on {telemetry['reason']})"))
+    elif telemetry["reason"] == "completed":
+        print("\ntransfer completed cleanly; flight recorder not dumped "
+              "(it only dumps on stall, watchdog trip, or time limit)")
+
+    if args.out:
+        import json as _json
+        with open(args.out, "w", encoding="utf-8") as handle:
+            _json.dump(telemetry, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote telemetry/v1 export to {args.out}")
     return 0
 
 
@@ -308,6 +441,7 @@ COMMANDS = {
     "artifact": cmd_artifact,
     "corpus": cmd_corpus,
     "trace": cmd_trace,
+    "timeline": cmd_timeline,
     "policies": cmd_policies,
 }
 

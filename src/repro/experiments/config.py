@@ -75,6 +75,16 @@ class ExperimentConfig:
     #: Collect per-stage hot-path timings (repro.metrics.profiling)
     #: into TransferResult.profile.  Near-zero cost when False.
     profile: bool = False
+    #: Record time-resolved run telemetry (repro.metrics.telemetry):
+    #: cwnd/RTO/in-flight, cache occupancy, link queues, perceived loss
+    #: sampled on a sim-time tick, plus a flight recorder dumped on
+    #: stall/watchdog/time-limit.  The telemetry/v1 export lands in
+    #: TransferResult.telemetry.  When False every instrumented layer
+    #: pays exactly one None-check (bench_hotpath budget).
+    telemetry: bool = False
+    #: TelemetryConfig field overrides (sample_interval, max_samples,
+    #: flight_ring, flight_flows, dump_events).
+    telemetry_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def tcp_config(self) -> TCPConfig:
         return TCPConfig(mss=self.tcp_mss, rwnd=self.tcp_rwnd,

@@ -22,6 +22,7 @@ from ..gateway.pair import GatewayPair
 from ..gateway.resilience import ResilienceConfig
 from ..metrics.collectors import TransferResult
 from ..metrics.profiling import StageProfiler, profiler_if
+from ..metrics.telemetry import Telemetry, telemetry_if
 from ..net.tcp import TCPStack
 from ..sim.engine import Simulator
 from ..sim.link import Link
@@ -52,6 +53,7 @@ class Testbed:
     gateways: Optional[GatewayPair]
     tracer: Tracer
     profiler: Optional[StageProfiler] = None
+    telemetry: Optional[Telemetry] = None
 
 
 def build_testbed(config: ExperimentConfig,
@@ -63,6 +65,12 @@ def build_testbed(config: ExperimentConfig,
     if tracer is None:
         tracer = Tracer(enabled=config.trace)
     tracer.bind_clock(lambda: sim.now)
+    telemetry = telemetry_if(config.telemetry, sim,
+                             **config.telemetry_kwargs)
+    if telemetry is not None:
+        # Existing tracer.emit call sites feed the flight recorder even
+        # while full tracing stays off.
+        tracer.sink = telemetry.trace_sink()
 
     client = Host(sim, "client", CLIENT_ADDR, tracer)
     server = Host(sim, "server", SERVER_ADDR, tracer)
@@ -82,6 +90,7 @@ def build_testbed(config: ExperimentConfig,
             tracer=tracer,
             resilience=(ResilienceConfig(**config.resilience_kwargs)
                         if config.resilience else None),
+            telemetry=telemetry,
             **config.policy_kwargs)
         enc_node: Node = gateways.encoder
         dec_node: Node = gateways.decoder
@@ -103,10 +112,12 @@ def build_testbed(config: ExperimentConfig,
                     loss_rate=config.loss_rate,
                     corrupt_rate=config.corrupt_rate,
                     reorder_rate=config.reorder_rate,
-                    rng=rng.stream("bottleneck_fwd"), name="bottleneck-fwd")
+                    rng=rng.stream("bottleneck_fwd"), name="bottleneck-fwd",
+                    telemetry=telemetry)
     bott_rev = Link(sim, config.bandwidth, config.bottleneck_delay,
                     loss_rate=config.reverse_loss_rate,
-                    rng=rng.stream("bottleneck_rev"), name="bottleneck-rev")
+                    rng=rng.stream("bottleneck_rev"), name="bottleneck-rev",
+                    telemetry=telemetry)
     # decoder <-> client LAN
     lan_c_fwd = Link(sim, config.lan_bandwidth, config.lan_delay,
                      rng=rng.stream("lan_c_fwd"), name="lan-client-fwd")
@@ -129,13 +140,17 @@ def build_testbed(config: ExperimentConfig,
     client.set_default_route(lan_c_rev)
 
     tcp_config = config.tcp_config()
-    client_stack = TCPStack(sim, client, tcp_config)
-    server_stack = TCPStack(sim, server, tcp_config)
+    client_stack = TCPStack(sim, client, tcp_config, telemetry=telemetry)
+    server_stack = TCPStack(sim, server, tcp_config, telemetry=telemetry)
+
+    if telemetry is not None:
+        telemetry.start()
 
     return Testbed(sim=sim, client=client, server=server,
                    client_stack=client_stack, server_stack=server_stack,
                    bottleneck_forward=bott_fwd, bottleneck_reverse=bott_rev,
-                   gateways=gateways, tracer=tracer, profiler=profiler)
+                   gateways=gateways, tracer=tracer, profiler=profiler,
+                   telemetry=telemetry)
 
 
 def run_transfer(config: ExperimentConfig,
@@ -161,6 +176,23 @@ def run_transfer(config: ExperimentConfig,
     forward = testbed.bottleneck_forward.stats
     avg_packet = (forward.bytes_offered / forward.packets_offered
                   if forward.packets_offered else 0.0)
+
+    telemetry_export = None
+    if testbed.telemetry is not None:
+        if outcome.stalled:
+            reason = "stall"
+        elif not outcome.completed:
+            reason = "time_limit"
+        elif (testbed.gateways is not None
+              and testbed.gateways.decoder.resilience is not None
+              and testbed.gateways.decoder.resilience.stats.watchdog_trips):
+            reason = "watchdog"
+        else:
+            reason = "completed"
+        # The flight recorder dumps automatically on the post-mortem
+        # endings (stall / watchdog trip / time-limit expiry).
+        telemetry_export = testbed.telemetry.export(
+            reason=reason, dump_flight_recorder=(reason != "completed"))
 
     return TransferResult(
         outcome=outcome,
@@ -188,6 +220,7 @@ def run_transfer(config: ExperimentConfig,
         data_packets_sent=forward.packets_offered,
         profile=(testbed.profiler.as_dict()
                  if testbed.profiler is not None else None),
+        telemetry=telemetry_export,
     )
 
 

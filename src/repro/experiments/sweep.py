@@ -37,6 +37,7 @@ from .config import ExperimentConfig
 from .runner import run_transfer
 
 BENCH_SCHEMA = "bench_sweep/v1"
+TELEMETRY_BENCH_SCHEMA = "bench_telemetry/v1"
 
 
 # ---------------------------------------------------------------------------
@@ -412,3 +413,87 @@ def write_bench_json(sweep: SweepResult, path: str, *,
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return payload
+
+
+# ---------------------------------------------------------------------------
+# bench_telemetry/v1 emission
+# ---------------------------------------------------------------------------
+
+def _telemetry_cell(cell: CellResult) -> Dict[str, Any]:
+    return {
+        "params": {key: repr(value) if isinstance(value, dict) else value
+                   for key, value in cell.params.items()},
+        "seed": cell.seed,
+        "config_hash": cell.config_hash,
+        "telemetry": cell.result.telemetry,
+    }
+
+
+def telemetry_payload(sweep: SweepResult, name: str) -> Dict[str, Any]:
+    """The ``bench_telemetry/v1`` document for one sweep run.
+
+    Carries the per-cell ``telemetry/v1`` exports (cells run without
+    ``telemetry=True`` are skipped) so every cell's time series survive
+    alongside the scalar ``bench_sweep/v1`` metrics.
+    """
+    cells = [_telemetry_cell(cell) for cell in sweep.cells
+             if cell.result.telemetry is not None]
+    return {
+        "schema": TELEMETRY_BENCH_SCHEMA,
+        "name": name,
+        "cells": cells,
+        "summary": {
+            "cells": len(sweep.cells),
+            "with_telemetry": len(cells),
+        },
+    }
+
+
+def write_telemetry_export(sweep: SweepResult, path: str, *,
+                           name: str = "sweep") -> Dict[str, Any]:
+    """Write per-cell telemetry as ``bench_telemetry/v1``.
+
+    A ``.jsonl`` path gets one self-describing JSON object per line
+    (schema + name on each row, one row per cell) — stream-appendable
+    and ``jq``-sliceable per cell.  Any other extension gets the single
+    JSON document from :func:`telemetry_payload`.
+    """
+    payload = telemetry_payload(sweep, name)
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.endswith(".jsonl"):
+            for cell in payload["cells"]:
+                handle.write(json.dumps(
+                    {"schema": TELEMETRY_BENCH_SCHEMA, "name": name, **cell},
+                    separators=(",", ":")))
+                handle.write("\n")
+        else:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+    return payload
+
+
+def validate_bench_telemetry(doc: Any) -> None:
+    """Raise ``ValueError`` unless ``doc`` is valid ``bench_telemetry/v1``.
+
+    Accepts either the single-document form (with a ``cells`` list) or
+    one JSONL row (with an inline ``telemetry`` export).  Used by tests
+    and the CI smoke step.
+    """
+    from ..metrics.telemetry import validate_telemetry
+
+    if not isinstance(doc, dict):
+        raise ValueError("bench_telemetry document must be a dict")
+    if doc.get("schema") != TELEMETRY_BENCH_SCHEMA:
+        raise ValueError(f"bad schema: {doc.get('schema')!r}")
+    if "cells" in doc:
+        cells = doc["cells"]
+        if not isinstance(cells, list):
+            raise ValueError("cells must be a list")
+        for cell in cells:
+            validate_telemetry(cell.get("telemetry"))
+    elif "telemetry" in doc:
+        validate_telemetry(doc["telemetry"])
+    else:
+        raise ValueError("document carries neither cells nor telemetry")

@@ -32,6 +32,7 @@ class GatewayPair:
                decoder_address: str = "10.255.0.2",
                tracer: Tracer = NULL_TRACER,
                resilience: Optional[ResilienceConfig] = None,
+               telemetry=None,
                **policy_kwargs) -> "GatewayPair":
         """Build both gateways for one direction of traffic.
 
@@ -41,7 +42,10 @@ class GatewayPair:
         encoded direction to packets destined for that address (the
         client, in the paper's downstream-transfer setup).  A
         ``resilience`` config arms the failure-recovery layer (epochs,
-        resync, heartbeats) on both gateways.
+        resync, heartbeats) on both gateways.  A ``telemetry`` facade
+        (duck-typed, see :mod:`repro.metrics.telemetry`) registers cache
+        occupancy, drop accounting, resilience state and the running
+        perceived-loss gauge on both sides.
         """
         if scheme is None:
             scheme = FingerprintScheme()
@@ -58,4 +62,8 @@ class GatewayPair:
             resilience=resilience)
         encoder.set_peer(decoder_address)
         decoder.set_peer(encoder_address)
+        if telemetry is not None:
+            telemetry.register_gateway(encoder, "encoder")
+            telemetry.register_gateway(decoder, "decoder")
+            telemetry.register_dre_pair(encoder, decoder)
         return cls(encoder=encoder, decoder=decoder)

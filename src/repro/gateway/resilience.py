@@ -206,6 +206,8 @@ class EncoderResilience:
             self.stats.degraded_time += now - self._degraded_since
             self._degraded_since = None
         self._flush_and_bump()
+        self.gateway.tracer.emit(self.gateway.name, "degraded_recover",
+                                 epoch=self.epoch)
 
     def _heartbeat_tick(self) -> None:
         gateway = self.gateway
@@ -222,6 +224,9 @@ class EncoderResilience:
             self.stats.degraded = True
             self.stats.degraded_entries += 1
             self._degraded_since = gateway.sim.now
+            gateway.tracer.emit(gateway.name, "degraded_enter",
+                                last_ack_age=gateway.sim.now
+                                - self._last_ack_time)
 
 
 class DecoderResilience:
@@ -260,6 +265,9 @@ class DecoderResilience:
             self.stats.resync_times.append(
                 self.gateway.sim.now - self._resync_started)
             self._window.clear()
+            self.gateway.tracer.emit(
+                self.gateway.name, "resync_complete", epoch=epoch,
+                elapsed=self.gateway.sim.now - self._resync_started)
 
     def gate_encoded(self, wire_epoch: Optional[int]) -> bool:
         """Admission check for a *region-bearing* payload.
@@ -293,6 +301,10 @@ class DecoderResilience:
                 and sum(self._window)
                 >= config.watchdog_threshold * config.watchdog_window):
             self.stats.watchdog_trips += 1
+            self.gateway.tracer.emit(
+                self.gateway.name, "watchdog_trip",
+                undecodable=sum(self._window),
+                window=config.watchdog_window)
             self.start_resync()
 
     def start_resync(self) -> None:
@@ -307,6 +319,8 @@ class DecoderResilience:
         self.gateway.cache.flush()
         self._window.clear()
         self.stats.resyncs_initiated += 1
+        self.gateway.tracer.emit(self.gateway.name, "resync_start",
+                                 resync_id=self._resync_id)
         self._send_request()
 
     def on_restart(self) -> None:
@@ -333,6 +347,9 @@ class DecoderResilience:
             # starts a fresh attempt (with a fresh id).
             self.resyncing = False
             self.stats.resync_failures += 1
+            self.gateway.tracer.emit(self.gateway.name, "resync_give_up",
+                                     resync_id=self._resync_id,
+                                     retries=self._retries)
             return
         self._retries += 1
         self.stats.resync_retries += 1

@@ -4,13 +4,25 @@ from .collectors import RatioPoint, TransferResult
 from .depgraph import (DependencyGraph, format_dependency_trace,
                        graph_from_gateways)
 from .profiling import STAGES, StageProfiler, profiler_if
-from .report import format_series, format_table
+from .report import format_series, format_table, format_timeseries
 from .series import Aggregate, Series, sweep
+from .telemetry import (TELEMETRY_SCHEMA, FlightRecorder, MetricsRegistry,
+                        Telemetry, TelemetryConfig, TelemetrySampler,
+                        telemetry_if, validate_telemetry)
 
 __all__ = [
     "STAGES",
     "StageProfiler",
     "profiler_if",
+    "TELEMETRY_SCHEMA",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "telemetry_if",
+    "validate_telemetry",
+    "format_timeseries",
     "RatioPoint",
     "TransferResult",
     "DependencyGraph",

@@ -48,6 +48,11 @@ class TransferResult:
     #: Stage timing breakdown (see repro.metrics.profiling), populated
     #: when the run was configured with ``profile=True``.
     profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: telemetry/v1 export (see repro.metrics.telemetry), populated when
+    #: the run was configured with ``telemetry=True``.  Kept as a plain
+    #: JSON-shaped dict so to_dict/from_dict round-trip it untouched
+    #: through the sweep result cache.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # -- headline metrics --------------------------------------------------
 

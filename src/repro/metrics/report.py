@@ -6,7 +6,8 @@ grep-friendly format so EXPERIMENTS.md can quote the output directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .series import Series
 
@@ -72,5 +73,97 @@ def _cell_or_dash(value: object) -> str:
 
 def _cell(value: object) -> str:
     if isinstance(value, float):
+        # nan means "not measurable" (e.g. the σ of one sample) — an
+        # em-dash reads unambiguously where "nan" looks like a bug.
+        if math.isnan(value):
+            return "—"
         return f"{value:.3f}"
     return str(value)
+
+
+# ---------------------------------------------------------------------------
+# telemetry rendering (repro timeline)
+# ---------------------------------------------------------------------------
+
+_CHART_GLYPHS = " .:-=+*#%@"
+
+
+def format_timeseries(name: str, times: Sequence[float],
+                      values: Sequence[Optional[float]],
+                      width: int = 64, height: int = 8) -> str:
+    """Render one telemetry time series as an ASCII chart.
+
+    ``values`` is one aligned series from a ``telemetry/v1`` export
+    (``None``/nan marks ticks where the gauge did not exist yet).
+    Samples are bucketed into ``width`` columns (bucket mean), scaled
+    into ``height`` rows, and plotted densest-glyph-at-the-value so the
+    trajectory survives a plain-text terminal, a log file, and a diff.
+    """
+    points = [(t, float(v)) for t, v in zip(times, values)
+              if v is not None and not math.isnan(float(v))]
+    header = name
+    if not points:
+        return f"{header}\n  (no samples)"
+    t_lo, t_hi = points[0][0], points[-1][0]
+    span = (t_hi - t_lo) or 1.0
+    # Fewer samples than columns would leave gaps; shrink to fit.
+    width = max(8, min(width, len(points)))
+    columns: List[List[float]] = [[] for _ in range(width)]
+    for t, v in points:
+        index = min(width - 1, int((t - t_lo) / span * width))
+        columns[index].append(v)
+    col_means = [sum(c) / len(c) if c else math.nan for c in columns]
+    finite = [v for v in col_means if not math.isnan(v)]
+    v_lo, v_hi = min(finite), max(finite)
+    v_span = (v_hi - v_lo) or 1.0
+    label_w = max(len(_axis_label(v_lo)), len(_axis_label(v_hi)))
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(col_means):
+        if math.isnan(v):
+            continue
+        # Row 0 is the top; fill from the value down so area reads as
+        # magnitude.
+        level = (v - v_lo) / v_span
+        row = height - 1 - min(height - 1, int(level * height))
+        grid[row][x] = _CHART_GLYPHS[-1]
+        for below in range(row + 1, height):
+            grid[below][x] = _CHART_GLYPHS[2]
+
+    last = points[-1][1]
+    lines = [f"{header}   [min {_axis_label(v_lo)}  max {_axis_label(v_hi)}"
+             f"  last {_axis_label(last)}]"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = _axis_label(v_hi)
+        elif row_index == height - 1:
+            label = _axis_label(v_lo)
+        else:
+            label = ""
+        lines.append(f"  {label.rjust(label_w)} |{''.join(row)}")
+    axis = f"  {' ' * label_w} +{'-' * width}"
+    lines.append(axis)
+    lines.append(f"  {' ' * label_w}  {_axis_label(t_lo)}"
+                 f"{_axis_label(t_hi).rjust(width - len(_axis_label(t_lo)))}"
+                 "  (sim seconds)")
+    return "\n".join(lines)
+
+
+def _axis_label(value: float) -> str:
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def format_flight_recorder(events: Sequence[Dict[str, object]],
+                           title: str = "Flight recorder") -> str:
+    """Render a flight-recorder dump (telemetry/v1 ``flight_recorder``)."""
+    rows = []
+    for event in events:
+        detail = event.get("detail") or {}
+        kv = " ".join(f"{k}={v}" for k, v in detail.items())
+        rows.append([f"{float(event['time']):.6f}",
+                     str(event["source"]), str(event["event"]), kv])
+    return format_table(title, ["time", "source", "event", "detail"], rows)

@@ -26,15 +26,21 @@ class Aggregate:
 
     @property
     def std(self) -> float:
+        """Sample standard deviation; nan when n < 2.
+
+        A single sample carries *no* spread information — reporting 0.0
+        would read as "measured, no uncertainty", which is the opposite
+        of the truth.  Report printers render the nan as ``—``.
+        """
         if len(self.values) < 2:
-            return 0.0
+            return math.nan
         mu = self.mean
         return math.sqrt(sum((v - mu) ** 2 for v in self.values)
                          / (len(self.values) - 1))
 
     @property
     def stderr(self) -> float:
-        if not self.values:
+        if len(self.values) < 2:
             return math.nan
         return self.std / math.sqrt(len(self.values))
 

@@ -1,0 +1,598 @@
+"""Unified run telemetry: metrics registry, sim-time sampler, flight recorder.
+
+The paper's key effects are *trajectories*, not end-of-run scalars:
+aggressive encoding inflates perceived loss over time until TCP's
+window collapses and the RTO backs off exponentially (Fig. 6, Fig. 13).
+:class:`~repro.metrics.collectors.TransferResult` only snapshots the
+end state; this module records how a run got there.
+
+Three cooperating pieces, modelled on what a production DRE middlebox
+would ship with:
+
+* :class:`MetricsRegistry` — label-aware counters, gauges and bounded
+  histograms.  Gauges are *pull-based*: they hold a callable read at
+  sample time, so instrumented hot paths pay nothing while the sampler
+  is idle.  Components accept an optional registry/telemetry reference
+  and guard every use with one ``is not None`` check — the disabled
+  path stays within the ``bench_hotpath`` overhead budget.
+* :class:`TelemetrySampler` — snapshots every registered gauge on a
+  simulated-time tick into *aligned* time series (one shared time axis;
+  gauges registered mid-run are nan-padded back to the start).  Memory
+  is bounded: when ``max_samples`` is reached the sampler halves its
+  history and doubles its interval, keeping full-run coverage at
+  degrading resolution instead of truncating the tail.
+* :class:`FlightRecorder` — a bounded ring of recent trace/telemetry
+  events per flow (falling back to per-source), fed from the existing
+  :meth:`repro.sim.trace.Tracer.emit` call sites without enabling full
+  tracing.  It is dumped automatically on stall, watchdog trip or
+  time-limit expiry so a failed run is post-mortem-debuggable from its
+  result object alone.
+
+Everything is wired per run by :mod:`repro.experiments.runner` when
+``ExperimentConfig(telemetry=True)``; the export (schema
+``telemetry/v1``) lands in ``TransferResult.telemetry``, flows through
+the sweep engine into ``bench_telemetry/v1`` files, and renders as
+ASCII time series via ``repro timeline``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+TELEMETRY_SCHEMA = "telemetry/v1"
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers
+#: pass their own for byte- or count-valued observations).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical ``name{k=v,...}`` identity of one labelled metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing labelled counter."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Dict[str, Any]):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+
+class Gauge:
+    """A labelled instantaneous value.
+
+    Either *pull-based* (constructed with ``fn``, read at sample time —
+    the form every built-in instrumentation site uses, because it costs
+    the instrumented code nothing) or *push-based* via :meth:`set`.
+    """
+
+    __slots__ = ("name", "labels", "fn", "_value")
+
+    def __init__(self, name: str, labels: Dict[str, Any],
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.labels = labels
+        self.fn = fn
+        self._value = math.nan
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def read(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                # A gauge must never take the run down: a callback over
+                # torn-down state (e.g. a closed connection) reads nan.
+                return math.nan
+        return self._value
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+
+class Histogram:
+    """A bounded labelled histogram (fixed bucket upper bounds).
+
+    ``observe`` is O(#buckets) with no allocation, and the memory
+    footprint is fixed at construction — safe to leave attached to
+    per-packet paths.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str, labels: Dict[str, Any],
+                 bounds: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)   # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return math.nan
+        return self.total / self.count
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                **{str(bound): self.counts[i]
+                   for i, bound in enumerate(self.bounds)},
+                "+inf": self.counts[-1],
+            },
+        }
+
+    @property
+    def key(self) -> str:
+        return metric_key(self.name, self.labels)
+
+
+class MetricsRegistry:
+    """Label-aware registry of counters, gauges and histograms.
+
+    Metrics are memoised by ``(name, labels)``: asking twice for the
+    same identity returns the same object, so independent components
+    can share a counter without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._counters: "OrderedDict[str, Counter]" = OrderedDict()
+        self._gauges: "OrderedDict[str, Gauge]" = OrderedDict()
+        self._histograms: "OrderedDict[str, Histogram]" = OrderedDict()
+
+    # -- registration ------------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = metric_key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = Counter(name, labels)
+            self._counters[key] = counter
+        return counter
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels: Any) -> Gauge:
+        key = metric_key(name, labels)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = Gauge(name, labels, fn)
+            self._gauges[key] = gauge
+        elif fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels: Any) -> Histogram:
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(name, labels, bounds)
+            self._histograms[key] = histogram
+        return histogram
+
+    # -- introspection -----------------------------------------------------
+
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Instantaneous JSON-friendly view of every metric."""
+        return {
+            "counters": {c.key: c.value for c in self._counters.values()},
+            "gauges": {g.key: _json_number(g.read())
+                       for g in self._gauges.values()},
+            "histograms": {h.key: h.summary()
+                           for h in self._histograms.values()},
+        }
+
+
+def _json_number(value: float) -> Optional[float]:
+    """nan/inf are not valid JSON scalars; export them as null."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+# ---------------------------------------------------------------------------
+# sampler
+# ---------------------------------------------------------------------------
+
+class TelemetrySampler:
+    """Snapshots registry gauges on a sim-time tick into aligned series.
+
+    All series share one ``times`` axis.  A gauge registered after
+    sampling began is nan-padded back to the first tick so every series
+    has ``len(times)`` points.  When ``max_samples`` is hit the sampler
+    *decimates*: it drops every other stored sample and doubles the
+    tick interval, so an arbitrarily long (e.g. stalled-until-limit)
+    run stays bounded while keeping whole-run coverage.
+    """
+
+    def __init__(self, sim, registry: MetricsRegistry,
+                 interval: float = 0.05, max_samples: int = 2048):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if max_samples < 8:
+            raise ValueError("max_samples must be at least 8")
+        self.sim = sim
+        self.registry = registry
+        self.interval = float(interval)
+        self.initial_interval = float(interval)
+        self.max_samples = int(max_samples)
+        self.times: List[float] = []
+        self._series: "OrderedDict[str, List[float]]" = OrderedDict()
+        self.decimations = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Take the t=0 sample and begin ticking."""
+        if self._started:
+            return
+        self._started = True
+        self._tick()
+
+    def sample_once(self) -> None:
+        """Record one aligned sample of every gauge right now."""
+        now = self.sim.now
+        self.times.append(now)
+        n_before = len(self.times) - 1
+        series = self._series
+        for gauge in self.registry.gauges():
+            key = gauge.key
+            values = series.get(key)
+            if values is None:
+                # Late registration: align with the shared time axis.
+                values = [math.nan] * n_before
+                series[key] = values
+            values.append(gauge.read())
+        # Gauges can in principle disappear only with the registry; a
+        # registry never drops entries, so no per-series pad-out needed.
+        if len(self.times) >= self.max_samples:
+            self._decimate()
+
+    def series(self) -> Dict[str, List[float]]:
+        """key -> aligned value list (same length as :attr:`times`)."""
+        return dict(self._series)
+
+    # -- internal ----------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.sample_once()
+        self.sim.after(self.interval, self._tick)
+
+    def _decimate(self) -> None:
+        self.decimations += 1
+        self.interval *= 2.0
+        self.times = self.times[::2]
+        for key, values in self._series.items():
+            self._series[key] = values[::2]
+
+    def export(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "initial_interval": self.initial_interval,
+            "decimations": self.decimations,
+            "times": list(self.times),
+            "series": {key: [_json_number(v) for v in values]
+                       for key, values in self._series.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# flight recorder
+# ---------------------------------------------------------------------------
+
+class FlightRecorder:
+    """Bounded ring of recent events, grouped per flow.
+
+    Events arrive from :meth:`repro.sim.trace.Tracer.emit` call sites
+    (the tracer feeds an attached recorder even while full tracing is
+    disabled) and from explicit :meth:`note` calls.  Grouping key: the
+    event detail's ``flow`` if present, else the emitting source — so a
+    chatty component cannot evict another flow's history.  Both the
+    ring length and the number of distinct groups are bounded; when a
+    new group would exceed the bound it spills into a shared overflow
+    ring rather than growing without limit.
+    """
+
+    def __init__(self, ring_size: int = 128, max_flows: int = 16):
+        if ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        if max_flows <= 0:
+            raise ValueError("max_flows must be positive")
+        self.ring_size = ring_size
+        self.max_flows = max_flows
+        self._rings: "OrderedDict[Any, deque]" = OrderedDict()
+        self._overflow: deque = deque(maxlen=ring_size)
+        self._seq = 0
+        self.events_seen = 0
+
+    def record(self, time: float, source: str, event: str,
+               detail: Optional[Dict[str, Any]] = None) -> None:
+        """Append one event to its flow's ring."""
+        detail = detail if detail is not None else {}
+        key = detail.get("flow", source)
+        ring = self._rings.get(key)
+        if ring is None:
+            if len(self._rings) >= self.max_flows:
+                ring = self._overflow
+            else:
+                ring = deque(maxlen=self.ring_size)
+                self._rings[key] = ring
+        self.events_seen += 1
+        self._seq += 1
+        ring.append((time, self._seq, source, event, detail))
+
+    def note(self, time: float, source: str, event: str,
+             **detail: Any) -> None:
+        """Record a telemetry-originated (non-tracer) event."""
+        self.record(time, source, event, detail)
+
+    def dump(self, max_events: Optional[int] = None) -> List[Dict[str, Any]]:
+        """All retained events merged in time order (oldest first).
+
+        ``max_events`` keeps only the most recent N after merging.
+        """
+        merged: List[Tuple[float, int, str, str, Dict[str, Any]]] = []
+        for ring in self._rings.values():
+            merged.extend(ring)
+        merged.extend(self._overflow)
+        merged.sort(key=lambda item: (item[0], item[1]))
+        if max_events is not None:
+            merged = merged[-max_events:]
+        return [{"time": time, "source": source, "event": event,
+                 "detail": dict(detail)}
+                for time, _seq, source, event, detail in merged]
+
+    def __len__(self) -> int:
+        return (sum(len(ring) for ring in self._rings.values())
+                + len(self._overflow))
+
+
+# ---------------------------------------------------------------------------
+# per-run facade
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TelemetryConfig:
+    """Tunables accepted via ``ExperimentConfig(telemetry_kwargs=...)``."""
+
+    sample_interval: float = 0.05    # simulated seconds between samples
+    max_samples: int = 2048          # decimation threshold (see sampler)
+    flight_ring: int = 128           # events retained per flow
+    flight_flows: int = 16           # distinct flow rings
+    dump_events: int = 64            # flight-recorder rows in the export
+
+
+class Telemetry:
+    """Everything one instrumented run carries.
+
+    Components never import this class; they duck-type against the
+    ``register_*`` helpers (keeping :mod:`repro.sim` and
+    :mod:`repro.net` import-independent of the metrics package) and
+    treat a ``None`` telemetry reference as "disabled".
+    """
+
+    def __init__(self, sim, config: Optional[TelemetryConfig] = None):
+        self.sim = sim
+        self.config = config if config is not None else TelemetryConfig()
+        self.registry = MetricsRegistry()
+        self.sampler = TelemetrySampler(
+            sim, self.registry,
+            interval=self.config.sample_interval,
+            max_samples=self.config.max_samples)
+        self.recorder = FlightRecorder(
+            ring_size=self.config.flight_ring,
+            max_flows=self.config.flight_flows)
+
+    # -- component registration hooks -------------------------------------
+    # Called by the runner and by instrumented components; each
+    # registers pull gauges only, so the instrumented hot paths carry
+    # no per-packet cost beyond their existing `is not None` guard.
+
+    def register_link(self, link) -> None:
+        """Queue depth and loss accounting of one simulated link."""
+        name = link.name
+        self.registry.gauge("link.queue_depth",
+                            fn=lambda l=link: l._queued, link=name)
+        stats = link.stats
+        self.registry.gauge("link.packets_lost",
+                            fn=lambda s=stats: s.packets_lost, link=name)
+        self.registry.gauge("link.packets_offered",
+                            fn=lambda s=stats: s.packets_offered, link=name)
+
+    def register_connection(self, conn, label: str) -> None:
+        """cwnd / ssthresh / RTO / in-flight of one TCP connection."""
+        self.registry.gauge("tcp.cwnd",
+                            fn=lambda c=conn: c.cc.cwnd, conn=label)
+        self.registry.gauge("tcp.ssthresh",
+                            fn=lambda c=conn: min(c.cc.ssthresh, 1 << 30),
+                            conn=label)
+        self.registry.gauge("tcp.rto",
+                            fn=lambda c=conn: c.rto.rto, conn=label)
+        self.registry.gauge("tcp.inflight",
+                            fn=lambda c=conn: c.flight_size, conn=label)
+
+    def register_gateway(self, gateway, role: str) -> None:
+        """Cache occupancy/evictions and drop accounting of a gateway."""
+        cache = gateway.cache
+        self.registry.gauge("cache.entries",
+                            fn=lambda c=cache: len(c.store), gw=role)
+        self.registry.gauge("cache.bytes",
+                            fn=lambda c=cache: c.store.bytes_used, gw=role)
+        self.registry.gauge("cache.evictions",
+                            fn=lambda c=cache: c.store.evictions, gw=role)
+        self.registry.gauge("cache.epoch",
+                            fn=lambda c=cache: c.epoch, gw=role)
+        stats = gateway.stats
+        self.registry.gauge("gw.undecodable_dropped",
+                            fn=lambda s=stats: s.undecodable_dropped, gw=role)
+        self.registry.gauge("gw.decoded_ok",
+                            fn=lambda s=stats: s.decoded_ok, gw=role)
+        self.registry.gauge("gw.data_packets",
+                            fn=lambda s=stats: s.data_packets, gw=role)
+        if gateway.resilience is not None:
+            self._register_resilience(gateway, role)
+
+    def _register_resilience(self, gateway, role: str) -> None:
+        resilience = gateway.resilience
+        stats = resilience.stats
+        self.registry.gauge(
+            "resilience.resyncing",
+            fn=lambda r=resilience: float(getattr(r, "resyncing", False)),
+            gw=role)
+        self.registry.gauge(
+            "resilience.degraded",
+            fn=lambda s=stats: float(s.degraded), gw=role)
+        self.registry.gauge(
+            "resilience.watchdog_trips",
+            fn=lambda s=stats: s.watchdog_trips, gw=role)
+        self.registry.gauge(
+            "resilience.resyncs_completed",
+            fn=lambda s=stats: s.resyncs_completed, gw=role)
+
+    def register_dre_pair(self, encoder_gateway, decoder_gateway) -> None:
+        """The running perceived-loss rate (Fig. 13's quantity, live)."""
+        enc, dec = encoder_gateway.stats, decoder_gateway.stats
+
+        def perceived() -> float:
+            offered = enc.data_packets
+            if offered == 0:
+                return 0.0
+            return max(0.0, 1.0 - dec.decoded_ok / offered)
+
+        self.registry.gauge("dre.perceived_loss", fn=perceived)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.sampler.start()
+
+    def trace_sink(self) -> Callable[[float, str, str, Dict[str, Any]], None]:
+        """The callback a :class:`~repro.sim.trace.Tracer` feeds."""
+        return self.recorder.record
+
+    def export(self, reason: str = "completed",
+               dump_flight_recorder: bool = True) -> Dict[str, Any]:
+        """The ``telemetry/v1`` document for this run.
+
+        ``reason`` records why the run ended (``completed``, ``stall``,
+        ``watchdog``, ``time_limit``); the flight-recorder dump is
+        included for the post-mortem reasons and elided on a clean
+        completion unless explicitly requested.
+        """
+        # One final sample so the series reach the end of the run.
+        self.sampler.sample_once()
+        snapshot = self.registry.snapshot()
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "reason": reason,
+            "sampler": self.sampler.export(),
+            "counters": snapshot["counters"],
+            "final_gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+            "flight_recorder": (
+                self.recorder.dump(self.config.dump_events)
+                if dump_flight_recorder else []),
+            "flight_recorder_events_seen": self.recorder.events_seen,
+        }
+
+
+def telemetry_if(enabled: bool, sim,
+                 **kwargs: Any) -> Optional[Telemetry]:
+    """``Telemetry`` when enabled, else ``None`` (the fast path).
+
+    Mirrors :func:`repro.metrics.profiling.profiler_if`; ``kwargs`` are
+    :class:`TelemetryConfig` fields.
+    """
+    if not enabled:
+        return None
+    return Telemetry(sim, TelemetryConfig(**kwargs))
+
+
+def validate_telemetry(doc: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a valid telemetry/v1 export.
+
+    Cheap structural validation used by tests and the CI smoke step.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("telemetry export must be a dict")
+    if doc.get("schema") != TELEMETRY_SCHEMA:
+        raise ValueError(f"bad schema: {doc.get('schema')!r}")
+    sampler = doc.get("sampler")
+    if not isinstance(sampler, dict):
+        raise ValueError("missing sampler section")
+    times = sampler.get("times")
+    series = sampler.get("series")
+    if not isinstance(times, list) or not isinstance(series, dict):
+        raise ValueError("sampler must carry times + series")
+    for key, values in series.items():
+        if len(values) != len(times):
+            raise ValueError(
+                f"series {key!r} misaligned: {len(values)} values "
+                f"for {len(times)} times")
+    for section in ("counters", "final_gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            raise ValueError(f"missing section {section!r}")
+    if not isinstance(doc.get("flight_recorder"), list):
+        raise ValueError("missing flight_recorder list")
+
+
+def dumps_export(doc: Dict[str, Any]) -> str:
+    """Canonical one-line JSON form of an export (JSONL row)."""
+    return json.dumps(doc, separators=(",", ":"), sort_keys=False)

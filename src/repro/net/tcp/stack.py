@@ -18,10 +18,17 @@ class TCPStack:
     """Per-host TCP: owns connections and listeners, talks to IP."""
 
     def __init__(self, sim: Simulator, host: Host,
-                 config: Optional[TCPConfig] = None):
+                 config: Optional[TCPConfig] = None,
+                 telemetry=None):
         self.sim = sim
         self.host = host
         self.config = config if config is not None else TCPConfig()
+        # Duck-typed telemetry facade (repro.metrics.telemetry); when
+        # set, every connection registers cwnd/ssthresh/RTO/in-flight
+        # pull gauges.  Reads happen on the sampler tick, never in the
+        # segment path, so the only stack-side cost is this None check
+        # at connection setup.
+        self.telemetry = telemetry
         self._connections: Dict[ConnKey, TCPConnection] = {}
         self._listeners: Dict[int, Callable[[TCPConnection], None]] = {}
         self._ephemeral = itertools.count(49152)
@@ -79,6 +86,9 @@ class TCPStack:
                              config=config if config is not None else self.config,
                              iss=iss)
         self._connections[key] = conn
+        if self.telemetry is not None:
+            self.telemetry.register_connection(
+                conn, f"{self.host.name}:{local_port}")
         return conn
 
     def _on_packet(self, pkt: IPPacket) -> None:

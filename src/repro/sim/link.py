@@ -64,6 +64,12 @@ class Link:
         drop beyond it.  ``None`` means unbounded.
     rng:
         Deterministic random stream for the impairments.
+    telemetry:
+        Optional telemetry facade (duck-typed, see
+        ``repro.metrics.telemetry``).  When given, the link registers
+        pull gauges for its queue depth and loss counters — sampled on
+        the telemetry tick, so the send path itself carries no extra
+        per-packet work.
     """
 
     def __init__(
@@ -79,6 +85,7 @@ class Link:
         queue_limit: Optional[int] = 1000,
         rng: Optional[random.Random] = None,
         name: str = "link",
+        telemetry=None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -103,6 +110,8 @@ class Link:
         self.stats = LinkStats()
         self._busy_until = 0.0
         self._queued = 0
+        if telemetry is not None:
+            telemetry.register_link(self)
 
     def connect(self, receiver: Callable[[IPPacket], None]) -> None:
         """Attach the callback invoked for each delivered packet."""

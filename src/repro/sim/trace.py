@@ -8,6 +8,7 @@ real packet capture.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -38,6 +39,11 @@ class Tracer:
         self.max_records = max_records
         self.records: List[TraceRecord] = []
         self._clock: Callable[[], float] = lambda: 0.0
+        #: Optional secondary sink fed on every emit *even while
+        #: ``enabled`` is False* — this is how the telemetry flight
+        #: recorder rides the existing call sites without the memory
+        #: cost of full tracing.  Signature: (time, source, event, detail).
+        self.sink: Optional[Callable[[float, str, str, Dict[str, Any]], None]] = None
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulator clock used to timestamp records."""
@@ -45,6 +51,8 @@ class Tracer:
 
     def emit(self, source: str, event: str, **detail: Any) -> None:
         """Record one event (no-op when disabled or at capacity)."""
+        if self.sink is not None:
+            self.sink(self._clock(), source, event, detail)
         if not self.enabled:
             return
         if self.max_records is not None and len(self.records) >= self.max_records:
@@ -66,6 +74,35 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+
+    def to_jsonl(self) -> str:
+        """All records as JSON Lines, one object per record.
+
+        Stable field order (time, source, event, detail) so archived
+        traces from different runs diff cleanly line-by-line.
+        """
+        lines = []
+        for record in self.records:
+            lines.append(json.dumps(
+                {"time": record.time, "source": record.source,
+                 "event": record.event,
+                 "detail": {k: _jsonable(v)
+                            for k, v in record.detail.items()}},
+                separators=(",", ":")))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for trace detail values."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    return repr(value)
 
 
 NULL_TRACER = Tracer(enabled=False)

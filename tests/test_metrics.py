@@ -1,12 +1,14 @@
-"""Tests for metric aggregation and report formatting."""
+"""Tests for metric aggregation, profiling, and report formatting."""
 
 import math
 
 import pytest
 
 from repro.app.transfer import TransferOutcome
-from repro.metrics import (Aggregate, RatioPoint, Series, TransferResult,
-                           format_series, format_table, sweep)
+from repro.metrics import (Aggregate, RatioPoint, Series, StageProfiler,
+                           TransferResult, format_series, format_table,
+                           format_timeseries, profiler_if, sweep)
+from repro.metrics.report import format_flight_recorder
 from repro.sim.link import LinkStats
 
 
@@ -21,10 +23,19 @@ class TestAggregate:
         aggregate = Aggregate(x=1.0)
         assert math.isnan(aggregate.mean)
 
-    def test_single_value_zero_std(self):
+    def test_single_value_has_no_spread_information(self):
+        # One sample tells you nothing about dispersion: 0.0 would read
+        # as "measured, no uncertainty", so the spread stats are nan.
         aggregate = Aggregate(x=1.0, values=[5.0])
-        assert aggregate.std == 0.0
-        assert aggregate.ci95 == 0.0
+        assert math.isnan(aggregate.std)
+        assert math.isnan(aggregate.stderr)
+        assert math.isnan(aggregate.ci95)
+        assert aggregate.mean == 5.0  # the mean itself is well-defined
+
+    def test_empty_spread_is_nan(self):
+        aggregate = Aggregate(x=1.0)
+        assert math.isnan(aggregate.std)
+        assert math.isnan(aggregate.ci95)
 
     def test_add_skips_none_and_nan(self):
         aggregate = Aggregate(x=1.0)
@@ -84,6 +95,125 @@ class TestReports:
         series.point(1.0).add(10.0)
         series.point(1.0).add(12.0)
         assert "±" in format_series("S", "x", [series])
+
+    def test_format_series_single_sample_has_no_ci(self):
+        series = Series("s")
+        series.point(1.0).add(10.0)
+        text = format_series("S", "x", [series])
+        assert "±" not in text
+        assert "nan" not in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table("Empty", ["a", "b"], [])
+        lines = text.splitlines()
+        assert lines[0] == "Empty"
+        assert len(lines) == 4  # title, rule, headers, divider — no rows
+        assert "a" in lines[2] and "b" in lines[2]
+
+    def test_format_table_non_string_cells(self):
+        text = format_table("T", ["k", "v"],
+                            [[None, 1], [True, 2.5], [(1, 2), b"x"]])
+        assert "None" in text
+        assert "True" in text
+        assert "2.500" in text
+        assert "(1, 2)" in text
+
+    def test_format_table_renders_nan_as_dash(self):
+        text = format_table("T", ["v"], [[float("nan")]])
+        assert "—" in text
+        assert "nan" not in text
+
+
+class TestStageProfiler:
+    def test_context_manager_times_block(self):
+        profiler = StageProfiler()
+        with profiler.time("fingerprint"):
+            pass
+        assert profiler.count("fingerprint") == 1
+        assert profiler.total("fingerprint") >= 0.0
+        with profiler.time("fingerprint"):
+            pass
+        assert profiler.count("fingerprint") == 2
+
+    def test_unknown_stage_names_are_allowed(self):
+        profiler = StageProfiler()
+        profiler.add("custom_stage", 0.5)
+        assert profiler.total("custom_stage") == 0.5
+        # Unknown stages sort after the canonical ones.
+        profiler.add("event_dispatch", 0.1)
+        order = [stage for stage, _, _ in profiler.stages()]
+        assert order == ["event_dispatch", "custom_stage"]
+        assert "custom_stage" in profiler.report()
+
+    def test_unmeasured_stage_reads_zero(self):
+        profiler = StageProfiler()
+        assert profiler.total("fingerprint") == 0.0
+        assert profiler.count("fingerprint") == 0
+
+    def test_merge_across_runs(self):
+        first = StageProfiler()
+        first.add("fingerprint", 1.0)
+        first.add("cache_ops", 0.25)
+        second = StageProfiler()
+        second.add("fingerprint", 2.0)
+        second.add("region_expand", 0.5)
+        first.merge(second)
+        assert first.total("fingerprint") == 3.0
+        assert first.count("fingerprint") == 2
+        assert first.total("region_expand") == 0.5
+        assert first.total("cache_ops") == 0.25
+        # merge must not mutate the source
+        assert second.total("cache_ops") == 0.0
+
+    def test_as_dict_round_trips_through_stages(self):
+        profiler = StageProfiler()
+        profiler.add("fingerprint", 0.5)
+        profiler.add("fingerprint", 0.5)
+        snapshot = profiler.as_dict()
+        assert snapshot["fingerprint"]["seconds"] == 1.0
+        assert snapshot["fingerprint"]["calls"] == 2.0
+
+    def test_profiler_if(self):
+        assert profiler_if(False) is None
+        assert isinstance(profiler_if(True), StageProfiler)
+
+
+class TestTimeseriesRendering:
+    def test_chart_shows_range_and_trajectory(self):
+        times = [i * 0.1 for i in range(40)]
+        values = [float(i) for i in range(40)]
+        text = format_timeseries("tcp.cwnd", times, values,
+                                 width=40, height=6)
+        assert "tcp.cwnd" in text
+        assert "min 0" in text
+        assert "max 39" in text
+        assert "last 39" in text
+
+    def test_none_and_nan_samples_are_skipped(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        values = [None, float("nan"), 5.0, 7.0]
+        text = format_timeseries("g", times, values)
+        assert "min 5" in text
+        assert "max 7" in text
+
+    def test_all_missing_series(self):
+        text = format_timeseries("g", [0.0, 1.0], [None, None])
+        assert "(no samples)" in text
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        text = format_timeseries("g", [0.0, 1.0, 2.0], [3.0, 3.0, 3.0])
+        assert "min 3" in text and "max 3" in text
+
+    def test_flight_recorder_table(self):
+        events = [{"time": 1.5, "source": "decoder-gw",
+                   "event": "drop_undecodable",
+                   "detail": {"packet_id": 7, "missing": 2}},
+                  {"time": 2.0, "source": "encoder-gw", "event": "encode",
+                   "detail": {}}]
+        text = format_flight_recorder(events)
+        assert "drop_undecodable" in text
+        assert "packet_id=7" in text
+        assert "1.500000" in text
 
 
 def make_result(bytes_offered=1000, duration=2.0, **kwargs):
