@@ -93,12 +93,16 @@ class FileClient:
     def fetch(self, server_addr: str, name: str, expected_size: int,
               expected_content: Optional[bytes] = None,
               port: int = 80,
+              on_data: Optional[Callable[[bytes], None]] = None,
               on_done: Optional[Callable[[TransferOutcome], None]] = None
               ) -> TransferOutcome:
         """Start a retrieval; returns the live outcome object.
 
-        The outcome is filled in as the simulation runs; ``on_done``
-        fires when the transfer completes or the connection dies.
+        The outcome is filled in as the simulation runs; ``on_data``
+        observes every in-order chunk as TCP delivers it (the
+        verification layer's byte-integrity oracle and the differential
+        runner's stream capture hang here); ``on_done`` fires when the
+        transfer completes or the connection dies.
         """
         outcome = TransferOutcome(name=name, expected_size=expected_size,
                                   started_at=self.sim.now)
@@ -121,6 +125,8 @@ class FileClient:
         def on_receive(data: bytes) -> None:
             if outcome.first_byte_at is None:
                 outcome.first_byte_at = self.sim.now
+            if on_data is not None:
+                on_data(data)
             outcome.bytes_received += len(data)
             if received is not None:
                 received.extend(data)

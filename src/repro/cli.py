@@ -12,6 +12,11 @@ trace      dependency-graph analysis of one run (Fig. 14-style)
 timeline   one telemetry-instrumented run rendered as ASCII time
            series (cwnd, RTO, perceived loss, cache, queues) plus the
            flight-recorder dump on stall/watchdog/time-limit
+verify     differential runner: poly-vs-rabin fingerprinters, serial
+           vs parallel sweeps, resilience-on vs off must all agree
+fuzz       randomised scenarios + scripted faults with the invariant
+           oracles armed; shrinks any violation to a minimal
+           replayable JSON case
 """
 
 from __future__ import annotations
@@ -158,6 +163,36 @@ def build_parser() -> argparse.ArgumentParser:
     timeline_cmd.add_argument("--out", default=None,
                               help="also write the raw telemetry/v1 "
                                    "export as JSON to this file")
+
+    verify_cmd = sub.add_parser(
+        "verify", help="differential runner: paired executions that "
+                       "must agree (fingerprinters, sweep parallelism, "
+                       "resilience layer)")
+    verify_cmd.add_argument("--scale", default="smoke",
+                            choices=["smoke", "headline"],
+                            help="workload size: 'smoke' for seconds, "
+                                 "'headline' for the paper-scale object "
+                                 "(CI)")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz", help="randomised scenario fuzzing with the invariant "
+                     "oracles armed")
+    fuzz_cmd.add_argument("--seed", type=int, default=7,
+                          help="root seed; case i of seed s is identical "
+                               "on every machine")
+    fuzz_cmd.add_argument("--iterations", type=int, default=100)
+    fuzz_cmd.add_argument("--out-dir", default=None,
+                          help="write shrunk violation cases as JSON "
+                               "files into this directory")
+    fuzz_cmd.add_argument("--replay", default=None, metavar="CASE.json",
+                          help="re-run a saved case file instead of "
+                               "generating new ones")
+    fuzz_cmd.add_argument("--inject-bug", default=None,
+                          choices=["tcp_seq_gate", "cache_flush_gate",
+                                   "k_distance_gate"],
+                          help="deliberately disable one policy's safety "
+                               "gate (the matching oracle must trip; "
+                               "exercises find+shrink+replay)")
 
     sub.add_parser("policies", help="list encoding policies")
     return parser
@@ -421,6 +456,75 @@ def cmd_timeline(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify.differential import run_differential
+
+    results = run_differential(args.scale, log=print)
+    mismatches = [r for r in results if not r.matched]
+    print()
+    if mismatches:
+        print(f"FAILED: {len(mismatches)}/{len(results)} comparisons "
+              f"mismatched")
+        return 1
+    print(f"all {len(results)} differential comparisons agree "
+          f"(scale={args.scale})")
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    import os
+
+    from .verify.fuzz import (case_from_json, case_to_json, run_campaign,
+                              run_case)
+
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            import json as _json
+            payload = _json.load(handle)
+        case = case_from_json(_json.dumps(payload))
+        expected = payload.get("violation")
+        outcome = run_case(case)
+        got = outcome.violation
+        if got is not None:
+            print(f"violation [{got['oracle']}]: {got['message']}")
+        else:
+            print(f"no violation (completed={outcome.completed}, "
+                  f"stalled={outcome.stalled}, "
+                  f"sim_time={outcome.sim_time:.2f}s)")
+        matches = ((got is None) == (expected is None)
+                   and (expected is None
+                        or got["oracle"] == expected["oracle"]))
+        print("replay MATCHES the recorded outcome" if matches
+              else "replay DIVERGES from the recorded outcome")
+        return 0 if matches else 1
+
+    print(f"fuzzing: seed={args.seed}, {args.iterations} iterations"
+          + (f", injected bug: {args.inject_bug}" if args.inject_bug
+             else ""))
+    result = run_campaign(args.seed, args.iterations,
+                          inject_bug=args.inject_bug, log=print)
+    if result.violations == 0:
+        print(f"{result.iterations} cases, no invariant violations")
+        # Without a deliberate bug, clean is the expected outcome; with
+        # one, the oracles failed to catch it.
+        return 1 if args.inject_bug else 0
+
+    print(f"{result.violations} violation(s); first at case "
+          f"{result.first_violation_index}")
+    if result.shrunk_case is not None and args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        path = os.path.join(
+            args.out_dir,
+            f"case-seed{args.seed}-{result.first_violation_index}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(case_to_json(result.shrunk_case,
+                                      result.shrunk_violation))
+            handle.write("\n")
+        print(f"wrote shrunk case to {path} "
+              f"(replay with: repro fuzz --replay {path})")
+    return 0 if args.inject_bug else 1
+
+
 def cmd_policies(_args) -> int:
     from .core.policies import make_policy_pair
 
@@ -442,6 +546,8 @@ COMMANDS = {
     "corpus": cmd_corpus,
     "trace": cmd_trace,
     "timeline": cmd_timeline,
+    "verify": cmd_verify,
+    "fuzz": cmd_fuzz,
     "policies": cmd_policies,
 }
 

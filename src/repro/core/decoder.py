@@ -79,6 +79,9 @@ class ByteCachingDecoder:
         self.stats = DecoderStats()
         #: Optional :class:`repro.metrics.profiling.StageProfiler`.
         self.profiler = None
+        #: Optional :class:`repro.verify.oracles.VerificationHarness`;
+        #: None (the default) costs one ``is None`` check per drop.
+        self.verifier = None
         self.policy.attach_decoder(self)
 
     def decode(self, data: bytes, meta: PacketMeta,
@@ -116,6 +119,8 @@ class ByteCachingDecoder:
             if took_ownership:
                 self.stats.buffered += 1
                 return DecodeResult(DecodeStatus.BUFFERED, missing=missing)
+            if self.verifier is not None:
+                self.verifier.on_undecodable(meta, missing)
             return DecodeResult(DecodeStatus.MISSING, missing=missing)
 
         try:
@@ -144,6 +149,8 @@ class ByteCachingDecoder:
             if took_ownership:
                 self.stats.buffered += 1
                 return DecodeResult(DecodeStatus.BUFFERED, missing=suspects)
+            if self.verifier is not None:
+                self.verifier.on_stale(meta, suspects)
             return DecodeResult(DecodeStatus.CHECKSUM_MISMATCH)
 
         self._accept(payload, meta)

@@ -83,6 +83,10 @@ class ByteCachingEncoder:
         #: when None (the default) the timing branches cost one
         #: attribute load and an identity check per packet.
         self.profiler = None
+        #: Optional :class:`repro.verify.oracles.VerificationHarness`;
+        #: same contract — None (the default) costs one attribute load
+        #: and an ``is None`` check per packet / emitted region.
+        self.verifier = None
         policy.attach_encoder(self)
 
     def encode(self, payload: bytes, meta: PacketMeta,
@@ -97,6 +101,9 @@ class ByteCachingEncoder:
         self.stats.packets += 1
         self.stats.bytes_in += len(payload)
         profiler = self.profiler
+        verifier = self.verifier
+        if verifier is not None:
+            verifier.on_packet(meta)
 
         self.policy.before_packet(meta, self.cache)
         if profiler is not None:
@@ -177,6 +184,7 @@ class ByteCachingEncoder:
         pos = 0  # first byte not yet covered by an accepted region
         pairs = anchors.pairs() if hasattr(anchors, "pairs") else anchors
         lookup = self.cache.lookup
+        verifier = self.verifier
         for offset, fingerprint in pairs:
             if offset < pos:
                 continue  # anchor swallowed by a previous region
@@ -198,12 +206,15 @@ class ByteCachingEncoder:
                                                  meta):
                 self.stats.ineligible_hits += 1
                 continue
-            regions.append(Region(
+            region = Region(
                 fingerprint=fingerprint,
                 offset_new=match.offset_new,
                 offset_stored=match.offset_stored,
                 length=match.length,
-            ))
+            )
+            if verifier is not None:
+                verifier.on_region(meta, entry, region)
+            regions.append(region)
             external = self.cache.external_id_for(entry.store_id)
             if external is not None:
                 dependencies.add(external)

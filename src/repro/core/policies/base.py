@@ -60,6 +60,16 @@ class EncoderPolicy:
 
     name = "naive"
 
+    #: Safety oracles (repro.verify.oracles) armed for this policy when
+    #: a run sets ``ExperimentConfig(verify=True)``.  The default is the
+    #: policy-independent §IV circular-dependency property — which the
+    #: naive base policy *violates* under loss; that is exactly how the
+    #: verification layer pinpoints the livelock.  Policies whose
+    #: robustness comes from *recovery* rather than emission-time safety
+    #: (informed marking, NACK repair) override this to ``()`` because
+    #: they legally emit self-referencing regions and repair them later.
+    verify_oracles: Tuple[str, ...] = ("circular_dependency",)
+
     def __init__(self) -> None:
         self.services = PolicyServices()
         self.encoder: "Optional[ByteCachingEncoder]" = None

@@ -32,6 +32,7 @@ class CacheFlushPolicy(EncoderPolicy):
     """
 
     name = "cache_flush"
+    verify_oracles = ("circular_dependency", "cache_flush")
 
     def __init__(self) -> None:
         super().__init__()

@@ -21,6 +21,11 @@ class InformedMarkingEncoderPolicy(EncoderPolicy):
     """Encoder half: honour mark messages from the decoder."""
 
     name = "informed_marking"
+    # Robustness comes from the mark-and-avoid feedback loop, not from
+    # emission-time safety: until a mark arrives, a retransmission may
+    # legally be encoded against its own lost copy (and repaired after
+    # one RTT), so the emission-time oracles do not apply.
+    verify_oracles = ()
 
     def __init__(self) -> None:
         super().__init__()

@@ -37,6 +37,7 @@ class KDistancePolicy(EncoderPolicy):
     """Reference every ``k`` packets; encode only within the group."""
 
     name = "k_distance"
+    verify_oracles = ("circular_dependency", "k_distance")
 
     def __init__(self, k: int = 8, mss: int = DEFAULT_MSS):
         if k < 1:

@@ -36,6 +36,10 @@ class NackRecoveryEncoderPolicy(EncoderPolicy):
     """
 
     name = "nack_recovery"
+    # Recovery-based scheme: emission is naive (self-references under
+    # loss are legal — the decoder NACKs and the raw repair resolves
+    # them), so the emission-time oracles do not apply.
+    verify_oracles = ()
 
     def __init__(self, max_repairs_per_nack: int = 8,
                  repair_suppression: float = 0.1):

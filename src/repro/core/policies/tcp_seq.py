@@ -25,6 +25,7 @@ class TcpSeqPolicy(EncoderPolicy):
     """Encode only against strictly earlier TCP segments."""
 
     name = "tcp_seq"
+    verify_oracles = ("circular_dependency", "tcp_seq")
 
     def __init__(self, strict_cross_flow: bool = False):
         super().__init__()

@@ -85,6 +85,15 @@ class ExperimentConfig:
     #: TelemetryConfig field overrides (sample_interval, max_samples,
     #: flight_ring, flight_flows, dump_events).
     telemetry_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Arm the verification oracles (repro.verify.oracles): end-to-end
+    #: byte integrity, quiescent-point cache coherence, and the
+    #: policy's declared safety properties, each raising a structured
+    #: InvariantViolation (with flight-recorder dump) the moment it is
+    #: broken.  When False every hook site pays exactly one None-check
+    #: (the bench_hotpath budget, like profile/telemetry).
+    verify: bool = False
+    #: VerificationHarness overrides (coherence_interval).
+    verify_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def tcp_config(self) -> TCPConfig:
         return TCPConfig(mss=self.tcp_mss, rwnd=self.tcp_rwnd,

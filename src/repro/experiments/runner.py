@@ -22,7 +22,7 @@ from ..gateway.pair import GatewayPair
 from ..gateway.resilience import ResilienceConfig
 from ..metrics.collectors import TransferResult
 from ..metrics.profiling import StageProfiler, profiler_if
-from ..metrics.telemetry import Telemetry, telemetry_if
+from ..metrics.telemetry import FlightRecorder, Telemetry, telemetry_if
 from ..net.tcp import TCPStack
 from ..sim.engine import Simulator
 from ..sim.link import Link
@@ -54,6 +54,8 @@ class Testbed:
     tracer: Tracer
     profiler: Optional[StageProfiler] = None
     telemetry: Optional[Telemetry] = None
+    #: repro.verify.oracles.VerificationHarness when config.verify.
+    verifier: object = None
 
 
 def build_testbed(config: ExperimentConfig,
@@ -71,6 +73,26 @@ def build_testbed(config: ExperimentConfig,
         # Existing tracer.emit call sites feed the flight recorder even
         # while full tracing stays off.
         tracer.sink = telemetry.trace_sink()
+
+    verifier = None
+    if config.verify and config.dre_enabled:
+        # Imported here (not at module top): repro.verify.oracles is
+        # import-independent of this module, but keeping the runner free
+        # of an eager verify import lets repro.verify.{differential,
+        # fuzz} import the runner without a cycle.
+        from ..verify.oracles import VerificationHarness
+
+        if telemetry is not None:
+            recorder = telemetry.recorder
+        else:
+            # Standalone flight recorder so a violation still carries
+            # the recent event history even with telemetry off.
+            recorder = FlightRecorder()
+            tracer.sink = recorder.record
+        verifier = VerificationHarness(sim, recorder=recorder,
+                                       **config.verify_kwargs)
+        if telemetry is not None:
+            telemetry.register_verifier(verifier)
 
     client = Host(sim, "client", CLIENT_ADDR, tracer)
     server = Host(sim, "server", SERVER_ADDR, tracer)
@@ -91,6 +113,7 @@ def build_testbed(config: ExperimentConfig,
             resilience=(ResilienceConfig(**config.resilience_kwargs)
                         if config.resilience else None),
             telemetry=telemetry,
+            verifier=verifier,
             **config.policy_kwargs)
         enc_node: Node = gateways.encoder
         dec_node: Node = gateways.decoder
@@ -145,12 +168,15 @@ def build_testbed(config: ExperimentConfig,
 
     if telemetry is not None:
         telemetry.start()
+    if verifier is not None:
+        verifier.watch_links(bott_fwd, bott_rev)
+        verifier.start()
 
     return Testbed(sim=sim, client=client, server=server,
                    client_stack=client_stack, server_stack=server_stack,
                    bottleneck_forward=bott_fwd, bottleneck_reverse=bott_rev,
                    gateways=gateways, tracer=tracer, profiler=profiler,
-                   telemetry=telemetry)
+                   telemetry=telemetry, verifier=verifier)
 
 
 def run_transfer(config: ExperimentConfig,
@@ -163,11 +189,21 @@ def run_transfer(config: ExperimentConfig,
     FileServer(testbed.server_stack, {FILE_NAME: data})
     client_app = FileClient(testbed.client_stack, sim)
 
+    on_data = None
+    if testbed.verifier is not None:
+        # Arm the byte-integrity oracle: every in-order chunk the client
+        # receives is checked against the source object immediately.
+        testbed.verifier.arm_integrity(data)
+        on_data = testbed.verifier.on_deliver
     outcome = client_app.fetch(
         SERVER_ADDR, FILE_NAME, expected_size=len(data),
-        expected_content=data if config.verify_content else None,
+        expected_content=(data if config.verify_content or config.verify
+                          else None),
+        on_data=on_data,
         on_done=lambda _outcome: sim.stop())
     sim.run(until=config.time_limit)
+    if testbed.verifier is not None:
+        testbed.verifier.finalize(outcome)
 
     server_conns = testbed.server_stack.connections()
     retransmissions = sum(c.stats.retransmissions for c in server_conns)

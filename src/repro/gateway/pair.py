@@ -33,6 +33,7 @@ class GatewayPair:
                tracer: Tracer = NULL_TRACER,
                resilience: Optional[ResilienceConfig] = None,
                telemetry=None,
+               verifier=None,
                **policy_kwargs) -> "GatewayPair":
         """Build both gateways for one direction of traffic.
 
@@ -45,7 +46,9 @@ class GatewayPair:
         resync, heartbeats) on both gateways.  A ``telemetry`` facade
         (duck-typed, see :mod:`repro.metrics.telemetry`) registers cache
         occupancy, drop accounting, resilience state and the running
-        perceived-loss gauge on both sides.
+        perceived-loss gauge on both sides.  A ``verifier`` harness
+        (duck-typed, see :mod:`repro.verify.oracles`) attaches its
+        invariant oracles to both ends of the pair.
         """
         if scheme is None:
             scheme = FingerprintScheme()
@@ -66,4 +69,6 @@ class GatewayPair:
             telemetry.register_gateway(encoder, "encoder")
             telemetry.register_gateway(decoder, "decoder")
             telemetry.register_dre_pair(encoder, decoder)
+        if verifier is not None:
+            verifier.attach_pair(encoder, decoder)
         return cls(encoder=encoder, decoder=decoder)

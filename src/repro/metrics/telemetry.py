@@ -506,6 +506,25 @@ class Telemetry:
             "resilience.resyncs_completed",
             fn=lambda s=stats: s.resyncs_completed, gw=role)
 
+    def register_verifier(self, verifier) -> None:
+        """Surface the verification oracles' progress as gauges.
+
+        Registered by the runner when a run arms both ``telemetry`` and
+        ``verify``: the two layers already share the flight recorder
+        (oracle notes land next to the trace events they explain), and
+        this makes the oracle activity — regions judged, coherence scans
+        performed, drops observed — visible in the sampled series and
+        the telemetry/v1 export.
+        """
+        self.registry.gauge("verify.regions_checked",
+                            fn=lambda v=verifier: v.regions_checked)
+        self.registry.gauge("verify.coherence_checks",
+                            fn=lambda v=verifier: v.coherence_checks)
+        self.registry.gauge("verify.undecodable_seen",
+                            fn=lambda v=verifier: v.undecodable_seen)
+        self.registry.gauge("verify.stale_seen",
+                            fn=lambda v=verifier: v.stale_seen)
+
     def register_dre_pair(self, encoder_gateway, decoder_gateway) -> None:
         """The running perceived-loss rate (Fig. 13's quantity, live)."""
         enc, dec = encoder_gateway.stats, decoder_gateway.stats

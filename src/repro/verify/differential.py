@@ -1,0 +1,185 @@
+"""Differential runner: paired executions that must agree.
+
+Three comparisons, each a pair of runs differing in exactly one
+implementation choice that must be behaviour-preserving:
+
+* **fingerprinters** — the vectorised polynomial fingerprinter against
+  the GF(2) Rabin reference.  The two schemes select different anchor
+  *values* by construction (see :mod:`repro.core.polyhash`), so the raw
+  wire bytes legitimately differ; what must be bit-identical is the
+  *reconstructed application stream* leaving the decoder — byte caching
+  is transparent or it is broken.  Both runs use zero loss so every
+  packet round-trips through encode→wire→decode.
+* **sweep parallelism** — the same sweep executed serially and on a
+  process pool must produce equal ``TransferResult.to_dict()`` lists
+  cell-for-cell (the engine's bit-identical-aggregation contract).
+* **resilience layer** — arming epochs/heartbeats/resync under *zero
+  faults* must not change the delivered stream (the epoch stamp rides
+  in the shim; heartbeats share the bottleneck but cannot perturb
+  correctness).
+
+Each comparison returns a :class:`DifferentialResult`; ``repro verify``
+runs all three and exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..app.transfer import FileClient, FileServer, TransferOutcome
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import FILE_NAME, SERVER_ADDR, build_testbed
+from ..workload.corpus import corpus_object
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one paired comparison."""
+
+    name: str
+    matched: bool
+    detail: str
+    left_digest: str = ""
+    right_digest: str = ""
+
+    def __str__(self) -> str:
+        status = "ok" if self.matched else "MISMATCH"
+        return f"{self.name}: {status} — {self.detail}"
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def run_captured(config: ExperimentConfig) -> Tuple[TransferOutcome, bytes]:
+    """One transfer, capturing the delivered application stream."""
+    testbed = build_testbed(config)
+    data = corpus_object(config.corpus, config.file_size, config.corpus_seed)
+    FileServer(testbed.server_stack, {FILE_NAME: data})
+    client = FileClient(testbed.client_stack, testbed.sim)
+    chunks: List[bytes] = []
+    outcome = client.fetch(SERVER_ADDR, FILE_NAME, expected_size=len(data),
+                           on_data=chunks.append,
+                           on_done=lambda _o: testbed.sim.stop())
+    testbed.sim.run(until=config.time_limit)
+    return outcome, b"".join(chunks)
+
+
+def compare_fingerprinters(file_size: int = 40 * 1460,
+                           policy: str = "cache_flush",
+                           seed: int = 11) -> DifferentialResult:
+    """poly vs rabin: the delivered stream must be byte-identical."""
+    base = ExperimentConfig(policy=policy, file_size=file_size,
+                            loss_rate=0.0, seed=seed)
+    source = corpus_object(base.corpus, base.file_size, base.corpus_seed)
+    streams = {}
+    for kind in ("poly", "rabin"):
+        outcome, stream = run_captured(base.with_updates(
+            fingerprint_kind=kind))
+        if not outcome.completed:
+            return DifferentialResult(
+                "fingerprinters", False,
+                f"{kind} run did not complete "
+                f"({outcome.bytes_received}/{outcome.expected_size} bytes)")
+        streams[kind] = stream
+    matched = (streams["poly"] == streams["rabin"] == source)
+    detail = (f"poly and rabin delivered identical {len(source):,}-byte "
+              f"streams (= source object)" if matched else
+              "delivered streams diverge between fingerprinters")
+    return DifferentialResult("fingerprinters", matched, detail,
+                              _digest(streams["poly"]),
+                              _digest(streams["rabin"]))
+
+
+def compare_sweep_parallelism(losses: Tuple[float, ...] = (0.0, 0.02),
+                              policies: Tuple[str, ...] = ("cache_flush",
+                                                           "tcp_seq"),
+                              file_size: int = 30 * 1460,
+                              seed: int = 11,
+                              workers: int = 2) -> DifferentialResult:
+    """Serial vs process-pool sweep: cell results must be equal dicts."""
+    from ..experiments.sweep import SweepSpec, run_sweep
+
+    def spec() -> SweepSpec:
+        return SweepSpec(
+            base=ExperimentConfig(file_size=file_size),
+            grid={"policy": list(policies), "loss_rate": list(losses)},
+            seeds=(seed,), paired_baseline=True)
+
+    serial = run_sweep(spec(), workers=None)
+    parallel = run_sweep(spec(), workers=workers)
+    serial_cells = [cell.result.to_dict() for cell in serial]
+    parallel_cells = [cell.result.to_dict() for cell in parallel]
+    matched = serial_cells == parallel_cells
+    mismatches = sum(1 for left, right in zip(serial_cells, parallel_cells)
+                     if left != right)
+    detail = (f"{len(serial_cells)} cells bit-identical across "
+              f"serial and {workers}-worker runs" if matched else
+              f"{mismatches}/{len(serial_cells)} cells differ between "
+              f"serial and parallel execution")
+    return DifferentialResult(
+        "sweep-parallelism", matched, detail,
+        _digest(repr(serial_cells).encode()),
+        _digest(repr(parallel_cells).encode()))
+
+
+def compare_resilience(file_size: int = 40 * 1460,
+                       policy: str = "cache_flush",
+                       seed: int = 11) -> DifferentialResult:
+    """Resilience on vs off, zero faults: same delivered stream."""
+    base = ExperimentConfig(policy=policy, file_size=file_size,
+                            loss_rate=0.0, seed=seed)
+    source = corpus_object(base.corpus, base.file_size, base.corpus_seed)
+    streams = {}
+    for armed in (False, True):
+        outcome, stream = run_captured(base.with_updates(resilience=armed))
+        label = "resilience" if armed else "baseline"
+        if not outcome.completed:
+            return DifferentialResult(
+                "resilience", False,
+                f"{label} run did not complete "
+                f"({outcome.bytes_received}/{outcome.expected_size} bytes)")
+        streams[armed] = stream
+    matched = (streams[False] == streams[True] == source)
+    detail = (f"armed and unarmed runs delivered identical "
+              f"{len(source):,}-byte streams under zero faults" if matched
+              else "resilience layer changed the delivered stream")
+    return DifferentialResult("resilience", matched, detail,
+                              _digest(streams[False]),
+                              _digest(streams[True]))
+
+
+def run_differential(scale: str = "smoke",
+                     log: Optional[Callable[[str], None]] = None
+                     ) -> List[DifferentialResult]:
+    """All three comparisons; ``scale`` picks the workload size.
+
+    ``smoke`` uses small objects (seconds, used by the test suite);
+    ``headline`` uses the paper-scale object of the headline scenario
+    for the fingerprinter/resilience pairs and a wider sweep grid
+    (the CI ``verify-smoke`` job).
+    """
+    if scale not in ("smoke", "headline"):
+        raise ValueError(f"unknown scale {scale!r}")
+    if scale == "headline":
+        # file1's corpus default is the paper's ~574 KB object.  The
+        # Rabin reference fingerprinter is pure Python, so this is the
+        # expensive configuration — CI-sized, not test-sized.
+        pairs = dict(file_size=0)
+        sweep = dict(losses=(0.0, 0.02, 0.05), file_size=60 * 1460)
+    else:
+        pairs = dict(file_size=40 * 1460)
+        sweep = dict(losses=(0.0, 0.02), file_size=30 * 1460)
+
+    results = []
+    for runner in (
+            lambda: compare_fingerprinters(**pairs),
+            lambda: compare_sweep_parallelism(**sweep),
+            lambda: compare_resilience(**pairs)):
+        result = runner()
+        if log is not None:
+            log(str(result))
+        results.append(result)
+    return results

@@ -109,6 +109,78 @@ class TestHighlyRepetitivePayloads:
         roundtrip(encoder, decoder, half + half, 0)
 
 
+class TestOracleArmedBoundaries:
+    """§III-B's ``len > 14`` region floor and degenerate payloads, with
+    the verification oracles armed — the edge geometry must neither
+    corrupt bytes nor trip a safety oracle."""
+
+    @staticmethod
+    def _armed_pair(policy_name, **scheme_kwargs):
+        from repro.core.policies import make_policy_pair
+        from repro.verify import VerificationHarness
+
+        scheme = FingerprintScheme(**scheme_kwargs)
+        enc_policy, dec_policy = make_policy_pair(policy_name)
+        encoder = ByteCachingEncoder(scheme, ByteCache(), enc_policy)
+        decoder = ByteCachingDecoder(scheme, ByteCache(), dec_policy)
+        harness = VerificationHarness()
+        harness.attach_cores(encoder, decoder)
+        return encoder, decoder, harness
+
+    @pytest.mark.parametrize("policy", ["cache_flush", "tcp_seq",
+                                        "k_distance"])
+    def test_zero_length_payloads_with_oracles(self, policy):
+        encoder, decoder, harness = self._armed_pair(policy)
+        for index in range(3):
+            meta = PacketMeta(packet_id=index, flow=FLOW,
+                              tcp_seq=index * 1460, counter=index)
+            result = encoder.encode(b"", meta)
+            assert not result.encoded
+            outcome = decoder.decode(result.data, meta,
+                                     checksum=payload_checksum(b""))
+            assert outcome.ok and outcome.payload == b""
+        assert harness.violations == 0
+
+    def _boundary_roundtrip(self, shared):
+        """Ship a payload sharing exactly ``len(shared)`` bytes with a
+        cached packet; returns how many regions reached the oracles.
+
+        The harness's ``on_region`` hook fires at the region finder,
+        *before* the encoder's whole-packet net-loss veto, so
+        ``regions_checked`` observes the §III-B length floor exactly
+        (a 15-byte region may clear the floor yet still ship raw
+        because one encoding field does not pay for itself).
+        """
+        # window=8 < 14 so sub-floor matches are constructible;
+        # zero_bits=0 anchors every offset so the shared run is found.
+        encoder, decoder, harness = self._armed_pair(
+            "tcp_seq", window=8, zero_bits=0)
+        stored = b"\xf0" * 20 + shared + b"\xf1" * 20
+        fresh = b"\xf2" * 20 + shared + b"\xf3" * 20
+        for index, payload in enumerate((stored, fresh)):
+            meta = PacketMeta(packet_id=index, flow=FLOW,
+                              tcp_seq=index * 1460, counter=index)
+            result = encoder.encode(payload, meta)
+            outcome = decoder.decode(result.data, meta,
+                                     checksum=payload_checksum(payload))
+            assert outcome.ok and outcome.payload == payload
+        assert harness.violations == 0
+        return harness.regions_checked
+
+    def test_at_or_below_region_floor_never_found(self):
+        """§III-B line B.8 encodes only when a region beats the 14-byte
+        encoding field; the implementation floor is
+        ``MIN_REGION_LENGTH = FIELD_SIZE + 1`` with a ``<=`` guard, so
+        14- and 15-byte shared runs must never reach the region stream."""
+        assert self._boundary_roundtrip(bytes(range(1, 15))) == 0   # == FIELD_SIZE
+        assert self._boundary_roundtrip(bytes(range(1, 16))) == 0   # == floor
+
+    def test_first_length_past_floor_is_found(self):
+        """One byte past the floor the region is found and judged by
+        the oracles — and the payload still reconstructs exactly."""
+        assert self._boundary_roundtrip(bytes(range(1, 17))) == 1
+
+
 class TestGatewayAccounting:
     def test_wire_tag_charges_options_bytes(self):
         from repro.gateway import GatewayPair

@@ -202,6 +202,102 @@ def test_decoder_never_accepts_wrong_bytes(data):
 
 
 # ---------------------------------------------------------------------------
+# Policy safety invariants, machine-checked by the verify oracles
+# ---------------------------------------------------------------------------
+#
+# The §V policies' emission-time safety properties are re-checked
+# independently by repro.verify.oracles; these properties drive random
+# transmission schedules — in-order segments, retransmissions, losses —
+# through harness-attached cores and assert the oracles stay silent for
+# the robust policies and trip for the naive one.
+
+def _armed_pair(policy_name, **kwargs):
+    from repro.verify import VerificationHarness
+
+    scheme = FingerprintScheme()
+    enc_policy, dec_policy = make_policy_pair(policy_name, **kwargs)
+    encoder = ByteCachingEncoder(scheme, ByteCache(), enc_policy)
+    decoder = ByteCachingDecoder(scheme, ByteCache(), dec_policy)
+    VerificationHarness().attach_cores(encoder, decoder)
+    return encoder, decoder
+
+
+def _retransmission_schedule(policy_name, data, **kwargs):
+    """Random schedule with retransmissions and losses: the robust
+    policies must never trip an oracle, and every accepted decode must
+    be byte-exact."""
+    from repro.sim.rng import RngRegistry
+
+    rng = RngRegistry(data.draw(st.integers(0, 2 ** 16))).stream(
+        f"properties.{policy_name}")
+    encoder, decoder = _armed_pair(policy_name, **kwargs)
+    pool = [rng.randbytes(rng.randrange(100, 400)) for _ in range(4)]
+    segments = []
+    for index in range(data.draw(st.integers(2, 8))):
+        parts = [pool[rng.randrange(len(pool))]
+                 for _ in range(rng.randrange(1, 4))]
+        segments.append(b"".join(parts)[:1460])
+
+    # In-order pass, then random retransmissions of earlier segments.
+    order = list(range(len(segments)))
+    for _ in range(data.draw(st.integers(0, 4))):
+        order.append(rng.randrange(len(segments)))
+
+    for counter, index in enumerate(order):
+        payload = segments[index]
+        meta = PacketMeta(packet_id=counter, flow=FLOW,
+                          tcp_seq=index * 1460, counter=counter)
+        result = encoder.encode(payload, meta)      # oracles judge here
+        if rng.random() < 0.3:
+            continue                                 # carrier lost
+        decoded = decoder.decode(result.data, meta,
+                                 checksum=payload_checksum(payload))
+        if decoded.ok:
+            assert decoded.payload == payload
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_cache_flush_safety_oracle_silent(data):
+    _retransmission_schedule("cache_flush", data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_tcp_seq_safety_oracle_silent(data):
+    _retransmission_schedule("tcp_seq", data)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.data())
+def test_k_distance_safety_oracle_silent(data):
+    _retransmission_schedule("k_distance", data, k=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2 ** 16))
+def test_naive_retransmission_trips_circular_dependency_oracle(seed):
+    """The §IV failure, as a property: any cached payload retransmitted
+    under the naive policy is encoded against itself, and the oracle
+    catches it at emission time."""
+    import pytest
+
+    from repro.sim.rng import RngRegistry
+    from repro.verify import InvariantViolation
+
+    payload = RngRegistry(seed).stream("properties.naive").randbytes(1460)
+    encoder, _decoder = _armed_pair("naive")
+    first = encoder.encode(payload, PacketMeta(packet_id=0, flow=FLOW,
+                                               tcp_seq=0, counter=0))
+    retransmission = PacketMeta(packet_id=1, flow=FLOW, tcp_seq=0, counter=1)
+    if not first.cached or not list(encoder.scheme.anchors(payload)):
+        return  # nothing in the cache to self-reference
+    with pytest.raises(InvariantViolation) as excinfo:
+        encoder.encode(payload, retransmission)
+    assert excinfo.value.oracle == "circular_dependency"
+
+
+# ---------------------------------------------------------------------------
 # Misc invariants
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,343 @@
+"""The verification subsystem: oracles, differential runner, fuzzer.
+
+Covers the acceptance criteria of the verify layer:
+
+* ``verify=True`` on the naive policy under loss raises an
+  :class:`InvariantViolation` identifying the §IV circular dependency,
+  while the paper's three robust policies run the full Fig. 10 loss
+  grid violation-free;
+* the cache-coherence oracle catches a deliberately poisoned decoder
+  store and the byte-integrity oracle catches a wrong delivered chunk;
+* the differential runner's three comparisons all agree;
+* the fuzzer finds an injected policy bug, shrinks it to a minimal
+  case, and the JSON round-trip replays to the same oracle.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
+                        FingerprintScheme)
+from repro.core.policies import DecoderPolicy, PacketMeta, make_policy_pair
+from repro.experiments import ExperimentConfig, run_transfer
+from repro.net.checksum import payload_checksum
+from repro.sim.rng import RngRegistry
+from repro.verify import InvariantViolation, VerificationHarness
+from repro.verify.differential import run_differential
+from repro.verify.fuzz import (FuzzCase, case_from_json, case_to_json,
+                               generate_case, run_campaign, run_case, shrink)
+
+FLOW = ("s", 80, "c", 5000)
+
+#: Fig. 10's loss-rate axis (0–20 %).
+F10_LOSSES = (0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20)
+
+PAPER_POLICIES = ("cache_flush", "tcp_seq", "k_distance")
+
+
+def _core_pair(policy_name, **policy_kwargs):
+    """Bare encoder/decoder cores with the harness attached."""
+    scheme = FingerprintScheme()
+    enc_policy, dec_policy = make_policy_pair(policy_name, **policy_kwargs)
+    encoder = ByteCachingEncoder(scheme, ByteCache(), enc_policy)
+    decoder = ByteCachingDecoder(scheme, ByteCache(), dec_policy)
+    harness = VerificationHarness()
+    harness.attach_cores(encoder, decoder)
+    return encoder, decoder, harness
+
+
+# ---------------------------------------------------------------------------
+# online oracles, end to end
+# ---------------------------------------------------------------------------
+
+class TestOnlineOracles:
+    def test_naive_livelock_raises_circular_dependency(self):
+        """§IV: the naive policy under loss encodes a retransmission
+        against its own cached copy; verify=True pinpoints it."""
+        config = ExperimentConfig(
+            policy="naive", loss_rate=0.01, seed=11, verify=True,
+            time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            run_transfer(config)
+        violation = excinfo.value
+        assert violation.oracle == "circular_dependency"
+        assert "circular dependency" in violation.message
+        # The context identifies the offending encoding precisely.
+        assert violation.context["seq_stored"] >= violation.context["seq_new"]
+        # ... and carries the flight recorder for post-mortem.
+        assert violation.flight_recorder
+
+    @pytest.mark.parametrize("policy", PAPER_POLICIES)
+    def test_paper_policies_run_f10_grid_violation_free(self, policy):
+        """The three robust policies sweep the Fig. 10 loss axis with
+        every oracle armed and never trip one."""
+        for loss in F10_LOSSES:
+            result = run_transfer(ExperimentConfig(
+                policy=policy, loss_rate=loss, seed=11,
+                file_size=40 * 1460, verify=True,
+                time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0))
+            assert result.completed, (policy, loss)
+
+    def test_verify_off_leaves_hooks_unarmed(self):
+        from repro.experiments.runner import build_testbed
+
+        testbed = build_testbed(ExperimentConfig(policy="cache_flush"))
+        assert testbed.verifier is None
+        assert testbed.gateways.encoder.encoder.verifier is None
+        assert testbed.gateways.decoder.decoder.verifier is None
+
+    def test_oracles_follow_policy_declaration(self):
+        """Each policy arms exactly the oracles it declares."""
+        encoder, _decoder, harness = _core_pair("k_distance", k=4)
+        assert sorted(oracle.name for oracle in harness.oracles) == \
+            ["circular_dependency", "k_distance"]
+        # Recovery-based schemes legally self-reference: no oracles.
+        encoder, _decoder, harness = _core_pair("informed_marking")
+        assert harness.oracles == []
+
+
+class TestCoherenceOracle:
+    def _populate(self, encoder, decoder, rng, count=4):
+        for index in range(count):
+            payload = rng.randbytes(1460)
+            meta = PacketMeta(packet_id=index, flow=FLOW,
+                              tcp_seq=index * 1460, counter=index)
+            result = encoder.encode(payload, meta)
+            outcome = decoder.decode(result.data, meta,
+                                     checksum=payload_checksum(payload))
+            assert outcome.ok
+
+    def test_clean_caches_pass(self):
+        encoder, decoder, harness = _core_pair("cache_flush")
+        self._populate(encoder, decoder,
+                       RngRegistry(5).stream("coherence.clean"))
+        assert harness.check_coherence(force=True)
+        assert harness.violations == 0
+        assert harness.coherence_checks == 1
+
+    def test_poisoned_decoder_store_raises(self):
+        """Flip bytes inside the decoder's packet store: the quiescent
+        coherence scan must catch the divergence."""
+        encoder, decoder, harness = _core_pair("cache_flush")
+        self._populate(encoder, decoder,
+                       RngRegistry(6).stream("coherence.poison"))
+        store = decoder.cache.store._data
+        victim = next(iter(store))
+        store[victim] = bytes(len(store[victim]))   # zeroed payload
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.check_coherence(force=True)
+        assert excinfo.value.oracle == "cache_coherence"
+        assert "poisoned" in excinfo.value.message
+
+    def test_decoder_gaps_are_legal(self):
+        """Entries only the encoder holds (lost carriers = perceived
+        loss) are not a coherence violation."""
+        encoder, decoder, harness = _core_pair("cache_flush")
+        rng = RngRegistry(7).stream("coherence.gaps")
+        for index in range(4):
+            payload = rng.randbytes(1460)
+            meta = PacketMeta(packet_id=index, flow=FLOW,
+                              tcp_seq=index * 1460, counter=index)
+            result = encoder.encode(payload, meta)
+            if index % 2 == 0:   # odd packets "lost" before the decoder
+                decoder.decode(result.data, meta,
+                               checksum=payload_checksum(payload))
+        assert harness.check_coherence(force=True)
+        assert harness.violations == 0
+
+
+class TestByteIntegrityOracle:
+    def test_correct_prefix_accepted(self):
+        harness = VerificationHarness()
+        harness.arm_integrity(b"the quick brown fox")
+        harness.on_deliver(b"the quick")
+        harness.on_deliver(b" brown fox")
+        assert harness.violations == 0
+
+    def test_wrong_chunk_raises_with_first_diff(self):
+        harness = VerificationHarness()
+        harness.arm_integrity(b"the quick brown fox")
+        harness.on_deliver(b"the quick")
+        with pytest.raises(InvariantViolation) as excinfo:
+            harness.on_deliver(b" brawn fox")
+        assert excinfo.value.oracle == "byte_integrity"
+        assert excinfo.value.context["first_diff"] == 12
+
+
+# ---------------------------------------------------------------------------
+# per-policy safety oracles on bare cores
+# ---------------------------------------------------------------------------
+
+class TestPolicyOracles:
+    def test_tcp_seq_violation_detected_when_gate_disabled(self):
+        """Disable the Fig. 7 guard: the first self-referencing region
+        trips the oracle even though the policy said yes."""
+        encoder, _decoder, _harness = _core_pair("tcp_seq")
+        encoder.policy.entry_eligible = lambda entry, meta: True
+        payload = RngRegistry(8).stream("tcpseq").randbytes(1460)
+        meta0 = PacketMeta(packet_id=0, flow=FLOW, tcp_seq=0, counter=0)
+        encoder.encode(payload, meta0)
+        with pytest.raises(InvariantViolation) as excinfo:
+            # Retransmission: same seq, payload already cached.
+            encoder.encode(payload, PacketMeta(packet_id=1, flow=FLOW,
+                                               tcp_seq=0, counter=1))
+        assert excinfo.value.oracle in ("circular_dependency", "tcp_seq")
+
+    def test_k_distance_group_bound_enforced(self):
+        """Lose the group window (keep same-flow): a region sourcing a
+        segment before the current group's reference must trip."""
+        encoder, _decoder, _harness = _core_pair("k_distance", k=2)
+        encoder.policy.entry_eligible = (
+            lambda entry, meta: entry.flow == meta.flow
+            and entry.tcp_seq is not None)
+        rng = RngRegistry(9).stream("kdist")
+        shared = rng.randbytes(600)
+        # The shared run appears only in segment 0 (group [0, 2920))
+        # and in segment 3 (group [2920, 5840)): the cache's only entry
+        # for it lives in the previous group, so encoding segment 3
+        # against it crosses the reference boundary.
+        payloads = [shared + rng.randbytes(100), rng.randbytes(700),
+                    rng.randbytes(700), shared + rng.randbytes(100)]
+        with pytest.raises(InvariantViolation) as excinfo:
+            for index, payload in enumerate(payloads):
+                encoder.encode(payload,
+                               PacketMeta(packet_id=index, flow=FLOW,
+                                          tcp_seq=index * 1460,
+                                          counter=index))
+        assert excinfo.value.oracle == "k_distance"
+        assert "group" in excinfo.value.message
+
+    def test_cache_flush_floor_enforced(self):
+        """Suppress the flush: a post-retransmission region sourcing a
+        pre-flush entry must trip the flush-floor oracle."""
+        encoder, _decoder, _harness = _core_pair("cache_flush")
+        encoder.policy.before_packet = lambda meta, cache: None
+        rng = RngRegistry(10).stream("cacheflush")
+        shared = rng.randbytes(600)
+        first = shared + rng.randbytes(100)
+        encoder.encode(first, PacketMeta(packet_id=0, flow=FLOW,
+                                         tcp_seq=0, counter=0))
+        encoder.encode(rng.randbytes(700),
+                       PacketMeta(packet_id=1, flow=FLOW,
+                                  tcp_seq=1460, counter=1))
+        with pytest.raises(InvariantViolation) as excinfo:
+            # Retransmit segment 0 — without a flush it is encoded
+            # against cached pre-retransmission state.
+            encoder.encode(first, PacketMeta(packet_id=2, flow=FLOW,
+                                             tcp_seq=0, counter=2))
+        assert excinfo.value.oracle in ("circular_dependency", "cache_flush")
+
+
+# ---------------------------------------------------------------------------
+# differential runner
+# ---------------------------------------------------------------------------
+
+class TestDifferential:
+    def test_all_three_comparisons_agree(self):
+        results = run_differential("smoke")
+        assert [r.name for r in results] == \
+            ["fingerprinters", "sweep-parallelism", "resilience"]
+        for result in results:
+            assert result.matched, str(result)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            run_differential("galactic")
+
+
+# ---------------------------------------------------------------------------
+# fuzzer
+# ---------------------------------------------------------------------------
+
+class TestFuzzer:
+    def test_case_generation_is_deterministic(self):
+        assert generate_case(7, 3) == generate_case(7, 3)
+        assert generate_case(7, 3) != generate_case(7, 4)
+        assert generate_case(7, 3) != generate_case(8, 3)
+
+    def test_clean_campaign_finds_nothing(self):
+        result = run_campaign(7, 15)
+        assert result.violations == 0
+
+    def test_injected_bug_found_shrunk_and_replayable(self, tmp_path):
+        campaign = run_campaign(7, 20, inject_bug="tcp_seq_gate")
+        assert campaign.violations >= 1
+        shrunk = campaign.shrunk_case
+        assert shrunk is not None
+        assert len(shrunk.fault_events) < 20
+        assert campaign.shrunk_violation is not None
+
+        # JSON round-trip and replay reproduce the same oracle.
+        path = tmp_path / "case.json"
+        path.write_text(case_to_json(shrunk, campaign.shrunk_violation))
+        replayed = case_from_json(path.read_text())
+        assert replayed == shrunk
+        outcome = run_case(replayed)
+        assert outcome.violation is not None
+        assert outcome.violation["oracle"] == \
+            campaign.shrunk_violation["oracle"]
+
+    def test_shrink_drops_irrelevant_fault_events(self):
+        """A reproducer that ignores faults entirely shrinks to zero
+        fault events and the minimum object."""
+        case = FuzzCase(seed=1, policy="tcp_seq", file_size=40 * 1460,
+                        loss_rate=0.05,
+                        fault_events=[{"kind": "drop_data", "nth": 3},
+                                      {"kind": "evict", "side": "decoder",
+                                       "at": 0.5, "fraction": 0.5}])
+        minimal = shrink(case, reproduces=lambda c: True)
+        assert minimal.fault_events == []
+        assert minimal.file_size < case.file_size
+        assert minimal.loss_rate == 0.0
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ValueError):
+            case_from_json(json.dumps({"schema": "other/v9", "case": {}}))
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_verify_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "all 3 differential comparisons agree" in out
+
+    def test_fuzz_command_clean(self, capsys):
+        from repro.cli import main
+
+        assert main(["fuzz", "--seed", "7", "--iterations", "5"]) == 0
+        assert "no invariant violations" in capsys.readouterr().out
+
+    def test_fuzz_command_inject_and_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = str(tmp_path / "cases")
+        assert main(["fuzz", "--seed", "7", "--iterations", "10",
+                     "--inject-bug", "tcp_seq_gate",
+                     "--out-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        case_files = list((tmp_path / "cases").glob("*.json"))
+        assert len(case_files) == 1
+        assert main(["fuzz", "--replay", str(case_files[0])]) == 0
+        assert "replay MATCHES" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# telemetry integration
+# ---------------------------------------------------------------------------
+
+def test_verify_counters_surface_in_telemetry_export():
+    result = run_transfer(ExperimentConfig(
+        policy="cache_flush", file_size=30 * 1460, loss_rate=0.05,
+        seed=11, verify=True, telemetry=True))
+    assert result.completed
+    gauges = result.telemetry["final_gauges"]
+    assert gauges["verify.regions_checked"] > 0
+    assert gauges["verify.coherence_checks"] > 0
