@@ -11,12 +11,9 @@ sweep instead of re-simulating it.
 
 from __future__ import annotations
 
-import functools
 import os
 
 import pytest
-
-from repro.experiments import scenarios
 
 
 def bench_workers():

@@ -1,0 +1,36 @@
+"""Static architecture analysis (``repro lint``).
+
+An AST-based lint engine that enforces, before every commit, the
+architectural assumptions the rest of the repo only checks at runtime:
+
+* **layering** — the import DAG (core below sim below net below the
+  gateways; metrics imported only from above) stays a DAG;
+* **determinism** — all randomness flows through named
+  :class:`~repro.sim.rng.RngRegistry` streams and nothing reads wall
+  clocks into results, so fuzz replay and paired sweeps stay
+  bit-identical;
+* **hot-path discipline** — the registered encoder/decoder/simulator
+  hot functions keep the single-None-check telemetry pattern the
+  ``bench_hotpath`` 1.5x gate times;
+* **robustness hygiene** — no bare excepts, mutable defaults, or
+  silently swallowed :class:`InvariantViolation`.
+
+Everything is declarative config under ``[tool.repro-lint]`` in
+``pyproject.toml``; findings ratchet down through a committed baseline
+and line-level ``# lint: disable=RULE(reason)`` pragmas whose reasons
+are mandatory.
+"""
+
+from .baseline import BASELINE_SCHEMA, load_baseline, write_baseline
+from .config import LintConfig, load_config
+from .engine import collect_files, format_text, rewrite_baseline, run_lint
+from .findings import (FAMILIES, LINT_SCHEMA, Finding, LintReport,
+                       validate_lint_report)
+from .registry import RULES, Rule, rule, select_rules
+
+__all__ = [
+    "BASELINE_SCHEMA", "FAMILIES", "Finding", "LINT_SCHEMA", "LintConfig",
+    "LintReport", "RULES", "Rule", "collect_files", "format_text",
+    "load_baseline", "load_config", "rewrite_baseline", "rule", "run_lint",
+    "select_rules", "validate_lint_report", "write_baseline",
+]

@@ -1,0 +1,90 @@
+"""Baseline ratchet: pre-existing findings shrink, never grow.
+
+The committed baseline file records the fingerprints of findings that
+predate a rule.  On a normal run, findings matching the baseline are
+reported but do not fail the build; *new* findings do.  A finding that
+gets fixed leaves a *stale* baseline entry, pruned by rewriting the
+file with ``repro lint --write-baseline`` — so over time the file can
+only shrink (code review guards the rewrite direction).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from .findings import Finding
+
+BASELINE_SCHEMA = "repro.lint-baseline/v1"
+
+
+def load_baseline(path: Path) -> List[Dict[str, Any]]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path} is not a {BASELINE_SCHEMA} document")
+    entries = payload.get("entries", [])
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: entries is not a list")
+    return entries
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: List[Dict[str, Any]]
+                   ) -> Tuple[List[Finding], List[Dict[str, Any]]]:
+    """Mark baselined findings; return (findings, stale entries).
+
+    Each entry suppresses up to ``count`` findings with the same
+    fingerprint.  Entries left with unused budget are *stale*: the
+    finding they recorded has been fixed and the entry should be
+    pruned with ``--write-baseline``.
+    """
+    budget: Counter = Counter()
+    for entry in entries:
+        fingerprint = entry.get("fingerprint")
+        if isinstance(fingerprint, str):
+            budget[fingerprint] += int(entry.get("count", 1))
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        fingerprint = finding.fingerprint()
+        if budget.get(fingerprint, 0) > 0:
+            budget[fingerprint] -= 1
+            finding.baselined = True
+    stale = []
+    for entry in entries:
+        fingerprint = entry.get("fingerprint")
+        if isinstance(fingerprint, str) and budget.get(fingerprint, 0) > 0:
+            stale.append(dict(entry, unmatched=budget[fingerprint]))
+            budget[fingerprint] = 0
+    return findings, stale
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Record every active finding as a baseline entry; returns count."""
+    grouped: Dict[str, Dict[str, Any]] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        fingerprint = finding.fingerprint()
+        if fingerprint in grouped:
+            grouped[fingerprint]["count"] += 1
+        else:
+            grouped[fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "scope": finding.scope,
+                "message": finding.message,
+                "fingerprint": fingerprint,
+                "count": 1,
+            }
+    entries = sorted(grouped.values(),
+                     key=lambda e: (e["path"], e["rule"], e["message"]))
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return sum(entry["count"] for entry in entries)

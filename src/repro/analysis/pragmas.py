@@ -1,0 +1,127 @@
+"""Inline suppression pragmas: ``# lint: disable=RULE(reason)``.
+
+A pragma suppresses matching findings on its own line, or — when the
+whole line is just the pragma comment — on the next code line below
+it.  The parenthesised reason is *mandatory*: a pragma without one is
+itself a finding (``pragma-missing-reason``), so every suppression in
+the tree documents why the rule does not apply.
+
+``RULE`` may be a full rule id (``determinism-wallclock``) or a family
+prefix (``determinism``).  Several suppressions can share one pragma:
+``# lint: disable=rule-a(why a),rule-b(why b)``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=(?P<body>.*)$")
+_ITEM_RE = re.compile(
+    r"\s*(?P<rule>[A-Za-z0-9_-]+)\s*(?:\((?P<reason>[^)]*)\))?\s*")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression item."""
+
+    rule: str          # rule id or family prefix
+    reason: str
+    line: int          # line the pragma comment sits on
+
+    def matches(self, rule: str) -> bool:
+        return rule == self.rule or rule.startswith(self.rule + "-")
+
+
+def parse_pragmas(text: str, path: str) -> Tuple[Dict[int, List[Pragma]],
+                                                 List[Finding]]:
+    """Extract pragmas per *effective* line, plus pragma misuse findings.
+
+    The returned mapping is keyed by the line a suppression applies to:
+    the pragma's own line, and additionally the next non-blank line
+    when the pragma stands alone on its line.
+    """
+    by_line: Dict[int, List[Pragma]] = {}
+    findings: List[Finding] = []
+    lines = text.splitlines()
+    for lineno, comment in _comments(text):
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        line = lines[lineno - 1] if lineno <= len(lines) else comment
+        standalone = line.strip().startswith("#")
+        for item in _split_items(match.group("body")):
+            parsed = _ITEM_RE.fullmatch(item)
+            if parsed is None:
+                findings.append(Finding(
+                    rule="pragma-missing-reason", path=path, line=lineno,
+                    message=f"unparseable pragma item {item.strip()!r}; "
+                            "expected RULE(reason)"))
+                continue
+            rule = parsed.group("rule")
+            reason = (parsed.group("reason") or "").strip()
+            if not reason:
+                findings.append(Finding(
+                    rule="pragma-missing-reason", path=path, line=lineno,
+                    scope=rule,
+                    message=f"pragma disabling {rule!r} has no reason; "
+                            "write # lint: disable="
+                            f"{rule}(why this is safe)"))
+                continue
+            pragma = Pragma(rule=rule, reason=reason, line=lineno)
+            by_line.setdefault(lineno, []).append(pragma)
+            if standalone:
+                target = _next_code_line(lines, lineno)
+                if target is not None:
+                    by_line.setdefault(target, []).append(pragma)
+    return by_line, findings
+
+
+def _comments(text: str) -> List[Tuple[int, str]]:
+    """(line, comment text) for every real comment token.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps pragma
+    syntax mentioned inside strings and docstrings — such as this
+    module's own documentation — from parsing as live pragmas.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        return [(tok.start[0], tok.string) for tok in tokens
+                if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []  # unparseable files are reported by the engine itself
+
+
+def _split_items(body: str) -> List[str]:
+    """Split ``a(x),b(y)`` on commas outside parentheses."""
+    items: List[str] = []
+    depth = 0
+    token = ""
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth = max(0, depth - 1)
+        if char == "," and depth == 0:
+            if token.strip():
+                items.append(token)
+            token = ""
+        else:
+            token += char
+    if token.strip():
+        items.append(token)
+    return items
+
+
+def _next_code_line(lines: List[str], pragma_line: int) -> Optional[int]:
+    """1-based line number of the next non-blank, non-comment line."""
+    for offset, line in enumerate(lines[pragma_line:], start=pragma_line + 1):
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return None

@@ -1,0 +1,70 @@
+"""Rule registry.
+
+Rules self-register via the :func:`rule` decorator.  A rule is a plain
+function; its scope decides the call signature:
+
+* ``scope="file"`` — called once per parsed file:
+  ``fn(parsed: ParsedFile, config: LintConfig) -> List[Finding]``
+* ``scope="project"`` — called once with every parsed file:
+  ``fn(files: List[ParsedFile], config: LintConfig) -> List[Finding]``
+
+Each file is parsed exactly once by the engine; every rule shares the
+same AST.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    name: str
+    scope: str            # "file" | "project"
+    description: str
+    fixable: bool
+    fn: Callable
+
+    @property
+    def family(self) -> str:
+        return self.name.split("-", 1)[0]
+
+
+RULES: Dict[str, Rule] = {}
+
+
+def rule(name: str, scope: str = "file", fixable: bool = False
+         ) -> Callable[[Callable], Callable]:
+    """Register a rule function under ``name``."""
+    if scope not in ("file", "project"):
+        raise ValueError(f"unknown rule scope: {scope!r}")
+
+    def decorate(fn: Callable) -> Callable:
+        if name in RULES:
+            raise ValueError(f"duplicate rule name: {name!r}")
+        RULES[name] = Rule(name=name, scope=scope,
+                           description=(fn.__doc__ or "").strip().splitlines()[0]
+                           if fn.__doc__ else "",
+                           fixable=fixable, fn=fn)
+        return fn
+
+    return decorate
+
+
+def select_rules(selectors: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Resolve ``--select`` patterns (rule ids or family prefixes)."""
+    rules = sorted(RULES.values(), key=lambda r: r.name)
+    if not selectors:
+        return rules
+    wanted = [s.strip() for s in selectors if s.strip()]
+    unknown = [s for s in wanted
+               if not any(r.name == s or r.family == s for r in rules)]
+    if unknown:
+        known = sorted({r.family for r in rules} | set(RULES))
+        raise ValueError(f"unknown rule selector(s) {unknown}; "
+                         f"known: {', '.join(known)}")
+    return [r for r in rules
+            if any(r.name == s or r.family == s for s in wanted)]

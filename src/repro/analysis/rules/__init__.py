@@ -1,0 +1,5 @@
+"""Rule modules — importing this package registers every rule."""
+
+from . import determinism, hotpath, hygiene, layering  # noqa: F401
+
+__all__ = ["determinism", "hotpath", "hygiene", "layering"]

@@ -1,0 +1,117 @@
+"""Robustness hygiene: failure-handling anti-patterns.
+
+The verification subsystem (PR 4) only works if violations travel:
+an ``except`` that silently swallows :class:`InvariantViolation`
+converts a caught livelock into a green run.  Bare ``except:`` and
+mutable default arguments are the classic Python footguns that have
+already caused real divergence bugs in cache/policy code elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..astutil import ParsedFile, enclosing_scopes
+from ..config import LintConfig
+from ..findings import Finding
+from ..registry import rule
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+
+@rule("hygiene-bare-except")
+def check_bare_except(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
+    """No bare ``except:`` — it catches KeyboardInterrupt/SystemExit."""
+    findings: List[Finding] = []
+    scopes = enclosing_scopes(parsed.tree)
+    for node in ast.walk(parsed.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                rule="hygiene-bare-except", path=parsed.relpath,
+                line=node.lineno, col=node.col_offset,
+                scope=scopes.get(id(node), ""),
+                message="bare except: catches KeyboardInterrupt and "
+                        "SystemExit; name the exceptions you mean",
+                fixable=True, fix="catch Exception (or narrower)"))
+    return findings
+
+
+@rule("hygiene-mutable-default")
+def check_mutable_default(parsed: ParsedFile,
+                          config: LintConfig) -> List[Finding]:
+    """No mutable default arguments (shared across calls)."""
+    findings: List[Finding] = []
+    scopes = enclosing_scopes(parsed.tree)
+    for node in ast.walk(parsed.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_CALLS
+                and not default.args and not default.keywords)
+            if mutable:
+                findings.append(Finding(
+                    rule="hygiene-mutable-default", path=parsed.relpath,
+                    line=default.lineno, col=default.col_offset,
+                    scope=scopes.get(id(node), node.name),
+                    message=f"mutable default argument in {node.name}(); "
+                            "the object is shared across every call",
+                    fixable=True,
+                    fix="default to None and create the container in the "
+                        "body (or use an immutable default)"))
+    return findings
+
+
+def _names_invariant_violation(type_node: ast.AST) -> bool:
+    if isinstance(type_node, ast.Tuple):
+        return any(_names_invariant_violation(element)
+                   for element in type_node.elts)
+    name = None
+    if isinstance(type_node, ast.Name):
+        name = type_node.id
+    elif isinstance(type_node, ast.Attribute):
+        name = type_node.attr
+    return name in ("InvariantViolation", "Exception", "BaseException")
+
+
+@rule("hygiene-swallowed-violation")
+def check_swallowed_violation(parsed: ParsedFile,
+                              config: LintConfig) -> List[Finding]:
+    """No handler that silently swallows InvariantViolation.
+
+    Flags ``except InvariantViolation`` (or a broad ``except
+    Exception``/``BaseException``, which would swallow it too) whose
+    body does nothing but ``pass``/``...``/``continue`` — a caught
+    oracle trip must be re-raised, recorded, or acted on.
+    """
+    findings: List[Finding] = []
+    scopes = enclosing_scopes(parsed.tree)
+    for node in ast.walk(parsed.tree):
+        if not isinstance(node, ast.ExceptHandler) or node.type is None:
+            continue
+        if not _names_invariant_violation(node.type):
+            continue
+        trivial = all(
+            isinstance(statement, (ast.Pass, ast.Continue)) or (
+                isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis)
+            for statement in node.body)
+        if trivial:
+            caught = ast.unparse(node.type)
+            findings.append(Finding(
+                rule="hygiene-swallowed-violation", path=parsed.relpath,
+                line=node.lineno, col=node.col_offset,
+                scope=scopes.get(id(node), ""),
+                message=f"except {caught}: pass would silently swallow an "
+                        "InvariantViolation; re-raise it, record it, or "
+                        "narrow the catch",
+                fixable=True,
+                fix="re-raise InvariantViolation (or handle it "
+                    "explicitly) before discarding other errors"))
+    return findings

@@ -8,7 +8,7 @@ closes.  The client treats the server's FIN as end-of-file.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..net.tcp import TCPConnection, TCPStack

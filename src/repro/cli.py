@@ -17,11 +17,15 @@ verify     differential runner: poly-vs-rabin fingerprinters, serial
 fuzz       randomised scenarios + scripted faults with the invariant
            oracles armed; shrinks any violation to a minimal
            replayable JSON case
+lint       static architecture lint: layering DAG, determinism,
+           hot-path discipline and robustness hygiene, with a
+           committed ratcheting baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -193,6 +197,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="deliberately disable one policy's safety "
                                "gate (the matching oracle must trip; "
                                "exercises find+shrink+replay)")
+
+    lint_cmd = sub.add_parser(
+        "lint", help="architecture lint: layering DAG, determinism, "
+                     "hot-path discipline, robustness hygiene")
+    lint_cmd.add_argument("--root", default=".",
+                          help="repo root holding pyproject.toml "
+                               "(default: cwd)")
+    lint_cmd.add_argument("--format", default="text",
+                          choices=["text", "json"],
+                          dest="fmt", help="report format (json emits the "
+                                           "repro.lint/v1 document)")
+    lint_cmd.add_argument("--select", default=None, metavar="RULE,...",
+                          help="run only these rule ids or families "
+                               "(e.g. layering,determinism-wallclock)")
+    lint_cmd.add_argument("--baseline", default=None, metavar="PATH",
+                          help="baseline file (default: [tool.repro-lint] "
+                               "baseline key)")
+    lint_cmd.add_argument("--no-baseline", action="store_true",
+                          help="ignore the baseline: report every finding "
+                               "as active")
+    lint_cmd.add_argument("--write-baseline", action="store_true",
+                          help="rewrite the baseline from current "
+                               "findings (ratchet: prunes stale entries)")
+    lint_cmd.add_argument("--out", default=None,
+                          help="also write the repro.lint/v1 JSON report "
+                               "to this file")
+    lint_cmd.add_argument("--show-suppressed", action="store_true",
+                          help="include pragma-suppressed findings in "
+                               "text output")
 
     sub.add_parser("policies", help="list encoding policies")
     return parser
@@ -525,6 +558,44 @@ def cmd_fuzz(args) -> int:
     return 0 if args.inject_bug else 1
 
 
+def cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis import (format_text, rewrite_baseline, run_lint,
+                           select_rules, validate_lint_report)
+
+    root = Path(args.root).resolve()
+    select = ([token.strip() for token in args.select.split(",")
+               if token.strip()] if args.select else None)
+    try:
+        select_rules(select)  # fail fast on unknown selectors
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline) if args.baseline else None
+    report = run_lint(root, select=select, baseline_path=baseline_path,
+                      use_baseline=not args.no_baseline)
+
+    if args.write_baseline:
+        count = rewrite_baseline(root, report, baseline_path=baseline_path)
+        target = baseline_path or "the configured baseline"
+        print(f"baseline rewritten: {count} finding(s) recorded in {target}")
+        return 0
+
+    payload = report.to_dict()
+    validate_lint_report(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.fmt == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_text(report,
+                          verbose_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def cmd_policies(_args) -> int:
     from .core.policies import make_policy_pair
 
@@ -548,6 +619,7 @@ COMMANDS = {
     "timeline": cmd_timeline,
     "verify": cmd_verify,
     "fuzz": cmd_fuzz,
+    "lint": cmd_lint,
     "policies": cmd_policies,
 }
 

@@ -28,7 +28,7 @@ class LossRateEstimator:
     segment's ``(flow, seq)``.
     """
 
-    def __init__(self, alpha: float = 0.05, initial: float = 0.0):
+    def __init__(self, alpha: float = 0.05, initial: float = 0.0) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
         self.alpha = alpha

@@ -36,7 +36,7 @@ class CacheEntry:
                  tcp_seq: Optional[int] = None,
                  flow: Optional[tuple] = None,
                  packet_counter: int = 0,
-                 usable: bool = True):
+                 usable: bool = True) -> None:
         self.fingerprint = fingerprint
         self.store_id = store_id          # key into the PacketStore
         self.offset = offset              # fingerprint window offset in payload
@@ -74,7 +74,7 @@ class PacketStore:
 
     def __init__(self, byte_budget: int = 4 * 1024 * 1024,
                  max_packets: Optional[int] = None,
-                 eviction: str = "fifo"):
+                 eviction: str = "fifo") -> None:
         if byte_budget <= 0:
             raise ValueError("byte_budget must be positive")
         if max_packets is not None and max_packets <= 0:
@@ -180,7 +180,7 @@ class ByteCache:
 
     def __init__(self, byte_budget: int = 4 * 1024 * 1024,
                  max_packets: Optional[int] = None,
-                 eviction: str = "fifo"):
+                 eviction: str = "fifo") -> None:
         self.store = PacketStore(byte_budget, max_packets, eviction)
         self.table = FingerprintTable()
         self.flushes = 0

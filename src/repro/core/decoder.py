@@ -19,14 +19,17 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional
+from typing import TYPE_CHECKING, Any, List, Optional
 
-from ..net.checksum import verify_payload
 from .cache import ByteCache
+from .checksum import verify_payload
 from .fingerprint import FingerprintScheme
 from .policies.base import DecoderPolicy, PacketMeta
 from .wire import (EncodedPayload, MissingFingerprintError, WireFormatError,
                    parse_payload)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .polyhash import AnchorSet
 
 
 class DecodeStatus(enum.Enum):
@@ -72,7 +75,7 @@ class ByteCachingDecoder:
     """Decodes shimmed payloads against a local byte cache."""
 
     def __init__(self, scheme: FingerprintScheme, cache: ByteCache,
-                 policy: Optional[DecoderPolicy] = None):
+                 policy: Optional[DecoderPolicy] = None) -> None:
         self.scheme = scheme
         self.cache = cache
         self.policy = policy if policy is not None else DecoderPolicy()
@@ -85,7 +88,8 @@ class ByteCachingDecoder:
         self.policy.attach_decoder(self)
 
     def decode(self, data: bytes, meta: PacketMeta,
-               checksum: Optional[int] = None, pkt=None) -> DecodeResult:
+               checksum: Optional[int] = None,
+               pkt: Optional[Any] = None) -> DecodeResult:
         """Decode one wire payload.
 
         ``checksum`` is the sender's end-to-end payload checksum (the
@@ -241,7 +245,8 @@ class ByteCachingDecoder:
         else:
             self.insert_anchors(payload, anchors, meta)
 
-    def insert_anchors(self, payload: bytes, anchors, meta: PacketMeta) -> None:
+    def insert_anchors(self, payload: bytes, anchors: "AnchorSet",
+                       meta: PacketMeta) -> None:
         """Commit one payload (and its anchors) into the decoder cache."""
         self.cache.insert_packet(
             payload, anchors,

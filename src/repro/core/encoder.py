@@ -16,13 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, List, Set, Tuple
 
 from .cache import ByteCache
 from .fingerprint import FingerprintScheme
 from .region import Region, expand_match
 from .wire import MIN_REGION_LENGTH, SHIM_SIZE, encode_payload, wrap_raw
 from .policies.base import EncoderPolicy, PacketMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .polyhash import AnchorSet
 
 
 @dataclass
@@ -72,7 +75,7 @@ class ByteCachingEncoder:
     def __init__(self, scheme: FingerprintScheme, cache: ByteCache,
                  policy: EncoderPolicy,
                  min_region_length: int = MIN_REGION_LENGTH,
-                 shim_overhead: int = SHIM_SIZE):
+                 shim_overhead: int = SHIM_SIZE) -> None:
         self.scheme = scheme
         self.cache = cache
         self.policy = policy
@@ -163,7 +166,7 @@ class ByteCachingEncoder:
             shim_overhead=self.shim_overhead,
         )
 
-    def insert_into_cache(self, payload: bytes, anchors,
+    def insert_into_cache(self, payload: bytes, anchors: "AnchorSet",
                           meta: PacketMeta) -> None:
         """Cache Update Procedure (Fig. 2 part C / Fig. 7 part C)."""
         self.cache.insert_packet(
@@ -176,7 +179,7 @@ class ByteCachingEncoder:
 
     # -- internal ---------------------------------------------------------
 
-    def _find_regions(self, payload: bytes, anchors,
+    def _find_regions(self, payload: bytes, anchors: "AnchorSet",
                       meta: PacketMeta) -> Tuple[List[Region], Set[int]]:
         """Redundancy Identification and Elimination (Fig. 2 part B)."""
         regions: List[Region] = []

@@ -8,7 +8,7 @@ bits are zero, i.e. roughly one anchor per 16 byte positions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Iterable, Protocol, Tuple, Union
 
 import numpy as np
 
@@ -24,7 +24,9 @@ class Fingerprinter(Protocol):
 
     window: int
 
-    def anchors(self, data: bytes, mask: int):
+    def anchors(self, data: bytes,
+                mask: int) -> Union["AnchorSet",
+                                    Iterable[Tuple[int, int]]]:
         """All ``(offset, fingerprint)`` selected by the mask rule.
 
         Either an :class:`~repro.core.polyhash.AnchorSet` (fast path)
@@ -32,7 +34,7 @@ class Fingerprinter(Protocol):
         """
         ...
 
-    def window_fingerprints(self, data: bytes):
+    def window_fingerprints(self, data: bytes) -> Iterable[Tuple[int, int]]:
         """All ``(offset, fingerprint)`` pairs."""
         ...
 

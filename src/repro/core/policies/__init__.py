@@ -2,7 +2,7 @@
 naive baseline (§III), and the extension schemes discussed in §VIII/IX.
 """
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from .ack_gated import AckGatedDecoderPolicy, AckGatedPolicy
 from .base import DecoderPolicy, EncoderPolicy, PacketMeta, PolicyServices
@@ -30,7 +30,8 @@ ENCODER_POLICIES: Dict[str, Callable[..., EncoderPolicy]] = {
 }
 
 
-def make_policy_pair(name: str, **kwargs) -> Tuple[EncoderPolicy, DecoderPolicy]:
+def make_policy_pair(name: str,
+                     **kwargs: Any) -> Tuple[EncoderPolicy, DecoderPolicy]:
     """Instantiate the encoder/decoder policy pair for a scheme name.
 
     ``kwargs`` go to the encoder policy constructor (e.g. ``k=8`` for

@@ -15,9 +15,12 @@ short-range redundancy that dominates retransmission-heavy traffic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
 
 from .base import DecoderPolicy, EncoderPolicy, PacketMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache
 
 
 class AckGatedPolicy(EncoderPolicy):
@@ -25,7 +28,7 @@ class AckGatedPolicy(EncoderPolicy):
 
     name = "ack_gated"
 
-    def __init__(self, max_pending: int = 4096):
+    def __init__(self, max_pending: int = 4096) -> None:
         super().__init__()
         self.max_pending = max_pending
         # flow -> list of (end_seq, payload, anchors, meta), append order
@@ -56,7 +59,7 @@ class AckGatedPolicy(EncoderPolicy):
             queue.pop(0)
             self.dropped_pending += 1
 
-    def on_reverse_packet(self, pkt, cache) -> None:
+    def on_reverse_packet(self, pkt: Any, cache: "ByteCache") -> None:
         segment = pkt.tcp
         if segment is None or not segment.has_ack:
             return
@@ -96,7 +99,7 @@ class AckGatedDecoderPolicy(DecoderPolicy):
 
     name = "ack_gated"
 
-    def __init__(self, max_pending: int = 4096):
+    def __init__(self, max_pending: int = 4096) -> None:
         super().__init__()
         self.max_pending = max_pending
         self._pending: Dict[tuple, List[tuple]] = {}
@@ -114,7 +117,8 @@ class AckGatedDecoderPolicy(DecoderPolicy):
             queue.pop(0)
             self.dropped_pending += 1
 
-    def on_wire_tag(self, tag: int, meta: PacketMeta, cache) -> None:
+    def on_wire_tag(self, tag: int, meta: PacketMeta,
+                    cache: "ByteCache") -> None:
         queue = self._pending.get(meta.flow)
         if not queue:
             return

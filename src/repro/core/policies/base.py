@@ -9,7 +9,7 @@ the evaluation swap algorithms by swapping policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cache import ByteCache, CacheEntry
@@ -39,7 +39,7 @@ class PolicyServices:
 
     def __init__(self,
                  send_control: Optional[Callable[[str, object], None]] = None,
-                 clock: Optional[Callable[[], float]] = None):
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self._send_control = send_control
         self._clock = clock
 
@@ -124,7 +124,7 @@ class EncoderPolicy:
 
     # -- asynchronous inputs ----------------------------------------------
 
-    def on_reverse_packet(self, pkt, cache: "ByteCache") -> None:
+    def on_reverse_packet(self, pkt: Any, cache: "ByteCache") -> None:
         """Observe a packet flowing in the reverse direction (ACKs)."""
 
     def on_control(self, kind: str, payload: object, cache: "ByteCache") -> None:
@@ -150,7 +150,7 @@ class DecoderPolicy:
     def attach_services(self, services: PolicyServices) -> None:
         self.services = services
 
-    def on_undecodable(self, missing_fingerprints: List[int], pkt,
+    def on_undecodable(self, missing_fingerprints: List[int], pkt: Any,
                        cache: "ByteCache") -> bool:
         """Called when a packet references unknown fingerprints.
 
@@ -159,8 +159,8 @@ class DecoderPolicy:
         """
         return False
 
-    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
-                             cache: "ByteCache") -> bool:
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int],
+                             pkt: Any, cache: "ByteCache") -> bool:
         """Called when reconstruction succeeded but produced wrong bytes.
 
         The referenced fingerprints resolved to *stale* entries (the
@@ -177,7 +177,7 @@ class DecoderPolicy:
                     meta: PacketMeta) -> None:
         """Stash a deferred decoder-cache update."""
 
-    def on_reverse_packet(self, pkt, cache: "ByteCache") -> None:
+    def on_reverse_packet(self, pkt: Any, cache: "ByteCache") -> None:
         """Observe a packet flowing in the reverse direction (ACKs)."""
 
     def on_wire_tag(self, tag: int, meta: PacketMeta,

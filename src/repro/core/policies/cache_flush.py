@@ -11,9 +11,12 @@ segment whose sequence number *decreases* triggers the flush.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict
 
 from .base import EncoderPolicy, PacketMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache
 
 
 class CacheFlushPolicy(EncoderPolicy):
@@ -39,7 +42,7 @@ class CacheFlushPolicy(EncoderPolicy):
         self._last_seq: Dict[tuple, int] = {}
         self.flushes_triggered = 0
 
-    def before_packet(self, meta: PacketMeta, cache) -> None:
+    def before_packet(self, meta: PacketMeta, cache: "ByteCache") -> None:
         if meta.tcp_seq is None or meta.flow is None:
             return
         last = self._last_seq.get(meta.flow)

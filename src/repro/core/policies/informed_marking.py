@@ -10,9 +10,12 @@ it is implemented here as the comparison baseline the paper discusses.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, Any, List
 
 from .base import DecoderPolicy, EncoderPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache
 
 CONTROL_KIND_MARK = "mark"
 
@@ -31,7 +34,8 @@ class InformedMarkingEncoderPolicy(EncoderPolicy):
         super().__init__()
         self.marks_received = 0
 
-    def on_control(self, kind: str, payload: object, cache) -> None:
+    def on_control(self, kind: str, payload: object,
+                   cache: "ByteCache") -> None:
         if kind != CONTROL_KIND_MARK:
             return
         fingerprints: List[int] = list(payload)  # type: ignore[arg-type]
@@ -45,20 +49,21 @@ class InformedMarkingDecoderPolicy(DecoderPolicy):
 
     name = "informed_marking"
 
-    def __init__(self, max_report_batch: int = 32):
+    def __init__(self, max_report_batch: int = 32) -> None:
         super().__init__()
         self.max_report_batch = max_report_batch
         self.reports_sent = 0
 
-    def on_undecodable(self, missing_fingerprints: List[int], pkt, cache) -> bool:
+    def on_undecodable(self, missing_fingerprints: List[int], pkt: Any,
+                       cache: "ByteCache") -> bool:
         batch = missing_fingerprints[: self.max_report_batch]
         if batch:
             self.services.send_control(CONTROL_KIND_MARK, batch)
             self.reports_sent += 1
         return False  # the packet itself is still dropped
 
-    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
-                             cache) -> bool:
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int],
+                             pkt: Any, cache: "ByteCache") -> bool:
         # Stale references are as poisonous as missing ones: report them
         # so the encoder stops using those cached packets.
         return self.on_undecodable(suspect_fingerprints, pkt, cache)

@@ -28,7 +28,12 @@ very loss being repaired.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .base import EncoderPolicy, PacketMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache, CacheEntry
 
 DEFAULT_MSS = 1460
 
@@ -39,7 +44,7 @@ class KDistancePolicy(EncoderPolicy):
     name = "k_distance"
     verify_oracles = ("circular_dependency", "k_distance")
 
-    def __init__(self, k: int = 8, mss: int = DEFAULT_MSS):
+    def __init__(self, k: int = 8, mss: int = DEFAULT_MSS) -> None:
         if k < 1:
             raise ValueError("k must be >= 1")
         if mss < 1:
@@ -96,7 +101,8 @@ class KDistancePolicy(EncoderPolicy):
             return False
         return True
 
-    def entry_eligible(self, entry, meta: PacketMeta) -> bool:
+    def entry_eligible(self, entry: "CacheEntry",
+                       meta: PacketMeta) -> bool:
         if meta.tcp_seq is not None:
             # Stream mode: sources are strictly earlier segments of the
             # same flow, no older than the group's reference.
@@ -136,7 +142,7 @@ class AdaptiveKDistancePolicy(KDistancePolicy):
 
     def __init__(self, k_min: int = 2, k_max: int = 64, target: float = 0.5,
                  ewma_alpha: float = 0.05, initial_loss: float = 0.02,
-                 mss: int = DEFAULT_MSS):
+                 mss: int = DEFAULT_MSS) -> None:
         super().__init__(k=k_max, mss=mss)
         self.k_min = k_min
         self.k_max = k_max
@@ -151,7 +157,7 @@ class AdaptiveKDistancePolicy(KDistancePolicy):
     def loss_estimate(self) -> float:
         return self._loss_estimate
 
-    def before_packet(self, meta: PacketMeta, cache) -> None:
+    def before_packet(self, meta: PacketMeta, cache: "ByteCache") -> None:
         if meta.tcp_seq is None or meta.flow is None:
             return
         highest = self._highest_seq.get(meta.flow)

@@ -18,9 +18,12 @@ of dependencies affected by the loss"; the extension benchmark
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from .base import DecoderPolicy, EncoderPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import ByteCache
 
 CONTROL_KIND_NACK = "nack"
 CONTROL_KIND_REPAIR = "repair"
@@ -42,7 +45,7 @@ class NackRecoveryEncoderPolicy(EncoderPolicy):
     verify_oracles = ()
 
     def __init__(self, max_repairs_per_nack: int = 8,
-                 repair_suppression: float = 0.1):
+                 repair_suppression: float = 0.1) -> None:
         super().__init__()
         self.max_repairs_per_nack = max_repairs_per_nack
         self.repair_suppression = repair_suppression
@@ -52,7 +55,8 @@ class NackRecoveryEncoderPolicy(EncoderPolicy):
         self.repairs_suppressed = 0
         self.repairs_unavailable = 0
 
-    def on_control(self, kind: str, payload: object, cache) -> None:
+    def on_control(self, kind: str, payload: object,
+                   cache: "ByteCache") -> None:
         if kind != CONTROL_KIND_NACK:
             return
         self.nacks_received += 1
@@ -88,8 +92,8 @@ class PendingPacket:
 
     __slots__ = ("pkt", "missing", "deadline", "verify_by_lookup")
 
-    def __init__(self, pkt, missing: List[int], deadline: float,
-                 verify_by_lookup: bool = True):
+    def __init__(self, pkt: Any, missing: List[int], deadline: float,
+                 verify_by_lookup: bool = True) -> None:
         self.pkt = pkt
         self.missing = set(missing)
         self.deadline = deadline
@@ -102,7 +106,7 @@ class NackRecoveryDecoderPolicy(DecoderPolicy):
     name = "nack_recovery"
 
     def __init__(self, buffer_limit: int = 64, timeout: float = 1.0,
-                 retry: Optional[Callable[[object], None]] = None):
+                 retry: Optional[Callable[[object], None]] = None) -> None:
         super().__init__()
         self.buffer_limit = buffer_limit
         self.timeout = timeout
@@ -115,19 +119,21 @@ class NackRecoveryDecoderPolicy(DecoderPolicy):
         self.timeouts = 0
         self.retries = 0
 
-    def on_undecodable(self, missing_fingerprints: List[int], pkt, cache) -> bool:
+    def on_undecodable(self, missing_fingerprints: List[int], pkt: Any,
+                       cache: "ByteCache") -> bool:
         return self._buffer_and_nack(missing_fingerprints, pkt,
                                      verify_by_lookup=True)
 
-    def on_checksum_mismatch(self, suspect_fingerprints: List[int], pkt,
-                             cache) -> bool:
+    def on_checksum_mismatch(self, suspect_fingerprints: List[int],
+                             pkt: Any, cache: "ByteCache") -> bool:
         # Stale entries: request fresh copies of everything referenced.
         # Only the repair itself proves freshness (lookups already
         # "succeed" against the stale entries).
         return self._buffer_and_nack(suspect_fingerprints, pkt,
                                      verify_by_lookup=False)
 
-    def on_control(self, kind: str, payload: object, cache) -> None:
+    def on_control(self, kind: str, payload: object,
+                   cache: "ByteCache") -> None:
         if kind != CONTROL_KIND_REPAIR:
             return
         assert self.decoder is not None
@@ -144,7 +150,7 @@ class NackRecoveryDecoderPolicy(DecoderPolicy):
 
     # -- internal ---------------------------------------------------------
 
-    def _buffer_and_nack(self, fingerprints: List[int], pkt,
+    def _buffer_and_nack(self, fingerprints: List[int], pkt: Any,
                          verify_by_lookup: bool) -> bool:
         if pkt is None:
             return False
@@ -165,7 +171,7 @@ class NackRecoveryDecoderPolicy(DecoderPolicy):
             self.nacks_sent += 1
         return True
 
-    def _retry_ready(self, cache, repaired: set) -> None:
+    def _retry_ready(self, cache: "ByteCache", repaired: set) -> None:
         self._expire()
         still_waiting = []
         for pending in self._buffer:

@@ -18,7 +18,12 @@ them.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .base import EncoderPolicy, PacketMeta
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache import CacheEntry
 
 
 class TcpSeqPolicy(EncoderPolicy):
@@ -27,11 +32,12 @@ class TcpSeqPolicy(EncoderPolicy):
     name = "tcp_seq"
     verify_oracles = ("circular_dependency", "tcp_seq")
 
-    def __init__(self, strict_cross_flow: bool = False):
+    def __init__(self, strict_cross_flow: bool = False) -> None:
         super().__init__()
         self.strict_cross_flow = strict_cross_flow
 
-    def entry_eligible(self, entry, meta: PacketMeta) -> bool:
+    def entry_eligible(self, entry: "CacheEntry",
+                       meta: PacketMeta) -> bool:
         if meta.tcp_seq is None:
             # Non-TCP traffic carries no ordering information; the
             # paper's Fig. 7 guard cannot be evaluated, so do not encode.

@@ -24,7 +24,7 @@ byte-compares candidate regions, exactly as the paper does.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -86,7 +86,8 @@ class AnchorSet:
 
     __slots__ = ("offsets", "fingerprints", "_pairs")
 
-    def __init__(self, offsets: np.ndarray, fingerprints: np.ndarray):
+    def __init__(self, offsets: np.ndarray,
+                 fingerprints: np.ndarray) -> None:
         self.offsets = offsets
         self.fingerprints = fingerprints
         self._pairs: Optional[List[Tuple[int, int]]] = None
@@ -96,7 +97,7 @@ class AnchorSet:
         return cls(_EMPTY_I64, _EMPTY_U64)
 
     @classmethod
-    def from_pairs(cls, pairs) -> "AnchorSet":
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "AnchorSet":
         """Wrap an eagerly materialised pair list (reference paths)."""
         pairs = list(pairs)
         anchor_set = cls(
@@ -121,7 +122,7 @@ class AnchorSet:
     def __bool__(self) -> bool:
         return len(self.offsets) > 0
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: Any) -> Any:
         return self.pairs()[index]
 
     def __eq__(self, other: object) -> bool:
@@ -151,7 +152,7 @@ class PolyFingerprinter:
 
     FP_BITS = 64
 
-    def __init__(self, window: int = 16):
+    def __init__(self, window: int = 16) -> None:
         if window < 2:
             raise ValueError("window must be at least 2 bytes")
         self.window = window

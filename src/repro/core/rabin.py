@@ -55,7 +55,7 @@ class RabinFingerprinter:
 
     FP_BITS = 64
 
-    def __init__(self, window: int = 16):
+    def __init__(self, window: int = 16) -> None:
         if window < 2:
             raise ValueError("window must be at least 2 bytes")
         self.window = window

@@ -137,7 +137,7 @@ def parse_payload(data: bytes) -> "EncodedPayload | bytes":
 class MissingFingerprintError(Exception):
     """Decoder cache has no (live) entry for a referenced fingerprint."""
 
-    def __init__(self, fingerprint: int):
+    def __init__(self, fingerprint: int) -> None:
         super().__init__(f"missing fingerprint {fingerprint:#018x}")
         self.fingerprint = fingerprint
 

@@ -23,8 +23,7 @@ is preserved, as Mobile IP would).  §II's claims, reproduced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..app.transfer import FileClient, FileServer, TransferOutcome
 from ..gateway.pair import GatewayPair

@@ -16,15 +16,12 @@ Two claims of the paper live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..app.transfer import FileClient, FileServer, TransferOutcome
-from ..net.tcp import TCPStack
-from ..sim.node import Host
 from ..workload.corpus import corpus_object
 from .config import ExperimentConfig
-from .runner import (CLIENT_ADDR, FILE_NAME, SERVER_ADDR, Testbed,
-                     build_testbed)
+from .runner import FILE_NAME, SERVER_ADDR, build_testbed
 
 
 @dataclass

@@ -28,7 +28,7 @@ from ..sim.engine import Simulator
 from ..sim.link import Link
 from ..sim.node import Host, Node
 from ..sim.rng import RngRegistry
-from ..sim.trace import NULL_TRACER, Tracer
+from ..sim.trace import Tracer
 from ..workload.corpus import corpus_object
 from .config import ExperimentConfig
 

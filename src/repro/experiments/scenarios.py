@@ -7,8 +7,8 @@ the benchmark harness prints.  Loss rates are fractions (0.05 = 5 %).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cache import ByteCache
 from ..core.encoder import ByteCachingEncoder

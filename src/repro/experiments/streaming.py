@@ -10,7 +10,7 @@ stream across the lossy segment and measures that trade.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.fingerprint import FingerprintScheme

@@ -406,6 +406,7 @@ def write_bench_json(sweep: SweepResult, path: str, *,
     except (OSError, ValueError):
         pass
     payload["history"] = history
+    # lint: disable=determinism-wallclock(report metadata timestamp; never feeds simulation state)
     payload["generated_at"] = time.time()
     parent = os.path.dirname(os.path.abspath(path))
     os.makedirs(parent, exist_ok=True)

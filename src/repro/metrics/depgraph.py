@@ -17,30 +17,41 @@ delivered, and derives the quantities the paper discusses:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+#: Graph nodes are opaque hashable keys.  The metrics layer uses packet
+#: ids (ints); the architecture linter (:mod:`repro.analysis`) reuses
+#: the same structure with dotted module names (strs) as nodes and
+#: layer names as segment keys, so layer-level import cycles fall out
+#: of :meth:`DependencyGraph.segment_cycles` unchanged.
+Node = Hashable
 
 
 @dataclass
 class DependencyGraph:
     """Directed graph: edge A -> B when A was encoded using B."""
 
-    edges: Dict[int, Set[int]] = field(default_factory=dict)
+    edges: Dict[Node, Set[Node]] = field(default_factory=dict)
     #: packets that physically left the encoder, in order
-    sent: List[int] = field(default_factory=list)
+    sent: List[Node] = field(default_factory=list)
     #: map packet id -> TCP segment key (seq) for retransmission folding
-    segment_of: Dict[int, int] = field(default_factory=dict)
+    segment_of: Dict[Node, Hashable] = field(default_factory=dict)
 
-    def add_packet(self, packet_id: int, dependencies: Iterable[int] = (),
-                   segment: Optional[int] = None) -> None:
+    def add_packet(self, packet_id: Node, dependencies: Iterable[Node] = (),
+                   segment: Optional[Hashable] = None) -> None:
         self.sent.append(packet_id)
         self.edges[packet_id] = set(dependencies)
         if segment is not None:
             self.segment_of[packet_id] = segment
 
-    def dependencies_of(self, packet_id: int) -> Set[int]:
+    #: Alias for non-packet callers (the import-DAG reuse reads better
+    #: as ``graph.add_node(module, imports, segment=layer)``).
+    add_node = add_packet
+
+    def dependencies_of(self, packet_id: Node) -> Set[Node]:
         return self.edges.get(packet_id, set())
 
-    def degree(self, packet_id: int) -> int:
+    def degree(self, packet_id: Node) -> int:
         return len(self.dependencies_of(packet_id))
 
     def average_degree(self, encoded_only: bool = True) -> float:
@@ -52,7 +63,7 @@ class DependencyGraph:
 
     # ------------------------------------------------------------------
 
-    def undecodable_closure(self, lost: Set[int]) -> Set[int]:
+    def undecodable_closure(self, lost: Set[Node]) -> Set[Node]:
         """All packets rendered undecodable by the ``lost`` set.
 
         A packet is undecodable when any of its dependencies is lost or
@@ -67,14 +78,14 @@ class DependencyGraph:
                 dead.add(packet_id)
         return dead - set(lost)
 
-    def loss_amplification(self, lost: Set[int]) -> float:
+    def loss_amplification(self, lost: Set[Node]) -> float:
         """Undecodable packets per lost packet (perceived-loss driver)."""
         if not lost:
             return 0.0
         return len(self.undecodable_closure(lost)) / len(lost)
 
-    def dependency_chain(self, packet_id: int, dead: Set[int],
-                         limit: int = 20) -> List[int]:
+    def dependency_chain(self, packet_id: Node, dead: Set[Node],
+                         limit: int = 20) -> List[Node]:
         """One root-cause chain: packet -> dead dependency -> ... .
 
         Follows dead dependencies breadth-first until it reaches a
@@ -93,7 +104,7 @@ class DependencyGraph:
 
     # ------------------------------------------------------------------
 
-    def segment_cycles(self) -> List[Tuple[int, ...]]:
+    def segment_cycles(self) -> List[Tuple[Hashable, ...]]:
         """Cycles after folding retransmissions of the same segment.
 
         §IV-B: IP_{i-1}, IP_{i+1} and IP_{i+2} "are in fact all the same
@@ -102,7 +113,7 @@ class DependencyGraph:
         cycle is returned as a tuple of segment keys.
         """
         # Build the folded graph over segment keys.
-        folded: Dict[int, Set[int]] = {}
+        folded: Dict[Hashable, Set[Hashable]] = {}
         for packet_id, deps in self.edges.items():
             source = self.segment_of.get(packet_id)
             if source is None:
@@ -115,10 +126,11 @@ class DependencyGraph:
                 elif target == source:
                     bucket.add(source)  # self-loop: copy encoded vs copy
 
-        cycles: List[Tuple[int, ...]] = []
-        visited: Set[int] = set()
+        cycles: List[Tuple[Hashable, ...]] = []
+        visited: Set[Hashable] = set()
 
-        def walk(node: int, stack: List[int], on_stack: Set[int]) -> None:
+        def walk(node: Hashable, stack: List[Hashable],
+                 on_stack: Set[Hashable]) -> None:
             visited.add(node)
             stack.append(node)
             on_stack.add(node)

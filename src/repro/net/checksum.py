@@ -1,23 +1,14 @@
-"""End-to-end payload checksums.
+"""End-to-end payload checksums (transport-side re-export).
 
-The real TCP checksum is what lets a receiver reject a segment whose
-payload was corrupted on the wire *or* mis-reconstructed by a
-desynchronised byte-caching decoder.  We model it with CRC32, which is
-cheap and has a far lower undetected-error rate than the Internet
-checksum — conservative in the right direction for this study (the
-paper's decoder drops every packet it cannot faithfully reconstruct).
+The checksum itself is part of the codec's correctness contract — the
+decoder's §III-B acceptance test depends on it — so the implementation
+lives in :mod:`repro.core.checksum`.  The network layer re-exports it
+here for the TCP/UDP stacks and gateways that compute and carry the
+value on the wire.
 """
 
 from __future__ import annotations
 
-import zlib
+from ..core.checksum import payload_checksum, verify_payload
 
-
-def payload_checksum(data: bytes) -> int:
-    """Checksum of a transport payload as computed by the sender."""
-    return zlib.crc32(data) & 0xFFFFFFFF
-
-
-def verify_payload(data: bytes, checksum: int) -> bool:
-    """True if ``data`` matches the sender's ``checksum``."""
-    return payload_checksum(data) == checksum
+__all__ = ["payload_checksum", "verify_payload"]

@@ -23,12 +23,26 @@ to library users for their own what-if experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
-from ..net.packet import IPPacket, PROTO_DRE_CONTROL
 from .engine import Event, Simulator
 
-Predicate = Callable[[IPPacket, int], bool]
+if TYPE_CHECKING:  # type-only: the sim layer stays import-free of repro.net
+    from ..net.packet import IPPacket
+
+    Predicate = Callable[["IPPacket", int], bool]
+else:
+    Predicate = Callable
+
+
+def _control_kind(pkt: "IPPacket") -> Optional[str]:
+    """The ``kind`` tag of a gateway control message, else ``None``.
+
+    Control payloads are recognised duck-typed — they are the only
+    transport payloads carrying a ``kind`` attribute — so the sim layer
+    never has to import :mod:`repro.net.packet` at runtime.
+    """
+    return getattr(pkt.payload, "kind", None)
 
 
 def drop_indices(*indices: int) -> Predicate:
@@ -88,10 +102,11 @@ def match_control(*kinds: str) -> Predicate:
     """
     wanted = set(kinds)
 
-    def predicate(pkt: IPPacket, index: int) -> bool:
-        if pkt.proto != PROTO_DRE_CONTROL:
+    def predicate(pkt: "IPPacket", index: int) -> bool:
+        kind = _control_kind(pkt)
+        if kind is None:
             return False
-        return not wanted or pkt.payload.kind in wanted
+        return not wanted or kind in wanted
 
     return predicate
 
@@ -101,8 +116,8 @@ def match_nth_control(kind: str, *ordinals: int) -> Predicate:
     wanted = set(ordinals)
     counter = {"seen": 0}
 
-    def predicate(pkt: IPPacket, index: int) -> bool:
-        if pkt.proto != PROTO_DRE_CONTROL or pkt.payload.kind != kind:
+    def predicate(pkt: "IPPacket", index: int) -> bool:
+        if _control_kind(pkt) != kind:
             return False
         counter["seen"] += 1
         return counter["seen"] in wanted

@@ -15,11 +15,13 @@ applied per packet with independent probabilities.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
-from ..net.packet import IPPacket
 from .engine import Simulator
+
+if TYPE_CHECKING:  # type-only: the sim layer stays import-free of repro.net
+    from ..net.packet import IPPacket
 
 
 @dataclass

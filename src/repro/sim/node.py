@@ -15,11 +15,13 @@ testbed (Fig. 3) where a single path connects client and server.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
-from ..net.packet import IPPacket
 from .engine import Simulator
 from .trace import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # type-only: the sim layer stays import-free of repro.net
+    from ..net.packet import IPPacket
 
 
 class Node:

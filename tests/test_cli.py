@@ -100,3 +100,34 @@ def test_parser_requires_command():
 def test_parser_rejects_bad_artifact():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["artifact", "figure99"])
+
+
+def test_lint_command_clean_tree(capsys, tmp_path):
+    import json
+    import os
+
+    out_file = tmp_path / "report.json"
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    code, out = run_cli(capsys, "lint", "--root", root,
+                        "--out", str(out_file))
+    assert code == 0
+    assert "0 findings" in out
+    payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert payload["schema"] == "repro.lint/v1"
+
+
+def test_lint_command_select_and_json(capsys):
+    import json
+    import os
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    code, out = run_cli(capsys, "lint", "--root", root,
+                        "--select", "layering", "--format", "json")
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["rules_run"] == ["layering-cycle", "layering-import"]
+
+
+def test_lint_command_unknown_selector():
+    code = main(["lint", "--select", "wat"])
+    assert code == 2

@@ -63,7 +63,7 @@ def test_dup_acks_still_immediate_under_loss():
 
 
 def test_transfer_with_dre_and_delayed_acks():
-    from repro.experiments import ExperimentConfig, run_transfer
+    from repro.experiments import ExperimentConfig
 
     config = ExperimentConfig(policy="cache_flush", file_size=60 * 1460,
                               seed=5, loss_rate=0.02, verify_content=True)

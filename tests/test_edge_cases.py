@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
                         FingerprintScheme)
-from repro.core.policies import (AckGatedPolicy, DecoderPolicy, NaivePolicy,
+from repro.core.policies import (DecoderPolicy, NaivePolicy,
                                  PacketMeta)
 from repro.net.checksum import payload_checksum
 

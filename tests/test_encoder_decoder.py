@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
                         DecodeStatus, FingerprintScheme)
 from repro.core.policies import DecoderPolicy, NaivePolicy, PacketMeta

@@ -2,11 +2,7 @@
 
 import random
 
-import pytest
-
-from repro.core.fingerprint import FingerprintScheme
-from repro.core.cache import ByteCache
-from repro.gateway import DecoderGateway, EncoderGateway, GatewayPair
+from repro.gateway import GatewayPair
 from repro.net.checksum import payload_checksum
 from repro.net.packet import (ControlMessage, IPPacket, PROTO_DRE_CONTROL,
                               PROTO_TCP, TCPSegment)

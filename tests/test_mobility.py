@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.mobility import MobilityConfig, MobilityResult, run_mobility
+from repro.experiments.mobility import MobilityConfig, run_mobility
 from repro.gateway.tcp_proxy import (_FrameReader, _StreamCodec, _frame,
                                      KIND_DATA_S2C, KIND_OPEN)
 from repro.core.fingerprint import FingerprintScheme

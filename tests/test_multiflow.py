@@ -1,7 +1,5 @@
 """Tests for inter-flow redundancy and cross-connection poisoning."""
 
-import pytest
-
 from repro.experiments import ExperimentConfig
 from repro.experiments.multiflow import (run_concurrent_fetches,
                                          run_sequential_fetches)

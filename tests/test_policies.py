@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
-                        DecodeStatus, FingerprintScheme)
+                        FingerprintScheme)
 from repro.core.cache import CacheEntry
 from repro.core.policies import (AckGatedPolicy, AdaptiveKDistancePolicy,
                                  CacheFlushPolicy, DecoderPolicy,

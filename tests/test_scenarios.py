@@ -1,7 +1,5 @@
 """Tests for the paper-artifact scenario layer (reduced parameters)."""
 
-import pytest
-
 from repro.experiments import scenarios
 from repro.workload.corpus import corpus_object
 

@@ -1,9 +1,7 @@
 """Tests for the UDP streaming experiments (§V-C)."""
 
-import pytest
-
-from repro.experiments.streaming import (StreamingConfig, StreamingResult,
-                                         make_frames, run_streaming)
+from repro.experiments.streaming import (StreamingConfig, make_frames,
+                                         run_streaming)
 
 
 def config(**kwargs) -> StreamingConfig:

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.net.packet import TCPSegment
 from repro.net.tcp import TCPConfig, TCPState
 
 from tests.tcp_helpers import TcpTestbed, drop_data_segments, drop_indices

@@ -7,7 +7,6 @@ import pytest
 from repro.gateway.tcp_proxy import (TcpProxyGateway, _StreamCodec,
                                      create_proxy_pair)
 from repro.core.fingerprint import FingerprintScheme
-from repro.experiments.mobility import MobilityConfig, run_mobility
 from repro.net.tcp import TCPConfig, TCPStack
 from repro.sim import Host, Link, Simulator
 

@@ -10,9 +10,8 @@ from repro.experiments.runner import run_transfer
 from repro.metrics.collectors import TransferResult
 from repro.metrics.telemetry import (FlightRecorder, Histogram,
                                      MetricsRegistry, Telemetry,
-                                     TelemetryConfig, TelemetrySampler,
-                                     metric_key, telemetry_if,
-                                     validate_telemetry)
+                                     TelemetrySampler, metric_key,
+                                     telemetry_if, validate_telemetry)
 from repro.sim.engine import Simulator
 from repro.sim.trace import Tracer
 

@@ -19,7 +19,7 @@ import pytest
 
 from repro.core import (ByteCache, ByteCachingDecoder, ByteCachingEncoder,
                         FingerprintScheme)
-from repro.core.policies import DecoderPolicy, PacketMeta, make_policy_pair
+from repro.core.policies import PacketMeta, make_policy_pair
 from repro.experiments import ExperimentConfig, run_transfer
 from repro.net.checksum import payload_checksum
 from repro.sim.rng import RngRegistry
