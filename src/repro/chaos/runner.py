@@ -1,0 +1,478 @@
+"""Campaign execution, scorecard assembly, validation and replay.
+
+One campaign *cell* = (campaign, policy, seed): a full simulated
+transfer with the campaign's phases armed as scheduled faults, plus a
+no-DRE baseline per seed under the same link-level faults.  Cells ride
+the sweep engine's :func:`~repro.experiments.sweep.parallel_map`, and
+every number in the resulting ``repro.chaos/v1`` scorecard is a pure
+function of the campaign spec — no wall clock, no process-global
+randomness — so ``replay_report`` can check byte-for-byte equality by
+simply re-running.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..app.transfer import FileClient, FileServer
+from ..experiments.runner import (FILE_NAME, SERVER_ADDR, Testbed,
+                                  build_testbed, collect_result)
+from ..experiments.sweep import parallel_map
+from ..metrics.collectors import TransferResult
+from ..metrics.report import format_table
+from ..sim.faults import (FaultInjector, GatewayFaultLog, all_of,
+                          control_blackout, match_time_window,
+                          schedule_asymmetric_eviction, schedule_bursty_loss,
+                          schedule_clock_skew, schedule_gateway_restart,
+                          schedule_link_flap, schedule_memory_pressure,
+                          schedule_partition)
+from ..sim.rng import RngRegistry
+from ..verify.oracles import InvariantViolation
+from ..workload.corpus import corpus_object
+from .campaign import CHAOS_POLICIES, CHAOS_SCHEMA, GATEWAY_KINDS, Campaign
+from .slo import ORACLES, _round, evaluate_slos, phase_recovery_times
+
+
+# ---------------------------------------------------------------------------
+# arming a campaign onto a testbed
+# ---------------------------------------------------------------------------
+
+def _match_every_nth_data(every: int) -> Callable:
+    """Match every ``every``-th TCP data segment *evaluated*.
+
+    Stateful like ``match_nth_data`` — compose after a window guard via
+    ``all_of`` so the counter only advances inside the phase window.
+    """
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    counter = {"seen": 0}
+
+    def predicate(pkt, index):
+        segment = pkt.tcp
+        if segment is None or not segment.data:
+            return False
+        counter["seen"] += 1
+        return counter["seen"] % every == 0
+
+    return predicate
+
+
+def _link(testbed: Testbed, name: str):
+    if name == "forward":
+        return testbed.bottleneck_forward
+    if name == "reverse":
+        return testbed.bottleneck_reverse
+    raise ValueError(f"unknown link {name!r} (forward|reverse)")
+
+
+def _gateway(testbed: Testbed, side: str):
+    if side not in ("encoder", "decoder"):
+        raise ValueError(f"unknown gateway side {side!r} (encoder|decoder)")
+    return getattr(testbed.gateways, side)
+
+
+def _injector(testbed: Testbed, injectors: Dict[str, FaultInjector],
+              direction: str) -> FaultInjector:
+    if direction not in injectors:
+        injectors[direction] = FaultInjector(_link(testbed, direction))
+    return injectors[direction]
+
+
+@dataclass
+class ArmedFaults:
+    """Handles onto everything a campaign armed (for the fault digest)."""
+
+    injectors: Dict[str, FaultInjector] = field(default_factory=dict)
+    gateway_log: GatewayFaultLog = field(default_factory=GatewayFaultLog)
+    bursty_models: List[Any] = field(default_factory=list)
+
+    def digest(self) -> Dict[str, Any]:
+        """JSON-safe summary of what actually fired (deterministic)."""
+        link = {"dropped": 0, "reordered": 0, "duplicated": 0}
+        for injector in self.injectors.values():
+            link["dropped"] += len(injector.log.dropped)
+            link["reordered"] += len(injector.log.reordered)
+            link["duplicated"] += len(injector.log.duplicated)
+        return {
+            "link": link,
+            "bursty_losses": sum(m.losses for m in self.bursty_models),
+            "crashes": [_round(t) for t in self.gateway_log.crashes],
+            "restarts": [_round(t) for t in self.gateway_log.restarts],
+            "evictions": sum(n for _, n in self.gateway_log.evictions),
+            "pressure_evictions": sum(
+                n for _, n in self.gateway_log.pressure),
+            "skew_changes": len(self.gateway_log.skews),
+        }
+
+
+def arm_campaign(campaign: Campaign, testbed: Testbed,
+                 seed: int) -> ArmedFaults:
+    """Schedule every phase injection of ``campaign`` onto ``testbed``.
+
+    Gateway-side injections are skipped when the testbed has no
+    gateways (the no-DRE baseline); all randomness flows through named
+    streams of a registry forked from ``seed``, so the fault pattern is
+    identical across the DRE run and its baseline and across replays.
+    """
+    rng = RngRegistry(seed).fork("chaos")
+    armed = ArmedFaults()
+    has_gateways = testbed.gateways is not None
+    for phase in campaign.phases:
+        for index, injection in enumerate(phase.injections):
+            kind = injection["kind"]
+            if kind in GATEWAY_KINDS and not has_gateways:
+                continue
+            _arm_one(testbed, phase, injection, armed,
+                     rng.stream(f"ge:{phase.name}:{index}"))
+    return armed
+
+
+def _arm_one(testbed: Testbed, phase, injection: Dict[str, Any],
+             armed: ArmedFaults, stream) -> None:
+    sim = testbed.sim
+    kind = injection["kind"]
+    at = phase.start + injection.get("offset", 0.0)
+    window = (phase.start, phase.end)
+
+    if kind == "bursty_loss":
+        params = {k: v for k, v in injection.items()
+                  if k not in ("kind", "link")}
+        armed.bursty_models.append(schedule_bursty_loss(
+            sim, _link(testbed, injection.get("link", "forward")),
+            window[0], window[1], stream, **params))
+    elif kind == "link_flap":
+        schedule_link_flap(
+            sim, _link(testbed, injection.get("link", "forward")), at,
+            injection["down_for"], flaps=injection.get("flaps", 1),
+            period=injection.get("period"))
+    elif kind == "partition":
+        schedule_partition(sim, testbed.bottleneck_forward,
+                           testbed.bottleneck_reverse, at,
+                           injection["duration"])
+    elif kind == "control_blackout":
+        both = [_injector(testbed, armed.injectors, "forward"),
+                _injector(testbed, armed.injectors, "reverse")]
+        control_blackout(both, window[0], window[1],
+                         *injection.get("kinds", ()))
+    elif kind == "loss":
+        link = _link(testbed, injection.get("link", "forward"))
+        original = link.loss_rate
+        sim.at(window[0], setattr, link, "loss_rate", injection["rate"])
+        sim.at(window[1], setattr, link, "loss_rate", original)
+    elif kind == "reorder_data":
+        _injector(testbed, armed.injectors, "forward").reorder_when(
+            all_of(match_time_window(lambda s=sim: s.now, *window),
+                   _match_every_nth_data(injection["every"])),
+            extra_delay=injection.get("extra_delay", 0.05))
+    elif kind == "dup_data":
+        _injector(testbed, armed.injectors, "forward").duplicate_when(
+            all_of(match_time_window(lambda s=sim: s.now, *window),
+                   _match_every_nth_data(injection["every"])),
+            delay=injection.get("delay", 0.0))
+    elif kind == "restart":
+        schedule_gateway_restart(
+            sim, _gateway(testbed, injection["side"]), at,
+            downtime=injection.get("downtime", 0.0), log=armed.gateway_log)
+    elif kind == "evict":
+        schedule_asymmetric_eviction(
+            sim, _gateway(testbed, injection["side"]), at,
+            fraction=injection.get("fraction", 0.5), log=armed.gateway_log)
+    elif kind == "memory_pressure":
+        schedule_memory_pressure(
+            sim, _gateway(testbed, injection["side"]), at,
+            fraction=injection.get("fraction", 0.25),
+            duration=injection.get("duration"), log=armed.gateway_log)
+    elif kind == "clock_skew":
+        schedule_clock_skew(
+            sim, testbed.gateways.encoder, at, injection["factor"],
+            duration=injection.get("duration", phase.end - at),
+            log=armed.gateway_log)
+    else:  # pragma: no cover - Phase.__post_init__ rejects unknown kinds
+        raise ValueError(f"unknown injection kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# one campaign cell (module-level: must pickle for parallel_map)
+# ---------------------------------------------------------------------------
+
+def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one (campaign, policy, seed) cell; everything JSON-safe."""
+    campaign = Campaign.from_dict(payload["campaign"])
+    config = campaign.config(payload["policy"], payload["seed"],
+                             resilience=payload["resilience"])
+    testbed = build_testbed(config)
+    armed = arm_campaign(campaign, testbed, payload["seed"])
+
+    data = corpus_object(config.corpus, config.file_size, config.corpus_seed)
+    FileServer(testbed.server_stack, {FILE_NAME: data})
+    client = FileClient(testbed.client_stack, testbed.sim)
+    on_data = None
+    if testbed.verifier is not None:
+        testbed.verifier.arm_integrity(data)
+        on_data = testbed.verifier.on_deliver
+
+    violation: Optional[Dict[str, Any]] = None
+    outcome = client.fetch(
+        SERVER_ADDR, FILE_NAME, expected_size=len(data),
+        expected_content=(data if config.verify_content or config.verify
+                          else None),
+        on_data=on_data,
+        on_done=lambda _outcome: testbed.sim.stop())
+    try:
+        testbed.sim.run(until=config.time_limit)
+        if testbed.verifier is not None:
+            testbed.verifier.finalize(outcome)
+    except InvariantViolation as exc:
+        # The run is over at the first violated invariant; the partial
+        # result still carries stats and telemetry for the scorecard.
+        summary = exc.summary()
+        violation = {"oracle": summary["oracle"],
+                     "message": summary["message"]}
+
+    result = collect_result(testbed, outcome, config)
+    return {"result": result.to_dict(), "violation": violation,
+            "faults": armed.digest()}
+
+
+# ---------------------------------------------------------------------------
+# the campaign report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CampaignReport:
+    """Scorecard for one campaign execution (``repro.chaos/v1``)."""
+
+    campaign: Campaign
+    policies: Tuple[str, ...]
+    resilience: bool
+    runs: List[Dict[str, Any]]
+    summary: Dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        return bool(self.summary["passed"])
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": CHAOS_SCHEMA,
+                "campaign": self.campaign.to_dict(),
+                "policies": list(self.policies),
+                "resilience": self.resilience,
+                "runs": self.runs,
+                "summary": self.summary}
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def run_campaign(campaign: Campaign,
+                 policies: Tuple[str, ...] = CHAOS_POLICIES,
+                 resilience: bool = True,
+                 workers: Optional[int] = None) -> CampaignReport:
+    """Execute ``campaign`` for every (policy, seed) cell.
+
+    Each seed also gets one no-DRE baseline cell under the same
+    link-level faults; the goodput-floor oracle compares against it.
+    A run passes when all five SLO oracles pass; the campaign passes
+    when every run does.
+    """
+    spec = campaign.to_dict()
+    payloads: List[Dict[str, Any]] = []
+    for seed in campaign.seeds:
+        payloads.append({"campaign": spec, "policy": None, "seed": seed,
+                         "resilience": False})
+        for policy in policies:
+            payloads.append({"campaign": spec, "policy": policy,
+                             "seed": seed, "resilience": resilience})
+    outputs = parallel_map(_run_cell, payloads, workers=workers)
+
+    baselines: Dict[int, TransferResult] = {}
+    for payload, output in zip(payloads, outputs):
+        if payload["policy"] is None:
+            baselines[payload["seed"]] = TransferResult.from_dict(
+                output["result"])
+
+    fault_phase_ends = [phase.end for phase in campaign.phases
+                       if phase.injections]
+    runs: List[Dict[str, Any]] = []
+    for payload, output in zip(payloads, outputs):
+        if payload["policy"] is None:
+            continue
+        result = TransferResult.from_dict(output["result"])
+        mttrs: List[Optional[float]] = []
+        if result.telemetry is not None:
+            mttrs = phase_recovery_times(result.telemetry, fault_phase_ends)
+        baseline = baselines.get(payload["seed"])
+        slos = evaluate_slos(campaign, result, baseline, mttrs,
+                             output["violation"])
+        runs.append(_run_record(payload, result, baseline, slos, mttrs,
+                                output))
+
+    return CampaignReport(campaign=campaign, policies=tuple(policies),
+                          resilience=resilience, runs=runs,
+                          summary=_summarise(runs))
+
+
+def _run_record(payload, result: TransferResult,
+                baseline: Optional[TransferResult], slos, mttrs,
+                output) -> Dict[str, Any]:
+    return {
+        "policy": payload["policy"],
+        "seed": payload["seed"],
+        "passed": all(s.passed for s in slos),
+        "slos": [s.to_dict() for s in slos],
+        "mttrs": [_round(m) for m in mttrs],
+        "metrics": {
+            "completed": result.completed,
+            "download_time": _round(result.download_time),
+            "bytes_on_link": result.bytes_on_link,
+            "undecodable_drops": result.undecodable_drops,
+            "resyncs_completed": result.resyncs_completed,
+            "watchdog_trips": result.watchdog_trips,
+            "degraded_packets": result.degraded_packets,
+            "retransmissions": result.server_retransmissions,
+        },
+        "baseline": {
+            "completed": baseline.completed if baseline else None,
+            "download_time": (_round(baseline.download_time)
+                              if baseline else None),
+        },
+        "faults": output["faults"],
+        "violation": output["violation"],
+    }
+
+
+def _summarise(runs: List[Dict[str, Any]]) -> Dict[str, Any]:
+    failures = {oracle: 0 for oracle in ORACLES}
+    for run in runs:
+        for slo in run["slos"]:
+            if not slo["passed"]:
+                failures[slo["oracle"]] += 1
+    mttr_values = [m for run in runs for m in run["mttrs"] if m is not None]
+    return {
+        "passed": bool(runs) and all(run["passed"] for run in runs),
+        "runs": len(runs),
+        "failed_runs": sum(1 for run in runs if not run["passed"]),
+        "oracle_failures": failures,
+        "mttr": {
+            "p50": _round(_percentile(mttr_values, 50)),
+            "p90": _round(_percentile(mttr_values, 90)),
+            "max": _round(max(mttr_values) if mttr_values else None),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# validation and replay
+# ---------------------------------------------------------------------------
+
+def validate_chaos_report(doc: Dict[str, Any]) -> None:
+    """Structural validation of a ``repro.chaos/v1`` document.
+
+    Raises ``ValueError`` on the first problem; CI runs this over every
+    scorecard the chaos-smoke job emits.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("chaos report must be a JSON object")
+    if doc.get("schema") != CHAOS_SCHEMA:
+        raise ValueError(
+            f"schema mismatch: {doc.get('schema')!r} != {CHAOS_SCHEMA!r}")
+    for key in ("campaign", "policies", "resilience", "runs", "summary"):
+        if key not in doc:
+            raise ValueError(f"missing top-level key {key!r}")
+    Campaign.from_dict(doc["campaign"])      # raises on a malformed spec
+    if not isinstance(doc["runs"], list) or not doc["runs"]:
+        raise ValueError("runs must be a non-empty list")
+    for position, run in enumerate(doc["runs"]):
+        where = f"runs[{position}]"
+        for key in ("policy", "seed", "passed", "slos", "metrics"):
+            if key not in run:
+                raise ValueError(f"{where}: missing {key!r}")
+        oracles = [slo.get("oracle") for slo in run["slos"]]
+        if oracles != list(ORACLES):
+            raise ValueError(f"{where}: oracle set {oracles} != {ORACLES}")
+        if run["passed"] != all(slo["passed"] for slo in run["slos"]):
+            raise ValueError(f"{where}: passed flag disagrees with slos")
+    summary = doc["summary"]
+    failed = sum(1 for run in doc["runs"] if not run["passed"])
+    if summary.get("failed_runs") != failed:
+        raise ValueError(
+            f"summary.failed_runs {summary.get('failed_runs')} != {failed}")
+    if summary.get("passed") != (failed == 0):
+        raise ValueError("summary.passed disagrees with per-run verdicts")
+
+
+def replay_report(doc: Dict[str, Any],
+                  workers: Optional[int] = None
+                  ) -> Tuple[CampaignReport, bool]:
+    """Re-run the campaign recorded in ``doc`` and compare scorecards.
+
+    The spec is fully seeded and the report contains no wall-clock
+    state, so a faithful replay reproduces the document byte-for-byte
+    (after JSON normalisation).  Returns ``(fresh_report, matches)``.
+    """
+    validate_chaos_report(doc)
+    campaign = Campaign.from_dict(doc["campaign"])
+    report = run_campaign(campaign, policies=tuple(doc["policies"]),
+                          resilience=bool(doc["resilience"]),
+                          workers=workers)
+    fresh = json.loads(json.dumps(report.to_dict(), sort_keys=True))
+    recorded = json.loads(json.dumps(doc, sort_keys=True))
+    return report, fresh == recorded
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+_ORACLE_HEADERS = {
+    "byte_integrity": "integrity",
+    "goodput_floor": "goodput",
+    "undecodable_rate": "undecodable",
+    "mttr_ceiling": "mttr",
+    "no_permanent_degradation": "end_state",
+}
+
+
+def _mark(slo: Dict[str, Any]) -> str:
+    base = "ok" if slo["passed"] else "FAIL"
+    if slo.get("value") is not None:
+        return f"{base} {slo['value']:.2f}"
+    return base
+
+
+def format_scorecard(report: CampaignReport) -> str:
+    """The resilience scorecard table for one campaign report."""
+    campaign = report.campaign
+    headers = (["policy", "seed", "verdict"]
+               + [_ORACLE_HEADERS[oracle] for oracle in ORACLES])
+    rows = []
+    for run in report.runs:
+        by_name = {slo["oracle"]: slo for slo in run["slos"]}
+        rows.append([run["policy"], run["seed"],
+                     "PASS" if run["passed"] else "FAIL"]
+                    + [_mark(by_name[oracle]) for oracle in ORACLES])
+    title = (f"chaos campaign {campaign.name!r} ({campaign.scale}): "
+             f"{campaign.description}")
+    lines = [format_table(title, headers, rows)]
+    summary = report.summary
+    mttr = summary["mttr"]
+    if mttr["max"] is not None:
+        lines.append(
+            f"MTTR p50={mttr['p50']:.2f}s p90={mttr['p90']:.2f}s "
+            f"max={mttr['max']:.2f}s")
+    else:
+        lines.append("MTTR: no recovery windows measured")
+    verdict = "PASS" if summary["passed"] else "FAIL"
+    lines.append(f"campaign verdict: {verdict} "
+                 f"({summary['runs'] - summary['failed_runs']}/"
+                 f"{summary['runs']} runs passed)")
+    return "\n".join(lines)

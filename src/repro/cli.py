@@ -17,6 +17,10 @@ verify     differential runner: poly-vs-rabin fingerprinters, serial
 fuzz       randomised scenarios + scripted faults with the invariant
            oracles armed; shrinks any violation to a minimal
            replayable JSON case
+chaos      composable fault campaigns (link flaps, loss bursts,
+           crashes, blackouts, memory pressure) with steady-state SLO
+           oracles and a resilience scorecard; failed campaigns replay
+           byte-for-byte from their repro.chaos/v1 JSON
 lint       static architecture lint: layering DAG, determinism,
            hot-path discipline and robustness hygiene, with a
            committed ratcheting baseline
@@ -197,6 +201,39 @@ def build_parser() -> argparse.ArgumentParser:
                           help="deliberately disable one policy's safety "
                                "gate (the matching oracle must trip; "
                                "exercises find+shrink+replay)")
+
+    chaos_cmd = sub.add_parser(
+        "chaos", help="fault campaigns with steady-state SLO oracles "
+                      "and a resilience scorecard")
+    chaos_sub = chaos_cmd.add_subparsers(dest="chaos_command",
+                                         required=True)
+    chaos_sub.add_parser("list", help="list the canonical campaigns")
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run a canonical campaign and print its scorecard")
+    chaos_run.add_argument("name", help="campaign name (see: chaos list)")
+    chaos_run.add_argument("--scale", default="smoke",
+                           choices=["smoke", "full"],
+                           help="workload size: 'smoke' for seconds, "
+                                "'full' for the bigger object + extra "
+                                "seed")
+    chaos_run.add_argument("--policies", default=None, metavar="P1,P2",
+                           help="comma-separated policy list (default: "
+                                "the three robust §V policies)")
+    chaos_run.add_argument("--no-resilience", action="store_true",
+                           help="disarm the resilience layer (the "
+                                "negative control: oracles should fail)")
+    chaos_run.add_argument("--workers", type=int, default=None,
+                           help="run campaign cells on a process pool")
+    chaos_run.add_argument("--out", default=None, metavar="REPORT.json",
+                           help="write the repro.chaos/v1 scorecard "
+                                "to this file")
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="re-run a saved scorecard and check it "
+                       "reproduces byte-for-byte")
+    chaos_replay.add_argument("report", metavar="REPORT.json",
+                              help="a repro.chaos/v1 file written by "
+                                   "'chaos run --out'")
+    chaos_replay.add_argument("--workers", type=int, default=None)
 
     lint_cmd = sub.add_parser(
         "lint", help="architecture lint: layering DAG, determinism, "
@@ -558,6 +595,47 @@ def cmd_fuzz(args) -> int:
     return 0 if args.inject_bug else 1
 
 
+def cmd_chaos(args) -> int:
+    from .chaos import (CAMPAIGNS, CHAOS_POLICIES, canonical_campaign,
+                        format_scorecard, replay_report, run_campaign,
+                        validate_chaos_report)
+
+    if args.chaos_command == "list":
+        rows = [[name, CAMPAIGNS[name]("smoke").description]
+                for name in sorted(CAMPAIGNS)]
+        print(format_table("canonical chaos campaigns",
+                           ["name", "description"], rows))
+        return 0
+
+    if args.chaos_command == "replay":
+        with open(args.report, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        validate_chaos_report(doc)
+        report, matches = replay_report(doc, workers=args.workers)
+        print(format_scorecard(report))
+        print("replay MATCHES the recorded scorecard" if matches
+              else "replay DIVERGES from the recorded scorecard")
+        return 0 if matches else 1
+
+    campaign = canonical_campaign(args.name, scale=args.scale)
+    policies = (tuple(p.strip() for p in args.policies.split(",")
+                      if p.strip())
+                if args.policies else CHAOS_POLICIES)
+    report = run_campaign(campaign, policies=policies,
+                          resilience=not args.no_resilience,
+                          workers=args.workers)
+    payload = report.to_dict()
+    validate_chaos_report(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote scorecard to {args.out} "
+              f"(replay with: repro chaos replay {args.out})")
+    print(format_scorecard(report))
+    return 0 if report.passed else 1
+
+
 def cmd_lint(args) -> int:
     from pathlib import Path
 
@@ -619,6 +697,7 @@ COMMANDS = {
     "timeline": cmd_timeline,
     "verify": cmd_verify,
     "fuzz": cmd_fuzz,
+    "chaos": cmd_chaos,
     "lint": cmd_lint,
     "policies": cmd_policies,
 }

@@ -118,6 +118,20 @@ class PacketStore:
         self._data.clear()
         self._bytes = 0
 
+    def set_byte_budget(self, byte_budget: int) -> int:
+        """Re-cap the store, evicting immediately down to the new budget.
+
+        Returns how many payloads the re-cap evicted — the "eviction
+        storm" a memory-pressure fault measures.  Raising the budget
+        back later evicts nothing and brings nothing back.
+        """
+        if byte_budget <= 0:
+            raise ValueError("byte_budget must be positive")
+        before = self.evictions
+        self.byte_budget = byte_budget
+        self._evict()
+        return self.evictions - before
+
     def evict_oldest(self, count: int) -> int:
         """Force out up to ``count`` oldest payloads; returns how many.
 
@@ -290,6 +304,17 @@ class ByteCache:
         """Advance the cache generation (resync protocol commit point)."""
         self.epoch += 1
         return self.epoch
+
+    def set_byte_budget(self, byte_budget: int) -> int:
+        """Re-cap the packet store's byte budget; returns evictions forced.
+
+        The memory-pressure half of the chaos faults (and the first
+        brick of serving many users from one box: per-tenant budgets
+        squeezed at runtime).  Fingerprint-table entries left dangling
+        by the storm are invalidated lazily on lookup, exactly as for
+        ordinary budget-driven eviction.
+        """
+        return self.store.set_byte_budget(byte_budget)
 
     def evict_fraction(self, fraction: float) -> int:
         """Evict the oldest ``fraction`` of stored payloads; returns count.

@@ -204,7 +204,20 @@ def run_transfer(config: ExperimentConfig,
     sim.run(until=config.time_limit)
     if testbed.verifier is not None:
         testbed.verifier.finalize(outcome)
+    return collect_result(testbed, outcome, config)
 
+
+def collect_result(testbed: Testbed, outcome,
+                   config: ExperimentConfig) -> TransferResult:
+    """Assemble the :class:`TransferResult` for a finished run.
+
+    Split out of :func:`run_transfer` so drivers that must own the
+    event loop themselves — the fuzz harness, the chaos campaign
+    runner — can still produce the same result object (including the
+    telemetry export with its post-mortem reason) after their custom
+    run/fault/verify sequence.
+    """
+    sim = testbed.sim
     server_conns = testbed.server_stack.connections()
     retransmissions = sum(c.stats.retransmissions for c in server_conns)
     timeouts = sum(c.stats.timeouts for c in server_conns)

@@ -133,6 +133,12 @@ class EncoderResilience:
         self._last_resync_id: Optional[object] = None
         self._grace_until = -1.0
         self._heartbeat_seq = 0
+        #: Heartbeat clock-rate multiplier (1.0 = nominal).  A chaos
+        #: campaign sets this >1 to model a slow/drifting middlebox
+        #: clock: ticks stretch, acks thin out, and the encoder's own
+        #: timeout check can false-trip into degraded mode.  See
+        #: repro.sim.faults.schedule_clock_skew.
+        self.clock_skew = 1.0
         #: (bytes_before, bytes_after) gateway snapshot at the moment of
         #: the last flush+bump — lets callers measure the post-resync
         #: compression ratio in isolation.
@@ -211,7 +217,7 @@ class EncoderResilience:
 
     def _heartbeat_tick(self) -> None:
         gateway = self.gateway
-        gateway.sim.after(self.config.heartbeat_interval,
+        gateway.sim.after(self.config.heartbeat_interval * self.clock_skew,
                           self._heartbeat_tick)
         if gateway.down:
             return

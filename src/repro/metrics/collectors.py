@@ -145,6 +145,9 @@ class TransferResult:
         enc = self.encoder_resilience or ResilienceStats()
         dec = self.decoder_resilience or ResilienceStats()
         return {
+            # nan on a zero-packet link (a partition that never lifted);
+            # format_recovery renders it as an em-dash.
+            "link_loss": self.bottleneck_forward.loss_fraction,
             "resyncs_completed": dec.resyncs_completed,
             "resyncs_initiated": dec.resyncs_initiated,
             "resync_retries": dec.resync_retries,

@@ -45,7 +45,7 @@ def format_series(title: str, x_label: str, series_list: Sequence[Series],
                            + (f" ±{match[0].ci95:.{precision}f}"
                               if match[0].n > 1 else ""))
             else:
-                row.append("-")
+                row.append("—")      # no sample at this x for this series
         rows.append(row)
     return format_table(title, headers, rows)
 
@@ -68,7 +68,11 @@ def format_recovery(title: str, summaries: Sequence[dict],
 
 
 def _cell_or_dash(value: object) -> str:
-    return "-" if value is None else _cell(value)
+    # None and nan are the same story told by different layers ("no
+    # measurement exists"): a never-resynced run's time_to_resync is
+    # None, a zero-packet link's loss_fraction is nan.  Both render as
+    # the em-dash _cell already uses for nan.
+    return "—" if value is None else _cell(value)
 
 
 def _cell(value: object) -> str:

@@ -12,20 +12,31 @@ loss)".  This module scripts exact faults:
   message kind (so control-plane loss — a NACK or resync request
   vanishing — is scriptable too);
 * gateway-level fault actions (:func:`schedule_gateway_restart`,
-  :func:`schedule_asymmetric_eviction`) reproduce cache-level
-  divergence: a decoder restarting with a cold cache, or one side
-  evicting entries the other still references.
+  :func:`schedule_asymmetric_eviction`, :func:`schedule_memory_pressure`,
+  :func:`schedule_clock_skew`) reproduce cache-level divergence: a
+  decoder restarting with a cold cache, one side evicting entries the
+  other still references, an eviction storm under a squeezed byte
+  budget, or a drifting heartbeat clock;
+* link-window actions (:func:`schedule_link_flap`,
+  :func:`schedule_partition`, :func:`schedule_bursty_loss`,
+  :func:`control_blackout`) script the sustained adverse regimes the
+  chaos campaigns compose — handover flaps, Gilbert-Elliott loss
+  bursts, a blacked-out control plane.
 
-Used by the integration tests, the stall-anatomy example, and available
-to library users for their own what-if experiments.
+Used by the integration tests, the stall-anatomy example, the chaos
+campaign engine (:mod:`repro.chaos`), and available to library users
+for their own what-if experiments.
 """
 
 from __future__ import annotations
 
+import copy
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .engine import Event, Simulator
+from .link import GilbertElliottLoss, Link
 
 if TYPE_CHECKING:  # type-only: the sim layer stays import-free of repro.net
     from ..net.packet import IPPacket
@@ -125,6 +136,37 @@ def match_nth_control(kind: str, *ordinals: int) -> Predicate:
     return predicate
 
 
+def match_time_window(clock: Callable[[], float], start: float,
+                      end: float) -> Predicate:
+    """Match every packet offered while ``start <= clock() < end``.
+
+    ``clock`` is usually ``lambda: sim.now``; combined with a content
+    predicate via :func:`all_of` this scripts phase-windowed faults
+    (e.g. a control-channel blackout between two campaign phases).
+    """
+    if end < start:
+        raise ValueError(f"window ends before it starts: [{start}, {end})")
+    return lambda pkt, index: start <= clock() < end
+
+
+def all_of(*predicates: Predicate) -> Predicate:
+    """Conjunction of predicates (evaluated left to right, short-circuit).
+
+    Stateful predicates (``match_nth_*``) only advance their counters
+    when evaluated, so put them *after* any cheap window/kind guards.
+    """
+    if not predicates:
+        raise ValueError("all_of needs at least one predicate")
+
+    def predicate(pkt: "IPPacket", index: int) -> bool:
+        for inner in predicates:
+            if not inner(pkt, index):
+                return False
+        return True
+
+    return predicate
+
+
 @dataclass
 class FaultLog:
     """What the injector actually did."""
@@ -132,10 +174,13 @@ class FaultLog:
     dropped: List[int] = field(default_factory=list)
     corrupted: List[int] = field(default_factory=list)
     delayed: List[int] = field(default_factory=list)
+    reordered: List[int] = field(default_factory=list)
+    duplicated: List[int] = field(default_factory=list)
 
     @property
     def events(self) -> int:
-        return len(self.dropped) + len(self.corrupted) + len(self.delayed)
+        return (len(self.dropped) + len(self.corrupted) + len(self.delayed)
+                + len(self.reordered) + len(self.duplicated))
 
 
 class FaultInjector:
@@ -153,8 +198,18 @@ class FaultInjector:
         self.log = FaultLog()
         self._offer_index = 0
         self._rules: List[Tuple[str, Predicate, Optional[float]]] = []
+        self._detached = False
+        # What `link.__dict__["send"]` held before we patched: None when
+        # the lookup fell through to the class method, or the previous
+        # injector's bound `_send` when injectors are stacked.  detach()
+        # restores exactly this.
+        self._prev_send_patch = link.__dict__.get("send")
         self._original_send = link.send
-        link.send = self._send
+        # Bind once: `self._send` evaluates to a fresh bound-method
+        # object on every attribute access, so detach()'s identity check
+        # needs the exact object that was installed.
+        self._send_patch = self._send
+        link.send = self._send_patch
 
     def drop_when(self, predicate: Predicate) -> "FaultInjector":
         self._rules.append(("drop", predicate, None))
@@ -176,19 +231,63 @@ class FaultInjector:
         self._rules.append(("delay", predicate, delay))
         return self
 
+    def reorder_when(self, predicate: Predicate,
+                     extra_delay: float = 0.05) -> "FaultInjector":
+        """Re-order matching packets behind later traffic.
+
+        Mechanically a hold-and-re-offer like :meth:`delay_when`, but
+        logged separately (``log.reordered``) because campaigns reason
+        about re-ordering and latency as distinct impairments.
+        """
+        if extra_delay <= 0:
+            raise ValueError(f"non-positive reorder delay: {extra_delay}")
+        self._rules.append(("reorder", predicate, extra_delay))
+        return self
+
+    def duplicate_when(self, predicate: Predicate,
+                       delay: float = 0.0) -> "FaultInjector":
+        """Deliver matching packets twice (original plus a deep copy).
+
+        The copy is offered ``delay`` seconds later (0 = immediately
+        behind the original).  A deep copy, not an alias: decoders
+        mutate payload bytes in place, so the two wire copies must not
+        share buffers.
+        """
+        if delay < 0:
+            raise ValueError(f"negative duplicate delay: {delay}")
+        self._rules.append(("duplicate", predicate, delay))
+        return self
+
     def detach(self) -> None:
-        """Restore the link's original send."""
-        try:
+        """Restore the link's original send (idempotent).
+
+        Safe under stacking and late scheduled events: if another
+        injector has since wrapped ``link.send``, the patch chain is
+        left intact and this injector simply becomes a pass-through —
+        detaching twice, or detaching the bottom of a stack, never
+        resurrects a stale patch.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        if self.link.__dict__.get("send") is not self._send_patch:
+            # Someone patched over us; removing anything now would tear
+            # out *their* wrapper.  Pass-through mode is enough.
+            return
+        if self._prev_send_patch is None:
             # Remove the instance-level patch so lookups fall back to
             # the class method (preserves identity for callers holding
             # the unbound original).
             del self.link.send
-        except AttributeError:
-            self.link.send = self._original_send
+        else:
+            self.link.send = self._prev_send_patch
 
     # ------------------------------------------------------------------
 
     def _send(self, pkt: IPPacket) -> None:
+        if self._detached:
+            self._original_send(pkt)
+            return
         index = self._offer_index
         self._offer_index += 1
         for action, predicate, arg in self._rules:
@@ -201,6 +300,17 @@ class FaultInjector:
                 self.log.delayed.append(index)
                 self.link.sim.after(arg, self._original_send, pkt)
                 return
+            if action == "reorder":
+                self.log.reordered.append(index)
+                self.link.sim.after(arg, self._original_send, pkt)
+                return
+            if action == "duplicate":
+                self.log.duplicated.append(index)
+                duplicate = copy.deepcopy(pkt)
+                # Scheduled even at delay 0: the event fires after this
+                # call returns, so the copy lands behind the original.
+                self.link.sim.after(arg, self._original_send, duplicate)
+                break
             if action == "corrupt":
                 self.log.corrupted.append(index)
                 payload = getattr(pkt.payload, "data", b"")
@@ -224,6 +334,10 @@ class GatewayFaultLog:
     crashes: List[float] = field(default_factory=list)       # crash times
     restarts: List[float] = field(default_factory=list)      # recovery times
     evictions: List[Tuple[float, int]] = field(default_factory=list)
+    #: (time, evictions forced) per memory-pressure squeeze.
+    pressure: List[Tuple[float, int]] = field(default_factory=list)
+    #: (time, skew factor) per clock-skew change (1.0 = restored).
+    skews: List[Tuple[float, float]] = field(default_factory=list)
 
 
 def schedule_gateway_restart(sim: Simulator, gateway, at: float,
@@ -234,17 +348,29 @@ def schedule_gateway_restart(sim: Simulator, gateway, at: float,
     While down the gateway drops every offered packet (data *and*
     control); it comes back with a wiped cache and its epoch reset —
     the cold-start divergence the resilience layer exists to repair.
+
+    Crash/restore are idempotent: each crash stamps the gateway with a
+    fresh token and the matching restore fires only while that token is
+    current *and* the gateway is still down.  An overlapping second
+    crash therefore supersedes the first restore (the gateway stays
+    down for the full second window), and a restore landing after the
+    gateway already came back — or after the fault schedule was torn
+    down — never re-runs ``restart()`` against live state.
     """
     if downtime < 0:
         raise ValueError(f"negative downtime: {downtime}")
 
     def crash() -> None:
+        token = getattr(gateway, "_crash_token", 0) + 1
+        gateway._crash_token = token
         gateway.fail()
         if log is not None:
             log.crashes.append(sim.now)
-        sim.after(downtime, restore)
+        sim.after(downtime, restore, token)
 
-    def restore() -> None:
+    def restore(token: int) -> None:
+        if getattr(gateway, "_crash_token", 0) != token or not gateway.down:
+            return
         gateway.restart()
         if log is not None:
             log.restarts.append(sim.now)
@@ -268,3 +394,161 @@ def schedule_asymmetric_eviction(sim: Simulator, gateway, at: float,
             log.evictions.append((sim.now, evicted))
 
     return sim.at(at, evict)
+
+
+def schedule_memory_pressure(sim: Simulator, gateway, at: float,
+                             fraction: float = 0.25,
+                             duration: Optional[float] = None,
+                             log: Optional[GatewayFaultLog] = None
+                             ) -> List[Event]:
+    """Squeeze ``gateway``'s cache byte budget at ``at``.
+
+    The budget is re-capped to ``fraction`` of the bytes *in use* at
+    fire time, forcing an immediate eviction storm (entries go; only
+    the budget comes back).  With ``duration`` the original budget is
+    restored that much later — the cache may refill, but what the storm
+    evicted stays evicted, which is exactly the asymmetric divergence
+    the watchdog must catch.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if duration is not None and duration <= 0:
+        raise ValueError(f"non-positive duration: {duration}")
+    events: List[Event] = []
+
+    def squeeze() -> None:
+        store = gateway.cache.store
+        original = store.byte_budget
+        budget = max(1, int(store.bytes_used * fraction))
+        evicted = gateway.cache.set_byte_budget(budget)
+        if log is not None:
+            log.pressure.append((sim.now, evicted))
+        if duration is not None:
+            events.append(sim.after(duration, restore, original))
+
+    def restore(original: int) -> None:
+        gateway.cache.set_byte_budget(original)
+
+    events.append(sim.at(at, squeeze))
+    return events
+
+
+def schedule_clock_skew(sim: Simulator, gateway, at: float, factor: float,
+                        duration: Optional[float] = None,
+                        log: Optional[GatewayFaultLog] = None
+                        ) -> List[Event]:
+    """Skew the encoder's resilience heartbeat clock by ``factor``.
+
+    ``factor > 1`` is a slow clock: heartbeats go out late, so the
+    peer's acks thin out and the encoder's own timeout check can
+    false-trip into degraded mode — the classic drifting-middlebox
+    failure.  Requires the gateway to run
+    :class:`~repro.gateway.resilience.EncoderResilience`; restored to
+    1.0 after ``duration`` when given.
+    """
+    if factor <= 0:
+        raise ValueError(f"skew factor must be positive, got {factor}")
+    if duration is not None and duration <= 0:
+        raise ValueError(f"non-positive duration: {duration}")
+    events: List[Event] = []
+
+    def apply(value: float) -> None:
+        resilience = gateway.resilience
+        if resilience is None or not hasattr(resilience, "clock_skew"):
+            raise RuntimeError(
+                f"gateway {gateway.name!r} has no heartbeat clock to skew "
+                f"(encoder-side resilience layer not armed)")
+        resilience.clock_skew = value
+        if log is not None:
+            log.skews.append((sim.now, value))
+
+    events.append(sim.at(at, apply, factor))
+    if duration is not None:
+        events.append(sim.at(at + duration, apply, 1.0))
+    return events
+
+
+# -- link-level fault windows ----------------------------------------------
+
+
+def schedule_link_flap(sim: Simulator, link: Link, at: float,
+                       down_for: float, flaps: int = 1,
+                       period: Optional[float] = None) -> List[Event]:
+    """Take ``link`` administratively down for ``down_for`` seconds,
+    ``flaps`` times, ``period`` seconds apart (a handover storm).
+
+    While down every packet reaching the transmitter is lost — data and
+    control alike — which is how a vanished radio segment behaves, as
+    opposed to the targeted drops of a :class:`FaultInjector`.
+    """
+    if down_for <= 0:
+        raise ValueError(f"non-positive down_for: {down_for}")
+    if flaps < 1:
+        raise ValueError(f"flaps must be >= 1, got {flaps}")
+    if flaps > 1 and (period is None or period <= down_for):
+        raise ValueError("flaps > 1 needs period > down_for")
+
+    def down() -> None:
+        link.down = True
+
+    def up() -> None:
+        link.down = False
+
+    events: List[Event] = []
+    for index in range(flaps):
+        start = at + index * (period or 0.0)
+        events.append(sim.at(start, down))
+        events.append(sim.at(start + down_for, up))
+    return events
+
+
+def schedule_partition(sim: Simulator, forward: Link, reverse: Link,
+                       at: float, duration: float) -> List[Event]:
+    """Partition both directions of a segment for ``duration`` seconds."""
+    return (schedule_link_flap(sim, forward, at, duration)
+            + schedule_link_flap(sim, reverse, at, duration))
+
+
+def schedule_bursty_loss(sim: Simulator, link: Link, at: float, until: float,
+                         rng: random.Random,
+                         **gilbert_kwargs) -> GilbertElliottLoss:
+    """Attach a Gilbert-Elliott loss process to ``link`` for a window.
+
+    The model replaces the link's uniform ``loss_rate`` between ``at``
+    and ``until`` (see :class:`~repro.sim.link.GilbertElliottLoss`);
+    ``rng`` should be a named :class:`~repro.sim.rng.RngRegistry`
+    stream so the burst pattern replays bit-identically.  Returns the
+    model so callers can inspect ``transitions`` / ``losses``.
+    """
+    if until <= at:
+        raise ValueError(f"window ends before it starts: [{at}, {until})")
+    model = GilbertElliottLoss(rng, **gilbert_kwargs)
+
+    def attach() -> None:
+        link.loss_model = model
+
+    def detach() -> None:
+        if link.loss_model is model:
+            link.loss_model = None
+
+    sim.at(at, attach)
+    sim.at(until, detach)
+    return model
+
+
+def control_blackout(injectors: List[FaultInjector], start: float,
+                     end: float, *kinds: str) -> None:
+    """Drop every gateway control message in a time window.
+
+    Arms a windowed drop rule on each injector (one per direction:
+    heartbeats ride forward, resync requests ride back).  With
+    ``kinds`` only those control kinds are blacked out.  Data packets
+    keep flowing — the failure mode where the control plane dies while
+    the data plane limps on, which is what exhausts the decoder's
+    resync retries.
+    """
+    for injector in injectors:
+        sim = injector.link.sim
+        injector.drop_when(all_of(
+            match_time_window(lambda s=sim: s.now, start, end),
+            match_control(*kinds)))

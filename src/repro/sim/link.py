@@ -14,6 +14,7 @@ applied per packet with independent probabilities.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
@@ -39,9 +40,68 @@ class LinkStats:
 
     @property
     def loss_fraction(self) -> float:
+        """Fraction of offered packets lost (channel + queue drops).
+
+        A link that never carried a packet has no measurable loss
+        fraction; nan is the "not measurable" marker the report layer
+        renders as an em-dash (never raises, never prints ``None``).
+        """
         if self.packets_offered == 0:
-            return 0.0
+            return math.nan
         return (self.packets_lost + self.packets_queue_dropped) / self.packets_offered
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert-Elliott) bursty-loss process.
+
+    The classic wireless-channel model: a *good* state with a low loss
+    probability and a *bad* (fade/handover) state with a high one, with
+    per-packet transition probabilities between them.  Attached to a
+    link via :attr:`Link.loss_model` it **replaces** the link's uniform
+    ``loss_rate`` while attached — the two are alternative loss
+    processes, not additive ones.
+
+    All randomness comes from the ``rng`` handed in (a named
+    :class:`~repro.sim.rng.RngRegistry` stream), so a campaign replays
+    bit-identically.
+    """
+
+    __slots__ = ("p_good_bad", "p_bad_good", "loss_good", "loss_bad",
+                 "rng", "bad", "transitions", "losses")
+
+    def __init__(self, rng: random.Random, *, p_good_bad: float = 0.05,
+                 p_bad_good: float = 0.25, loss_good: float = 0.0,
+                 loss_bad: float = 0.6, start_bad: bool = False) -> None:
+        for name, value in (("p_good_bad", p_good_bad),
+                            ("p_bad_good", p_bad_good),
+                            ("loss_good", loss_good),
+                            ("loss_bad", loss_bad)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.rng = rng
+        self.bad = start_bad
+        self.transitions = 0
+        self.losses = 0
+
+    def lost(self) -> bool:
+        """Advance the chain one packet; True when that packet is lost."""
+        rng = self.rng
+        if self.bad:
+            if rng.random() < self.p_bad_good:
+                self.bad = False
+                self.transitions += 1
+        elif rng.random() < self.p_good_bad:
+            self.bad = True
+            self.transitions += 1
+        rate = self.loss_bad if self.bad else self.loss_good
+        if rate > 0.0 and rng.random() < rate:
+            self.losses += 1
+            return True
+        return False
 
 
 class Link:
@@ -110,6 +170,13 @@ class Link:
         self.name = name
         self.receiver: Optional[Callable[[IPPacket], None]] = None
         self.stats = LinkStats()
+        #: Administratively down (link flap / partition window): every
+        #: packet reaching the transmitter is lost.  Toggled by
+        #: :func:`repro.sim.faults.schedule_link_flap`.
+        self.down = False
+        #: Optional stateful loss process (:class:`GilbertElliottLoss`).
+        #: While attached it replaces the uniform ``loss_rate``.
+        self.loss_model: Optional[GilbertElliottLoss] = None
         self._busy_until = 0.0
         self._queued = 0
         if telemetry is not None:
@@ -143,7 +210,16 @@ class Link:
         """Packet finished serialising; apply impairments and propagate."""
         self._queued -= 1
 
-        if self.rng.random() < self.loss_rate:
+        if self.down:
+            self.stats.packets_lost += 1
+            return
+
+        loss_model = self.loss_model
+        if loss_model is not None:
+            if loss_model.lost():
+                self.stats.packets_lost += 1
+                return
+        elif self.rng.random() < self.loss_rate:
             self.stats.packets_lost += 1
             return
 

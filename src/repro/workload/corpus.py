@@ -44,6 +44,20 @@ def _random_file(size: int, seed: int) -> bytes:
     return random.Random(seed).randbytes(size)
 
 
+def _longhaul(size: int, seed: int) -> bytes:
+    """Long-range redundancy: matches point far behind the TCP window.
+
+    With short-range redundancy a cache divergence self-heals within a
+    retransmission or two (the referenced bytes are still in flight);
+    here the decoder needs its *old* entries, so a cold restart or a
+    one-sided eviction hurts persistently until the caches are actively
+    resynchronised.  The chaos campaigns' default object.
+    """
+    return generate_dependency_file(DependencyFileSpec(
+        size=size, avg_dependencies=3.0, redundancy=0.5,
+        history_window=300, locality_scale=100.0, seed=seed))
+
+
 _GENERATORS: Dict[str, Callable[[int, int], bytes]] = {
     "file1": _file1,
     "file2": _file2,
@@ -51,6 +65,7 @@ _GENERATORS: Dict[str, Callable[[int, int], bytes]] = {
     "video": lambda size, seed: generate_video(size, seed),
     "webpages": lambda size, seed: generate_webpage_session(size, seed),
     "random": _random_file,
+    "longhaul": _longhaul,
 }
 
 _DEFAULT_SIZES: Dict[str, int] = {
@@ -60,6 +75,7 @@ _DEFAULT_SIZES: Dict[str, int] = {
     "video": 1024 * 1024,
     "webpages": 1024 * 1024,
     "random": EVAL_FILE_SIZE,
+    "longhaul": EVAL_FILE_SIZE,
 }
 
 _cache: Dict[tuple, bytes] = {}

@@ -1,0 +1,377 @@
+"""Tests for the chaos campaign engine: spec, SLO oracles, runner.
+
+The end-to-end acceptance tests at the bottom run the canonical
+``handover-storm`` campaign once per module (smoke scale, parallel
+workers) and assert the ISSUE's acceptance criteria: all oracles pass
+for the three §V policies with the resilience layer on, at least one
+fails with it off, and the scorecard replays byte-for-byte.
+"""
+
+import json
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos import (CAMPAIGNS, CHAOS_POLICIES, CHAOS_SCHEMA, Campaign,
+                         Phase, canonical_campaign, evaluate_slos,
+                         format_scorecard, replay_report, run_campaign,
+                         validate_chaos_report)
+from repro.chaos.runner import _percentile, arm_campaign
+from repro.chaos.slo import ORACLES, phase_recovery_times
+from repro.experiments.runner import build_testbed
+
+WORKERS = 4
+
+
+# ---------------------------------------------------------------------------
+# spec round-trip and validation
+# ---------------------------------------------------------------------------
+
+class TestCampaignSpec:
+    def test_canonical_names(self):
+        assert sorted(CAMPAIGNS) == [
+            "brownout-thrash", "cache-thrash", "clock-drift",
+            "degraded-brownout", "dup-reorder-storm", "flaky-backhaul",
+            "handover-storm", "split-brain-resync",
+        ]
+
+    def test_every_canonical_campaign_builds_at_both_scales(self):
+        for name in CAMPAIGNS:
+            for scale in ("smoke", "full"):
+                campaign = canonical_campaign(name, scale)
+                assert campaign.name == name
+                assert campaign.scale == scale
+                assert campaign.phases
+
+    def test_unknown_name_and_scale_raise(self):
+        with pytest.raises(ValueError):
+            canonical_campaign("no-such-campaign")
+        with pytest.raises(ValueError):
+            canonical_campaign("handover-storm", "extra-large")
+
+    def test_round_trip_through_json(self):
+        campaign = canonical_campaign("handover-storm", "full")
+        doc = json.loads(json.dumps(campaign.to_dict()))
+        rebuilt = Campaign.from_dict(doc)
+        assert rebuilt.to_dict() == campaign.to_dict()
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase("p", 0.0, 0.0)
+        with pytest.raises(ValueError):
+            Phase("p", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            Phase("p", 0.0, 1.0, [{"kind": "meteor-strike"}])
+
+    def test_campaign_validation(self):
+        with pytest.raises(ValueError):
+            Campaign(name="c", description="", phases=[])
+        phases = [Phase("late", 1.0, 1.0), Phase("early", 0.0, 1.0)]
+        with pytest.raises(ValueError):
+            Campaign(name="c", description="", phases=phases)
+        with pytest.raises(ValueError):
+            Campaign(name="c", description="",
+                     phases=[Phase("p", 0.0, 1.0)], seeds=())
+
+    def test_config_baseline_has_no_dre_and_no_resilience(self):
+        campaign = canonical_campaign("handover-storm")
+        baseline = campaign.config(None, 11)
+        assert baseline.policy is None and not baseline.resilience
+        assert not baseline.verify
+        dre = campaign.config("tcp_seq", 11)
+        assert dre.policy == "tcp_seq" and dre.resilience and dre.verify
+        assert dre.telemetry
+        unshielded = campaign.config("tcp_seq", 11, resilience=False)
+        assert unshielded.policy == "tcp_seq" and not unshielded.resilience
+
+
+# ---------------------------------------------------------------------------
+# SLO oracles on synthetic runs
+# ---------------------------------------------------------------------------
+
+def fake_result(completed=True, download_time=2.0, undecodable_drops=0,
+                data_packets=100, degraded=False, telemetry=None,
+                fraction_retrieved=1.0, stalled=False):
+    return SimpleNamespace(
+        completed=completed, download_time=download_time,
+        fraction_retrieved=fraction_retrieved, stalled=stalled,
+        undecodable_drops=undecodable_drops,
+        encoder_stats=SimpleNamespace(data_packets=data_packets),
+        encoder_resilience=SimpleNamespace(degraded=degraded),
+        telemetry=telemetry)
+
+
+def fake_campaign(**slo):
+    return Campaign(name="synthetic", description="",
+                    phases=[Phase("p", 0.0, 1.0)], slo=slo)
+
+
+def by_name(slos):
+    return {s.oracle: s for s in slos}
+
+
+class TestOracles:
+    def evaluate(self, result, baseline=None, mttrs=(), violation=None,
+                 **slo):
+        return by_name(evaluate_slos(fake_campaign(**slo), result, baseline,
+                                     list(mttrs), violation))
+
+    def test_clean_run_passes_everything(self):
+        slos = self.evaluate(fake_result(), baseline=fake_result(),
+                             mttrs=[0.5])
+        assert [s.oracle for s in slos.values()] == list(ORACLES)
+        assert all(s.passed for s in slos.values())
+
+    def test_violation_fails_byte_integrity(self):
+        slos = self.evaluate(
+            fake_result(),
+            violation={"oracle": "byte_integrity", "message": "mismatch"})
+        assert not slos["byte_integrity"].passed
+        assert "byte_integrity" in slos["byte_integrity"].detail
+
+    def test_goodput_floor_incomplete_fails(self):
+        slos = self.evaluate(fake_result(completed=False,
+                                         fraction_retrieved=0.4,
+                                         stalled=True))
+        assert not slos["goodput_floor"].passed
+        assert not slos["no_permanent_degradation"].passed
+
+    def test_goodput_floor_ratio_against_baseline(self):
+        slos = self.evaluate(fake_result(download_time=5.0),
+                             baseline=fake_result(download_time=2.0),
+                             goodput_delay_ratio=2.0)
+        assert not slos["goodput_floor"].passed
+        assert slos["goodput_floor"].value == pytest.approx(2.5)
+        assert slos["goodput_floor"].threshold == 2.0
+
+    def test_goodput_floor_vacuous_without_comparable_baseline(self):
+        for baseline in (None, fake_result(completed=False)):
+            slos = self.evaluate(fake_result(), baseline=baseline)
+            assert slos["goodput_floor"].passed
+            assert slos["goodput_floor"].value is None
+
+    def test_undecodable_rate(self):
+        slos = self.evaluate(fake_result(undecodable_drops=20,
+                                         data_packets=100),
+                             max_undecodable_rate=0.15)
+        assert not slos["undecodable_rate"].passed
+        assert slos["undecodable_rate"].value == pytest.approx(0.2)
+        slos = self.evaluate(fake_result(undecodable_drops=5,
+                                         data_packets=100),
+                             max_undecodable_rate=0.15)
+        assert slos["undecodable_rate"].passed
+
+    def test_undecodable_rate_vacuous_with_no_data(self):
+        slos = self.evaluate(fake_result(data_packets=0))
+        assert slos["undecodable_rate"].passed
+
+    def test_mttr_ceiling(self):
+        slos = self.evaluate(fake_result(), mttrs=[0.5, 2.0, None],
+                             mttr_ceiling=1.0)
+        assert not slos["mttr_ceiling"].passed
+        assert slos["mttr_ceiling"].value == pytest.approx(2.0)
+        slos = self.evaluate(fake_result(), mttrs=[None, None])
+        assert slos["mttr_ceiling"].passed      # nothing to measure
+
+    def test_mttr_unrecovered_fails_any_ceiling(self):
+        slos = self.evaluate(fake_result(), mttrs=[math.inf],
+                             mttr_ceiling=1e9)
+        assert not slos["mttr_ceiling"].passed
+        assert "unrecovered" in slos["mttr_ceiling"].detail
+
+    def test_no_permanent_degradation(self):
+        slos = self.evaluate(fake_result(degraded=True))
+        assert not slos["no_permanent_degradation"].passed
+        telemetry = {"final_gauges":
+                     {"resilience.resyncing{gw=decoder}": 1.0},
+                     "sampler": {"times": [], "series": {}}}
+        slos = self.evaluate(fake_result(telemetry=telemetry))
+        assert not slos["no_permanent_degradation"].passed
+        assert "resyncing" in slos["no_permanent_degradation"].detail
+
+
+class TestPhaseRecoveryTimes:
+    def telemetry(self, times, decoded, resyncing=None, degraded=None):
+        series = {"gw.decoded_ok{gw=decoder}": decoded}
+        if resyncing is not None:
+            series["resilience.resyncing{gw=decoder}"] = resyncing
+        if degraded is not None:
+            series["resilience.degraded{gw=encoder}"] = degraded
+        return {"sampler": {"times": times, "series": series}}
+
+    def test_recovery_at_first_healthy_progressing_sample(self):
+        telemetry = self.telemetry(
+            times=[0.0, 1.0, 2.0, 3.0, 4.0],
+            decoded=[5, 10, 10, 10, 14],
+            resyncing=[0, 0, 0, 1, 0])
+        [mttr] = phase_recovery_times(telemetry, [1.5])
+        # t=2.0: no progress; t=3.0: resyncing; t=4.0: recovered.
+        assert mttr == pytest.approx(2.5)
+
+    def test_run_over_before_phase_end_is_none(self):
+        telemetry = self.telemetry(times=[0.0, 1.0], decoded=[5, 10])
+        assert phase_recovery_times(telemetry, [1.0, 5.0]) == [None, None]
+
+    def test_never_recovered_is_inf(self):
+        telemetry = self.telemetry(
+            times=[0.0, 1.0, 2.0, 3.0],
+            decoded=[5, 5, 5, 5])
+        [mttr] = phase_recovery_times(telemetry, [0.5])
+        assert math.isinf(mttr)
+
+    def test_missing_series_defaults_are_benign(self):
+        telemetry = self.telemetry(times=[0.0, 1.0, 2.0],
+                                   decoded=[0, 1, 2])
+        [mttr] = phase_recovery_times(telemetry, [0.5])
+        assert mttr == pytest.approx(0.5)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert _percentile(values, 50) == 2.0
+        assert _percentile(values, 90) == 4.0
+        assert _percentile(values, 100) == 4.0
+        assert _percentile([], 50) is None
+
+
+# ---------------------------------------------------------------------------
+# arming onto a real testbed
+# ---------------------------------------------------------------------------
+
+class TestArming:
+    def test_baseline_testbed_skips_gateway_faults(self):
+        campaign = canonical_campaign("split-brain-resync")
+        config = campaign.config(None, 11)
+        testbed = build_testbed(config)
+        assert testbed.gateways is None
+        armed = arm_campaign(campaign, testbed, 11)
+        # restart/control_blackout injections were all skipped: nothing
+        # scheduled touches a gateway and no injector was attached.
+        assert armed.injectors == {}
+        testbed.sim.run(until=1.0)            # scheduled events are sane
+
+    def test_dre_testbed_arms_gateway_faults(self):
+        campaign = canonical_campaign("split-brain-resync")
+        config = campaign.config("tcp_seq", 11)
+        testbed = build_testbed(config)
+        armed = arm_campaign(campaign, testbed, 11)
+        assert set(armed.injectors) == {"forward", "reverse"}
+
+
+# ---------------------------------------------------------------------------
+# report validation
+# ---------------------------------------------------------------------------
+
+def minimal_report_doc():
+    campaign = canonical_campaign("handover-storm")
+    run = {
+        "policy": "tcp_seq", "seed": 11, "passed": True,
+        "slos": [{"oracle": oracle, "passed": True, "value": None,
+                  "threshold": None, "detail": ""} for oracle in ORACLES],
+        "metrics": {"completed": True},
+    }
+    return {
+        "schema": CHAOS_SCHEMA,
+        "campaign": campaign.to_dict(),
+        "policies": ["tcp_seq"],
+        "resilience": True,
+        "runs": [run],
+        "summary": {"passed": True, "runs": 1, "failed_runs": 0},
+    }
+
+
+class TestValidateReport:
+    def test_minimal_document_validates(self):
+        validate_chaos_report(minimal_report_doc())
+
+    def test_rejections(self):
+        cases = [
+            ("schema", "repro.chaos/v0"),
+            ("runs", []),
+        ]
+        for key, value in cases:
+            doc = minimal_report_doc()
+            doc[key] = value
+            with pytest.raises(ValueError):
+                validate_chaos_report(doc)
+        doc = minimal_report_doc()
+        del doc["summary"]
+        with pytest.raises(ValueError):
+            validate_chaos_report(doc)
+        doc = minimal_report_doc()
+        doc["runs"][0]["slos"] = doc["runs"][0]["slos"][:3]
+        with pytest.raises(ValueError):
+            validate_chaos_report(doc)
+        doc = minimal_report_doc()
+        doc["runs"][0]["passed"] = False        # disagrees with slos
+        with pytest.raises(ValueError):
+            validate_chaos_report(doc)
+        doc = minimal_report_doc()
+        doc["summary"]["failed_runs"] = 3
+        with pytest.raises(ValueError):
+            validate_chaos_report(doc)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end acceptance (one shared campaign execution per module)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def handover_report():
+    campaign = canonical_campaign("handover-storm", "smoke")
+    return run_campaign(campaign, workers=WORKERS)
+
+
+class TestHandoverStormAcceptance:
+    def test_all_policies_pass_every_oracle(self, handover_report):
+        report = handover_report
+        assert {run["policy"] for run in report.runs} == set(CHAOS_POLICIES)
+        for run in report.runs:
+            failed = [slo["oracle"] for slo in run["slos"]
+                      if not slo["passed"]]
+            assert not failed, (
+                f"{run['policy']}/seed {run['seed']} failed {failed}")
+        assert report.passed
+
+    def test_report_document_validates(self, handover_report):
+        doc = json.loads(json.dumps(handover_report.to_dict(),
+                                    sort_keys=True))
+        validate_chaos_report(doc)
+
+    def test_faults_actually_fired(self, handover_report):
+        # Guards against the campaign going vacuous: a transfer that
+        # finishes before the storm phase never exercises anything.
+        for run in handover_report.runs:
+            faults = run["faults"]
+            assert faults["crashes"], "decoder restart never fired"
+            assert faults["link"]["reordered"], "reorder rule never matched"
+
+    def test_scorecard_renders(self, handover_report):
+        text = format_scorecard(handover_report)
+        assert "handover-storm" in text
+        for policy in CHAOS_POLICIES:
+            assert policy in text
+        assert "campaign verdict: PASS (3/3 runs passed)" in text
+
+    def test_replay_is_byte_for_byte(self, handover_report):
+        doc = json.loads(json.dumps(handover_report.to_dict(),
+                                    sort_keys=True))
+        fresh, matches = replay_report(doc, workers=WORKERS)
+        assert matches
+        assert fresh.passed
+
+
+class TestResilienceOffFailsSlos:
+    def test_unshielded_tcp_seq_breaks_at_least_one_oracle(self):
+        campaign = canonical_campaign("handover-storm", "smoke")
+        report = run_campaign(campaign, policies=("tcp_seq",),
+                              resilience=False, workers=WORKERS)
+        assert not report.passed
+        [run] = report.runs
+        failed = [slo["oracle"] for slo in run["slos"] if not slo["passed"]]
+        assert failed, "expected the cold-cache handover to break an SLO"
+        # The cold decoder cache on the longhaul corpus shows up as lost
+        # goodput and/or undecodable packets — not as corrupted bytes.
+        assert "byte_integrity" not in failed

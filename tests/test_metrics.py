@@ -88,7 +88,7 @@ class TestReports:
         text = format_series("S", "x", [a, b])
         assert "10.000" in text
         assert "20.000" in text
-        assert text.count("-") > 0  # missing cells rendered as dashes
+        assert text.count("—") > 0  # missing cells rendered as em-dashes
 
     def test_format_series_shows_ci_with_multiple_samples(self):
         series = Series("s")

@@ -1,0 +1,146 @@
+"""Resilience timing edges, driven by the chaos fault primitives.
+
+Three corners the failover tests don't reach: the resync client
+exhausting its retry budget while the control channel stays black, the
+heartbeat clock continuing to tick through degraded mode, and an epoch
+bump racing a still-in-flight encoded packet.
+"""
+
+from repro.app.transfer import FileClient, FileServer
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import FILE_NAME, SERVER_ADDR, build_testbed
+from repro.sim.faults import (FaultInjector, all_of, control_blackout,
+                              match_time_window, schedule_gateway_restart)
+from repro.workload.redundancy import (DependencyFileSpec,
+                                       generate_dependency_file)
+
+#: Long-range redundancy: a cold decoder cache stays broken until the
+#: resync protocol repairs it (see test_gateway_failover).
+DATA = generate_dependency_file(DependencyFileSpec(
+    size=250 * 1460, avg_dependencies=3.0, redundancy=0.5,
+    history_window=300, locality_scale=100.0, seed=7))
+
+#: Fast protocol tunables so every edge fits in ~1 s simulated.  The
+#: retry cap is lowered so exhaustion (0.05 + 0.1 + 0.2 s of backoff)
+#: happens inside a sub-second blackout.
+RESILIENCE_KWARGS = dict(heartbeat_interval=0.02, heartbeat_timeout=0.06,
+                         resync_timeout=0.05, resync_grace=0.02,
+                         resync_max_retries=2, watchdog_window=8)
+
+
+def build(seed=5):
+    config = ExperimentConfig(
+        corpus="file1", policy="tcp_seq", seed=seed,
+        tcp_max_retries=8, tcp_min_rto=0.05, tcp_max_rto=0.5,
+        time_limit=30.0, resilience=True,
+        resilience_kwargs=RESILIENCE_KWARGS)
+    testbed = build_testbed(config)
+    FileServer(testbed.server_stack, {FILE_NAME: DATA})
+    client = FileClient(testbed.client_stack, testbed.sim)
+    # No sim.stop() on completion: the edges under test are timer-driven
+    # (retry backoff, heartbeat ticks, delayed deliveries) and must keep
+    # running after the transfer itself is done.
+    outcome = client.fetch(SERVER_ADDR, FILE_NAME, expected_size=len(DATA))
+    return testbed, outcome
+
+
+def blackout(testbed, start, end):
+    injectors = [FaultInjector(testbed.bottleneck_forward),
+                 FaultInjector(testbed.bottleneck_reverse)]
+    control_blackout(injectors, start, end)
+    return injectors
+
+
+class TestResyncRetryExhaustion:
+    def test_cap_reached_while_control_stays_black(self):
+        """Every resync request disappears into the blackout: the client
+        must burn its retries, give up cleanly (resync_failures), and
+        leave the door open for a later attempt rather than spinning."""
+        testbed, outcome = build()
+        blackout(testbed, 0.1, 10.0)
+        decoder = testbed.gateways.decoder
+        testbed.sim.at(0.15, decoder.resilience.start_resync)
+        testbed.sim.run(until=2.0)
+
+        stats = decoder.resilience.stats
+        assert stats.resync_failures >= 1
+        assert stats.resyncs_completed == 0
+        assert not decoder.resilience.resyncing     # gave up, not stuck
+        # The encoder degraded into pass-through (no heartbeat acks), so
+        # raw TCP still carried the transfer home.
+        assert outcome.completed
+
+    def test_resync_succeeds_once_control_returns(self):
+        """Same exhaustion, but the blackout lifts: the next trigger
+        (the watchdog, here) must start a *fresh* attempt that lands."""
+        testbed, outcome = build()
+        blackout(testbed, 0.1, 0.6)
+        decoder = testbed.gateways.decoder
+        testbed.sim.at(0.15, decoder.resilience.start_resync)
+        testbed.sim.run(until=2.0)
+
+        stats = decoder.resilience.stats
+        assert stats.resync_failures >= 1
+        assert not testbed.gateways.encoder.resilience.stats.degraded
+        assert outcome.completed
+
+
+class TestHeartbeatsDuringDegradedMode:
+    def test_ticks_continue_while_degraded(self):
+        """Degraded mode is probing, not dead: the heartbeat clock keeps
+        ticking through the outage — that is what notices the peer's
+        return — and recovery follows the blackout end."""
+        testbed, outcome = build()
+        blackout(testbed, 0.1, 0.7)
+        encoder = testbed.gateways.encoder
+        probes = {}
+
+        def probe(tag):
+            stats = encoder.resilience.stats
+            probes[tag] = (stats.degraded, stats.heartbeats_sent)
+
+        testbed.sim.at(0.35, probe, "early")
+        testbed.sim.at(0.65, probe, "late")
+        testbed.sim.run(until=2.0)
+
+        assert probes["early"][0] and probes["late"][0]   # degraded mid-out
+        assert probes["late"][1] > probes["early"][1]     # still ticking
+        stats = encoder.resilience.stats
+        assert not stats.degraded                         # recovered
+        assert stats.degraded_time > 0
+        assert outcome.completed
+
+
+class TestEpochBumpRace:
+    def test_in_flight_old_epoch_packet_is_gated(self):
+        """A decoder restart forces a resync (epoch 0 -> 1) while some
+        encoded packets stamped with epoch 0 are held up on the wire by
+        a re-order fault.  When they finally land the decoder must gate
+        them on the epoch stamp — decoding them against the new cache
+        generation would mis-decode — and it must not crash or stall."""
+        testbed, outcome = build()
+        schedule_gateway_restart(testbed.sim, testbed.gateways.decoder,
+                                 at=0.12, downtime=0.02)
+        # Hold back every other data packet offered in the window around
+        # the restart long enough to land after the resync ack.
+        counter = {"seen": 0}
+
+        def every_other_data(pkt, index):
+            segment = pkt.tcp
+            if segment is None or not segment.data:
+                return False
+            counter["seen"] += 1
+            return counter["seen"] % 2 == 0
+
+        injector = FaultInjector(testbed.bottleneck_forward)
+        sim = testbed.sim
+        injector.reorder_when(
+            all_of(match_time_window(lambda: sim.now, 0.1, 0.4),
+                   every_other_data),
+            extra_delay=0.3)
+        testbed.sim.run(until=5.0)
+
+        stats = testbed.gateways.decoder.resilience.stats
+        assert stats.epoch_mismatch_dropped >= 1
+        assert outcome.completed
+        assert not testbed.gateways.decoder.resilience.resyncing
