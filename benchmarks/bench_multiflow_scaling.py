@@ -1,0 +1,92 @@
+"""Flow-parallel multiflow execution: scaling and determinism.
+
+Independent flows (one testbed + simulator each) shard across a
+process pool via :func:`repro.experiments.multiflow.run_parallel_flows`
+and merge back in submission order.  This bench asserts the load-
+bearing property — the parallel merge is **bit-identical** to the
+serial run — and records the wall-clock scaling point in
+``BENCH_multiflow.json`` so the trajectory is tracked across PRs.
+
+Process pools pay a per-worker interpreter spawn, so on tiny workloads
+the parallel run can lose; the gate here is determinism, not a speedup
+floor.  The measured serial/parallel times are reported and recorded.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from conftest import bench_workers, print_report
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.multiflow import run_parallel_flows
+from repro.experiments.sweep import append_bench_history
+from repro.metrics import format_table
+from repro.metrics.profiling import StageProfiler
+
+FLOWS = 4
+FILE_SIZE = 80 * 1460
+
+
+def _configs() -> List[ExperimentConfig]:
+    # Distinct seeds per flow: genuinely independent transfers, not
+    # four copies of one.
+    return [ExperimentConfig(corpus="file1", file_size=FILE_SIZE,
+                             corpus_seed=3 + index, policy="cache_flush",
+                             seed=11 + index, time_limit=300.0)
+            for index in range(FLOWS)]
+
+
+def test_multiflow_scaling(benchmark):
+    configs = _configs()
+    workers = bench_workers() or 2
+
+    started = time.perf_counter()
+    serial = run_parallel_flows(configs)
+    serial_elapsed = time.perf_counter() - started
+
+    profiler = StageProfiler()
+    started = time.perf_counter()
+    parallel = run_parallel_flows(configs, workers=workers,
+                                  profiler=profiler)
+    parallel_elapsed = time.perf_counter() - started
+
+    benchmark.pedantic(lambda: run_parallel_flows(configs, workers=workers),
+                       rounds=1, iterations=1)
+
+    # The hard gate: sharding changes wall-clock only, never results.
+    assert serial.per_flow_link_bytes == parallel.per_flow_link_bytes
+    assert serial.total_bytes_on_link == parallel.total_bytes_on_link
+    assert [f.per_fetch_link_bytes for f in serial.flows] == \
+        [f.per_fetch_link_bytes for f in parallel.flows]
+    assert serial.all_completed and parallel.all_completed
+
+    speedup = serial_elapsed / parallel_elapsed
+    append_bench_history({
+        "schema": "bench_multiflow/v1",
+        "name": "multiflow-scaling",
+        "summary": {
+            "flows": FLOWS,
+            "workers": workers,
+            "serial_seconds": serial_elapsed,
+            "parallel_seconds": parallel_elapsed,
+            "speedup": speedup,
+            "total_bytes_on_link": serial.total_bytes_on_link,
+            "merge_seconds": profiler.total("merge"),
+        },
+    }, "BENCH_multiflow.json")
+
+    rows = [
+        ["flows", FLOWS],
+        ["workers", workers],
+        ["serial wall-clock (s)", f"{serial_elapsed:.2f}"],
+        [f"parallel wall-clock (s, {workers} workers)",
+         f"{parallel_elapsed:.2f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["bit-identical merge", "yes"],
+    ]
+    print_report("Multiflow scaling (flow-parallel execution)",
+                 format_table(
+                     f"{FLOWS} independent flows, {FILE_SIZE} B each",
+                     ["measurement", "value"], rows))

@@ -18,7 +18,12 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from .polyhash import AnchorSet
+from .ringtable import RingEntry, RingFingerprintTable
 
 
 class CacheEntry:
@@ -111,6 +116,23 @@ class PacketStore:
             self._data.move_to_end(store_id)
         return payload
 
+    def view(self, store_id: int) -> Optional[memoryview]:
+        """Zero-copy view of a stored payload.
+
+        Region reads during decoding splice slices of stored payloads
+        into the reconstruction buffer; serving them as memoryviews
+        avoids one intermediate ``bytes`` copy per region.  (Views are
+        *not* used for byte comparisons — ``memoryview.__eq__`` is
+        slower than the C fast path of ``bytes.__eq__``; see DESIGN.md
+        §13.)
+        """
+        payload = self._data.get(store_id)
+        if payload is None:
+            return None
+        if self._lru:
+            self._data.move_to_end(store_id)
+        return memoryview(payload)
+
     def __contains__(self, store_id: int) -> bool:
         return store_id in self._data
 
@@ -189,14 +211,33 @@ class FingerprintTable:
         return iter(self._table.values())
 
 
+#: Either table's entry type; both expose the same attribute set.
+TableEntry = Union[CacheEntry, RingEntry]
+
+
 class ByteCache:
-    """The combined cache used by an encoder or decoder gateway."""
+    """The combined cache used by an encoder or decoder gateway.
+
+    ``table_kind`` selects the fingerprint-table implementation:
+    ``"ring"`` (the default) is the batched numpy ring buffer of
+    :mod:`repro.core.ringtable`; ``"dict"`` is the per-entry dict of
+    :class:`FingerprintTable`, kept as the reference implementation
+    (the property tests and the differential runner hold the two to
+    byte-identical encoder output).
+    """
 
     def __init__(self, byte_budget: int = 4 * 1024 * 1024,
                  max_packets: Optional[int] = None,
-                 eviction: str = "fifo") -> None:
+                 eviction: str = "fifo",
+                 table_kind: str = "ring") -> None:
+        if table_kind not in ("ring", "dict"):
+            raise ValueError(f"unknown table_kind: {table_kind!r}")
         self.store = PacketStore(byte_budget, max_packets, eviction)
-        self.table = FingerprintTable()
+        self.table_kind = table_kind
+        self._ring: Optional[RingFingerprintTable] = (
+            RingFingerprintTable() if table_kind == "ring" else None)
+        self.table: Union[RingFingerprintTable, FingerprintTable] = (
+            self._ring if self._ring is not None else FingerprintTable())
         self.flushes = 0
         #: Cache generation, stamped onto encoded packets by gateways
         #: running the resilience layer (see repro.gateway.resilience).
@@ -229,13 +270,32 @@ class ByteCache:
             self._external_ids[store_id] = external_id
             if len(self._external_ids) > 4 * len(self.store._data) + 64:
                 self._prune_external_ids()
-        # AnchorSet keeps anchors as numpy arrays; pairs() converts to
-        # Python ints in bulk (and is memoised, so the region-finding
-        # pass and this insert share one conversion).
+        ring = self._ring
+        if ring is not None:
+            # Batched path: anchors stay numpy end-to-end; one packet
+            # record plus vectorised array fills, no per-anchor objects.
+            # Displaced generations stay in the ring, so the history
+            # fallback needs no per-insert tracking either.
+            if type(anchors) is AnchorSet:
+                ring.insert_batch(anchors.offsets, anchors.fingerprints,
+                                  store_id, tcp_seq, flow, packet_counter,
+                                  anchors.fps_list())
+            else:
+                pairs = anchors if hasattr(anchors, "__len__") else list(anchors)
+                offsets = np.fromiter((pair[0] for pair in pairs),
+                                      dtype=np.int64, count=len(pairs))
+                fps = np.fromiter((pair[1] for pair in pairs),
+                                  dtype=np.uint64, count=len(pairs))
+                ring.insert_batch(offsets, fps, store_id, tcp_seq, flow,
+                                  packet_counter)
+            return store_id
+        # Reference path: per-entry dict updates with explicit
+        # displacement tracking (the pre-ring implementation).
         pairs = anchors.pairs() if hasattr(anchors, "pairs") else anchors
         if not hasattr(pairs, "__len__"):
             pairs = list(pairs)
         table = self.table
+        assert isinstance(table, FingerprintTable)
         entries = table._table
         lookup = entries.get
         previous = self._previous_entries
@@ -253,28 +313,85 @@ class ByteCache:
         table.replacements += replaced
         return store_id
 
-    def lookup(self, fingerprint: int) -> Optional[Tuple[CacheEntry, bytes]]:
+    def lookup(self, fingerprint: int) -> Optional[Tuple[TableEntry, bytes]]:
         """Return (entry, cached payload) or None.
 
         Entries pointing at evicted payloads are removed lazily.
         """
-        entry = self.table._table.get(fingerprint)
+        ring = self._ring
+        if ring is not None:
+            # Ring fast path: same checks as below, but inlined against
+            # the table arrays so the (common) miss and filtered cases
+            # never materialise a RingEntry view.
+            entry_id = ring._index.get(fingerprint)
+            if entry_id is None:
+                return None
+            if entry_id in ring._unusable_ids:
+                return None
+            store_id = ring._rec_store[ring._pkt[entry_id & ring._mask]]
+            if store_id in self._unusable_store_ids:
+                return None
+            payload = self.store.get(store_id)
+            if payload is None:
+                ring.remove(fingerprint)
+                return None
+            return RingEntry(ring, entry_id), payload
+        entry = self.table.get(fingerprint)
         if entry is None or not entry.usable:
             return None
-        if entry.store_id in self._unusable_store_ids:
+        store_id = entry.store_id
+        if store_id in self._unusable_store_ids:
             return None
-        payload = self.store.get(entry.store_id)
+        payload = self.store.get(store_id)
         if payload is None:
             self.table.remove(fingerprint)
             return None
         return entry, payload
 
-    def lookup_previous(self, fingerprint: int) -> Optional[Tuple[CacheEntry, bytes]]:
+    def lookup_view(self, fingerprint: int) -> Optional[memoryview]:
+        """Zero-copy variant of :meth:`lookup` for region reads.
+
+        Decoders splicing matched regions into a reconstruction buffer
+        need only the stored payload bytes, not the table entry;
+        serving them as a :class:`memoryview` (see
+        :meth:`PacketStore.view`) skips one intermediate copy per
+        referenced region.
+        """
+        ring = self._ring
+        if ring is not None:
+            entry_id = ring._index.get(fingerprint)
+            if entry_id is None or entry_id in ring._unusable_ids:
+                return None
+            store_id = ring._rec_store[ring._pkt[entry_id & ring._mask]]
+            if store_id in self._unusable_store_ids:
+                return None
+            view = self.store.view(store_id)
+            if view is None:
+                ring.remove(fingerprint)
+            return view
+        hit = self.lookup(fingerprint)
+        if hit is None:
+            return None
+        return memoryview(hit[1])
+
+    def lookup_previous(self, fingerprint: int) -> Optional[Tuple[TableEntry, bytes]]:
         """The displaced (one-generation-older) entry for a fingerprint.
 
         Used by decoders to resolve references encoded against a cache
         state from just before the latest replacement.
         """
+        ring = self._ring
+        entry: Optional[TableEntry]
+        if ring is not None:
+            entry = ring.previous_entry(fingerprint)
+            if entry is None or not entry.usable:
+                return None
+            if entry.store_id in self._unusable_store_ids:
+                return None
+            payload = self.store.get(entry.store_id)
+            if payload is None:
+                return None
+            return entry, payload
         entry = self._previous_entries.get(fingerprint)
         if entry is None or not entry.usable:
             return None

@@ -217,14 +217,9 @@ class ByteCachingDecoder:
     def _reconstruct(self, parsed: EncodedPayload) -> bytes:
         from .wire import reconstruct
 
-        def resolve(fingerprint: int) -> Optional[bytes]:
-            hit = self.cache.lookup(fingerprint)
-            if hit is None:
-                return None
-            _, stored = hit
-            return stored
-
-        return reconstruct(parsed, resolve)
+        # Zero-copy resolve: regions are spliced straight out of the
+        # packet store's buffers (memoryviews), no per-region copy.
+        return reconstruct(parsed, self.cache.lookup_view)
 
     def _accept(self, payload: bytes, meta: PacketMeta) -> None:
         """Mirror the encoder's Cache Update procedure."""

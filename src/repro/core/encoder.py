@@ -14,18 +14,44 @@ as small hooks (see :mod:`repro.core.policies.base`):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, List, Set, Tuple
+from typing import (TYPE_CHECKING, Iterable, List, NamedTuple, Optional,
+                    Sequence, Set, Tuple, Union)
 
 from .cache import ByteCache
 from .fingerprint import FingerprintScheme
-from .region import Region, expand_match
+from .polyhash import AnchorSet
+from .region import Region, expand_bounds
 from .wire import MIN_REGION_LENGTH, SHIM_SIZE, encode_payload, wrap_raw
 from .policies.base import EncoderPolicy, PacketMeta
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .polyhash import AnchorSet
+    pass
+
+
+class _SplitPairs(NamedTuple):
+    """A packet's surviving candidate anchors as parallel int lists.
+
+    Kept split (not zipped) so the region loop can ``bisect`` on the
+    ascending offsets to skip every anchor an accepted region swallowed
+    in one C call.
+    """
+
+    offsets: Sequence[int]
+    fingerprints: Sequence[int]
+
+
+_EMPTY_SPLIT = _SplitPairs((), ())
+
+#: Consecutive all-survivor bitmap probes before the prefilter is
+#: bypassed, and the length of each bypass window (packets).  Small
+#: enough that a traffic shift re-enables the prefilter within a dozen
+#: packets; large enough to amortise the probe in steady hit-dense
+#: phases.
+_PROBE_DENSE_STREAK = 4
+_PROBE_SKIP_WINDOW = 28
 
 
 @dataclass
@@ -47,6 +73,51 @@ class EncodeResult:
     @property
     def bytes_saved(self) -> int:
         return self.bytes_in - (self.bytes_out - self.shim_overhead)
+
+
+class EncodeResultPool:
+    """Free-list of :class:`EncodeResult` shells.
+
+    The gateway hot loop creates one result per packet and discards it
+    within the same event; pooling the dataclass shells kills that
+    allocation churn.  Ownership rule: a result obtained from a pool
+    belongs to the caller until :meth:`release`; the ``regions`` list
+    and ``dependencies`` set are *never* recycled (consumers may keep
+    them — the middlebox logs ``dependencies``), only the shell is.
+    """
+
+    __slots__ = ("_free", "reused")
+
+    def __init__(self) -> None:
+        self._free: List[EncodeResult] = []
+        self.reused = 0
+
+    def acquire(self, data: bytes, encoded: bool, bytes_in: int,
+                bytes_out: int, regions: List[Region],
+                dependencies: Set[int], cached: bool,
+                shim_overhead: int) -> EncodeResult:
+        free = self._free
+        if free:
+            result = free.pop()
+            self.reused += 1
+            result.data = data
+            result.encoded = encoded
+            result.bytes_in = bytes_in
+            result.bytes_out = bytes_out
+            result.regions = regions
+            result.dependencies = dependencies
+            result.cached = cached
+            result.shim_overhead = shim_overhead
+            return result
+        return EncodeResult(data=data, encoded=encoded, bytes_in=bytes_in,
+                            bytes_out=bytes_out, regions=regions,
+                            dependencies=dependencies, cached=cached,
+                            shim_overhead=shim_overhead)
+
+    def release(self, result: EncodeResult) -> None:
+        """Return a shell to the pool (caller must drop its reference)."""
+        if len(self._free) < 64:
+            self._free.append(result)
 
 
 @dataclass
@@ -90,6 +161,18 @@ class ByteCachingEncoder:
         #: same contract — None (the default) costs one attribute load
         #: and an ``is None`` check per packet / emitted region.
         self.verifier = None
+        #: Optional :class:`EncodeResultPool`; when set, results are
+        #: pooled shells the caller must release (see the pool's
+        #: ownership rule).  None (the default) allocates per packet.
+        self.result_pool: Optional[EncodeResultPool] = None
+        # Adaptive candidate-probe bypass (see _candidate_pairs): in
+        # hit-dense traffic every anchor survives the bitmap prefilter,
+        # so the vectorised probe is pure overhead.  After
+        # _PROBE_DENSE_STREAK consecutive all-survivor probes the
+        # prefilter is skipped for _PROBE_SKIP_WINDOW packets, then
+        # re-probed.  Deterministic — no clocks, no randomness.
+        self._dense_streak = 0
+        self._probe_skip = 0
         policy.attach_encoder(self)
 
     def encode(self, payload: bytes, meta: PacketMeta,
@@ -101,33 +184,144 @@ class ByteCachingEncoder:
         — the resilience layer's post-resync grace window uses this to
         rebuild reference state without emitting regions.
         """
-        self.stats.packets += 1
-        self.stats.bytes_in += len(payload)
         profiler = self.profiler
-        verifier = self.verifier
-        if verifier is not None:
-            verifier.on_packet(meta)
-
-        self.policy.before_packet(meta, self.cache)
         if profiler is not None:
             started = perf_counter()
             anchors = self.scheme.anchors(payload)
             profiler.add("fingerprint", perf_counter() - started)
         else:
             anchors = self.scheme.anchors(payload)
+        return self._encode_with_anchors(payload, anchors, meta, force_raw)
+
+    def encode_batch(self, payloads: Sequence[bytes],
+                     metas: Sequence[PacketMeta],
+                     force_raw: bool = False) -> List[EncodeResult]:
+        """Encode a whole window of packets, fingerprinted in one pass.
+
+        Anchor selection is content-defined and cache-independent, so
+        all payloads are fingerprinted up front in a single vectorised
+        sweep (:meth:`FingerprintScheme.batch_anchors`); the per-packet
+        policy hooks, region search and cache updates then run in
+        arrival order, making the output byte-identical to calling
+        :meth:`encode` per packet.
+        """
+        profiler = self.profiler
+        if profiler is not None:
+            started = perf_counter()
+            anchor_sets = self.scheme.batch_anchors(payloads)
+            profiler.add("batch_fingerprint", perf_counter() - started)
+        else:
+            anchor_sets = self.scheme.batch_anchors(payloads)
+        results: List[EncodeResult] = []
+        append = results.append
+        policy = self.policy
+        policy_cls = type(policy)
+        fused = (profiler is None and self.verifier is None
+                 and not force_raw
+                 and policy_cls.before_packet is EncoderPolicy.before_packet
+                 and policy_cls.may_encode is EncoderPolicy.may_encode
+                 and policy_cls.should_cache_now
+                 is EncoderPolicy.should_cache_now)
+        if not fused:
+            encode_one = self._encode_with_anchors
+            for payload, meta, anchors in zip(payloads, metas, anchor_sets):
+                append(encode_one(payload, anchors, meta, force_raw))
+            return results
+        # Fused fast loop: the exact work of _encode_with_anchors under
+        # the permissive base hooks, with the no-op policy calls,
+        # profiler branches and per-packet stats attribute traffic
+        # hoisted out of the loop (stats are flushed once at the end).
+        candidate_pairs = self._candidate_pairs
+        find_regions = self._find_regions
+        insert = self.cache.insert_packet
+        pool = self.result_pool
+        shim_overhead = self.shim_overhead
+        bytes_in = 0
+        bytes_out = 0
+        packets_encoded = 0
+        total_regions = 0
+        matched_bytes = 0
+        for payload, meta, anchors in zip(payloads, metas, anchor_sets):
+            payload_len = len(payload)
+            bytes_in += payload_len
+            regions, dependencies = find_regions(
+                payload, candidate_pairs(anchors), meta)
+            if regions:
+                data = encode_payload(payload, regions)
+                if len(data) >= payload_len + SHIM_SIZE:
+                    # Net loss after headers; ship raw instead.
+                    regions = []
+                    dependencies = set()
+                    data = wrap_raw(payload)
+            else:
+                data = wrap_raw(payload)
+            insert(payload, anchors, meta.tcp_seq, meta.flow, meta.counter,
+                   meta.packet_id)
+            data_len = len(data)
+            bytes_out += data_len
+            if regions:
+                packets_encoded += 1
+                total_regions += len(regions)
+                for region in regions:
+                    matched_bytes += region.length
+                encoded = True
+            else:
+                encoded = False
+            if pool is not None:
+                append(pool.acquire(data, encoded, payload_len, data_len,
+                                    regions, dependencies, True,
+                                    shim_overhead))
+            else:
+                append(EncodeResult(
+                    data=data,
+                    encoded=encoded,
+                    bytes_in=payload_len,
+                    bytes_out=data_len,
+                    regions=regions,
+                    dependencies=dependencies,
+                    cached=True,
+                    shim_overhead=shim_overhead,
+                ))
+        stats = self.stats
+        stats.packets += len(results)
+        stats.bytes_in += bytes_in
+        stats.bytes_out += bytes_out
+        stats.packets_encoded += packets_encoded
+        stats.regions += total_regions
+        stats.matched_bytes += matched_bytes
+        return results
+
+    def _encode_with_anchors(self, payload: bytes, anchors: "AnchorSet",
+                             meta: PacketMeta,
+                             force_raw: bool) -> EncodeResult:
+        """Everything after anchor selection (shared by both paths)."""
+        stats = self.stats
+        stats.packets += 1
+        stats.bytes_in += len(payload)
+        profiler = self.profiler
+        verifier = self.verifier
+        if verifier is not None:
+            verifier.on_packet(meta)
+
+        self.policy.before_packet(meta, self.cache)
 
         regions: List[Region] = []
         dependencies: Set[int] = set()
         if not force_raw and self.policy.may_encode(meta):
             if profiler is not None:
                 started = perf_counter()
-                regions, dependencies = self._find_regions(payload, anchors,
+                pairs = self._candidate_pairs(anchors)
+                profiler.add("table_probe", perf_counter() - started)
+                started = perf_counter()
+                regions, dependencies = self._find_regions(payload, pairs,
                                                            meta)
                 profiler.add("region_expand", perf_counter() - started)
             else:
-                regions, dependencies = self._find_regions(payload, anchors,
-                                                           meta)
+                regions, dependencies = self._find_regions(
+                    payload, self._candidate_pairs(anchors), meta)
 
+        if profiler is not None:
+            started = perf_counter()
         if regions:
             data = encode_payload(payload, regions)
             if len(data) >= len(payload) + SHIM_SIZE:
@@ -137,6 +331,8 @@ class ByteCachingEncoder:
                 data = wrap_raw(payload)
         else:
             data = wrap_raw(payload)
+        if profiler is not None:
+            profiler.add("wire_pack", perf_counter() - started)
 
         cached = False
         if profiler is not None:
@@ -149,12 +345,17 @@ class ByteCachingEncoder:
         if profiler is not None:
             profiler.add("cache_ops", perf_counter() - started)
 
-        self.stats.bytes_out += len(data)
+        stats.bytes_out += len(data)
         if regions:
-            self.stats.packets_encoded += 1
-            self.stats.regions += len(regions)
-            self.stats.matched_bytes += sum(r.length for r in regions)
+            stats.packets_encoded += 1
+            stats.regions += len(regions)
+            stats.matched_bytes += sum(r.length for r in regions)
 
+        pool = self.result_pool
+        if pool is not None:
+            return pool.acquire(data, bool(regions), len(payload), len(data),
+                                regions, dependencies, cached,
+                                self.shim_overhead)
         return EncodeResult(
             data=data,
             encoded=bool(regions),
@@ -179,47 +380,169 @@ class ByteCachingEncoder:
 
     # -- internal ---------------------------------------------------------
 
-    def _find_regions(self, payload: bytes, anchors: "AnchorSet",
+    def _candidate_pairs(
+        self, anchors: "Union[AnchorSet, Sequence[Tuple[int, int]]]",
+    ) -> "Union[AnchorSet, _SplitPairs, Sequence[Tuple[int, int]]]":
+        """Pre-filter a packet's anchors against the cache table.
+
+        With the ring table, one vectorised probe of the candidate
+        bitmap discards the anchors that cannot possibly be in the
+        fingerprint index (no false negatives — see
+        :meth:`repro.core.ringtable.RingFingerprintTable.candidates`),
+        so the per-anchor Python loop in :meth:`_find_regions` only
+        touches plausible hits.  Other table kinds pass through.
+        """
+        ring = self.cache._ring
+        if ring is None or type(anchors) is not AnchorSet:
+            return anchors
+        fps = anchors.fingerprints
+        n = len(fps)
+        if n == 0:
+            return _EMPTY_SPLIT
+        if self._probe_skip > 0:
+            # Hit-dense traffic: recent probes let everything through,
+            # so skip the prefilter entirely for a window of packets —
+            # the region loop's index lookups are the ground truth, the
+            # bitmap is only ever an accelerator.
+            self._probe_skip -= 1
+            return _SplitPairs(anchors.offsets.tolist(), anchors.fps_list())
+        idxs = ring.candidate_indices(fps)
+        survivors = len(idxs)
+        if survivors == n:
+            self._dense_streak += 1
+            if self._dense_streak >= _PROBE_DENSE_STREAK:
+                self._dense_streak = 0
+                self._probe_skip = _PROBE_SKIP_WINDOW
+            return _SplitPairs(anchors.offsets.tolist(), anchors.fps_list())
+        self._dense_streak = 0
+        if survivors == 0:
+            return _EMPTY_SPLIT
+        return _SplitPairs(anchors.offsets[idxs].tolist(),
+                           fps[idxs].tolist())
+
+    def _find_regions(self, payload: bytes,
+                      anchors: "Union[AnchorSet, _SplitPairs, Iterable[Tuple[int, int]]]",
                       meta: PacketMeta) -> Tuple[List[Region], Set[int]]:
         """Redundancy Identification and Elimination (Fig. 2 part B)."""
         regions: List[Region] = []
         dependencies: Set[int] = set()
         pos = 0  # first byte not yet covered by an accepted region
-        pairs = anchors.pairs() if hasattr(anchors, "pairs") else anchors
-        lookup = self.cache.lookup
+        if type(anchors) is _SplitPairs:
+            offs_l, fps_l = anchors
+        else:
+            seq = anchors.pairs() if hasattr(anchors, "pairs") else list(anchors)  # type: ignore[union-attr]
+            offs_l = [p[0] for p in seq]
+            fps_l = [p[1] for p in seq]
+        if not offs_l:
+            # Nothing survived the candidate prefilter — skip the local
+            # binding below (fresh traffic hits this for most packets).
+            return regions, dependencies
+        cache = self.cache
+        lookup = cache.lookup
+        external_id = cache._external_ids.get
+        policy = self.policy
+        entry_eligible = policy.entry_eligible
+        stats = self.stats
         verifier = self.verifier
-        for offset, fingerprint in pairs:
+        window = self.scheme.window
+        min_length = self.min_region_length
+        payload_len = len(payload)
+        ring = cache._ring
+        use_ring = ring is not None
+        if use_ring:
+            assert ring is not None
+            idx_get = ring._index.get
+            unusable_ids = ring._unusable_ids
+            pkt_arr = ring._pkt
+            off_arr = ring._offsets
+            rec_store = ring._rec_store
+            slot_mask = ring._mask
+            store_get = cache.store.get
+            unusable_sids = cache._unusable_store_ids
+        # A policy that keeps the base entry_eligible hook (always True)
+        # and no verifier never looks at the entry view, so the ring
+        # branch can skip materialising a RingEntry per hit entirely.
+        lazy_entry = (verifier is None and
+                      type(policy).entry_eligible is EncoderPolicy.entry_eligible)
+        entry: "Optional[object]" = None
+        n = len(offs_l)
+        i = 0
+        while i < n:
+            offset = offs_l[i]
             if offset < pos:
-                continue  # anchor swallowed by a previous region
-            hit = lookup(fingerprint)
-            if hit is None:
+                # Anchor offsets are ascending, so one bisect replaces
+                # the linear scan over every anchor the last accepted
+                # region swallowed.
+                i = bisect_left(offs_l, pos, i + 1)
                 continue
-            entry, stored = hit
-            if not self.policy.entry_eligible(entry, meta):
-                self.stats.ineligible_hits += 1
+            fingerprint = fps_l[i]
+            i += 1
+            if use_ring:
+                # Inlined ByteCache.lookup against the ring arrays (the
+                # registered hot loop; see that method for the checks).
+                eid = idx_get(fingerprint)
+                if eid is None:
+                    continue
+                if eid in unusable_ids:
+                    continue
+                slot = eid & slot_mask
+                sid = rec_store[pkt_arr[slot]]
+                if sid in unusable_sids:
+                    continue
+                stored = store_get(sid)
+                if stored is None:
+                    ring.remove(fingerprint)
+                    continue
+                entry_offset = int(off_arr[slot])
+                if not lazy_entry:
+                    entry = ring.entry(eid)
+                    if not entry_eligible(entry, meta):
+                        stats.ineligible_hits += 1
+                        continue
+            else:
+                hit = lookup(fingerprint)
+                if hit is None:
+                    continue
+                table_entry, stored = hit
+                if not entry_eligible(table_entry, meta):
+                    stats.ineligible_hits += 1
+                    continue
+                entry_offset = table_entry.offset
+                sid = table_entry.store_id
+                entry = table_entry
+            if (offset == entry_offset and payload_len == len(stored)
+                    and payload == stored):
+                # Identical payloads (the repeated-transfer case): the
+                # match trivially spans everything past ``pos``, which
+                # is exactly what expand_bounds returns for two equal
+                # buffers with equal anchor offsets — skip its four
+                # slice allocations and two compares.
+                bounds = (pos, pos, payload_len - pos)
+            else:
+                bounds = expand_bounds(payload, offset, stored, entry_offset,
+                                       window, pos)
+                if bounds is None:
+                    stats.collisions += 1
+                    continue
+            offset_new, offset_stored, length = bounds
+            if length <= min_length:
                 continue
-            match = expand_match(payload, offset, stored, entry.offset,
-                                 self.scheme.window, left_limit=pos)
-            if match is None:
-                self.stats.collisions += 1
-                continue
-            if match.length <= self.min_region_length:
-                continue
-            if not self.policy.region_acceptable(match.length, len(payload),
-                                                 meta):
-                self.stats.ineligible_hits += 1
+            if not policy.region_acceptable(length, payload_len, meta):
+                stats.ineligible_hits += 1
                 continue
             region = Region(
                 fingerprint=fingerprint,
-                offset_new=match.offset_new,
-                offset_stored=match.offset_stored,
-                length=match.length,
+                offset_new=offset_new,
+                offset_stored=offset_stored,
+                length=length,
             )
             if verifier is not None:
-                verifier.on_region(meta, entry, region)
+                # verifier set forces lazy_entry False, so every path
+                # that reaches here has a live entry view.
+                verifier.on_region(meta, entry, region)  # type: ignore[arg-type]
             regions.append(region)
-            external = self.cache.external_id_for(entry.store_id)
+            external = external_id(sid)
             if external is not None:
                 dependencies.add(external)
-            pos = match.offset_new + match.length
+            pos = offset_new + length
         return regions, dependencies

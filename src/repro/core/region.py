@@ -9,16 +9,20 @@ content").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 
-@dataclass(frozen=True)
-class Region:
+class Region(NamedTuple):
     """A repeated region to be replaced by an encoding field.
 
     ``offset_new``/``offset_stored`` are the region start offsets in the
     incoming and cached payloads; ``length`` is the match length;
     ``fingerprint`` identifies the cached payload at the decoder.
+
+    A ``NamedTuple`` rather than a frozen dataclass: same immutability
+    and equality, but tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays — the encoder builds
+    one per accepted match in its hot loop.
     """
 
     fingerprint: int
@@ -39,18 +43,16 @@ def _first_diff(a: bytes, a_start: int, b: bytes, b_start: int,
                 length: int) -> int:
     """Index of the first differing byte in two ranges known to differ.
 
-    Binary halving: O(log n) slice compares instead of a per-byte loop.
+    Both ranges are read as big-endian integers and XORed: the number
+    of leading zero *bytes* of the XOR is exactly the common prefix
+    length.  ``int.from_bytes``, ``^`` and ``bit_length`` all run at C
+    speed, so this is one pass over the data with no Python loop — it
+    replaced an O(log n) slice-compare halving that cost ~10 slice
+    allocations per call.
     """
-    offset = 0
-    while length > 1:
-        half = length >> 1
-        if (a[a_start + offset: a_start + offset + half]
-                == b[b_start + offset: b_start + offset + half]):
-            offset += half
-            length -= half
-        else:
-            length = half
-    return offset
+    x = (int.from_bytes(a[a_start: a_start + length], "big")
+         ^ int.from_bytes(b[b_start: b_start + length], "big"))
+    return length - ((x.bit_length() + 7) >> 3)
 
 
 def common_prefix_length(a: bytes, a_start: int, b: bytes, b_start: int,
@@ -75,49 +77,84 @@ def common_suffix_length(a: bytes, a_end: int, b: bytes, b_end: int,
         return 0
     if a[a_end - limit: a_end] == b[b_end - limit: b_end]:
         return limit
-    # Mirror of _first_diff, walking leftwards from the range ends.
-    offset = 0
-    length = limit
-    while length > 1:
-        half = length >> 1
-        if (a[a_end - offset - half: a_end - offset]
-                == b[b_end - offset - half: b_end - offset]):
-            offset += half
-            length -= half
-        else:
-            length = half
-    return offset
+    # Mirror of _first_diff: the number of trailing zero bytes of the
+    # big-endian XOR is the common suffix length.
+    x = (int.from_bytes(a[a_end - limit: a_end], "big")
+         ^ int.from_bytes(b[b_end - limit: b_end], "big"))
+    return ((x & -x).bit_length() - 1) >> 3
 
 
-def expand_match(new: bytes, new_anchor: int, stored: bytes, stored_anchor: int,
-                 window: int, left_limit: int = 0) -> "Region | None":
+def expand_bounds(new: bytes, new_anchor: int, stored: bytes,
+                  stored_anchor: int, window: int,
+                  left_limit: int = 0) -> "tuple[int, int, int] | None":
     """Verify and expand a candidate match around an anchor window.
 
-    Returns the maximal :class:`Region` (with a placeholder fingerprint
-    of 0 — the caller fills it in) or ``None`` when the anchor windows
-    do not actually match (a fingerprint collision).
+    Returns ``(offset_new, offset_stored, length)`` of the maximal
+    match, or ``None`` when the anchor windows do not actually match (a
+    fingerprint collision).  The encoder hot loop uses this tuple form
+    directly — a frozen :class:`Region` costs a per-field
+    ``object.__setattr__`` to construct, and the loop only builds one
+    once a match passes the length and policy gates.
 
     ``left_limit`` prevents the region from growing into bytes of the
     incoming packet that an earlier region already consumed.
     """
     if new_anchor < left_limit:
         return None
-    if new_anchor + window > len(new) or stored_anchor + window > len(stored):
+    new_len = len(new)
+    stored_len = len(stored)
+    if new_anchor + window > new_len or stored_anchor + window > stored_len:
         return None
     if new[new_anchor: new_anchor + window] != stored[stored_anchor: stored_anchor + window]:
         return None
 
+    # Each direction: one slice compare (memcmp) settles the common
+    # fully-matching case; only a mismatch pays for the big-endian XOR
+    # that locates the exact divergence point (see _first_diff).
     left_room = min(new_anchor - left_limit, stored_anchor)
-    left = common_suffix_length(new, new_anchor, stored, stored_anchor, left_room)
+    if left_room > 0:
+        a = new[new_anchor - left_room: new_anchor]
+        b = stored[stored_anchor - left_room: stored_anchor]
+        if a == b:
+            left = left_room
+        else:
+            x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+            left = ((x & -x).bit_length() - 1) >> 3
+    else:
+        left = 0
 
-    right_room = min(len(new) - (new_anchor + window),
-                     len(stored) - (stored_anchor + window))
-    right = common_prefix_length(new, new_anchor + window,
-                                 stored, stored_anchor + window, right_room)
+    right_room = min(new_len - new_anchor, stored_len - stored_anchor) - window
+    if right_room > 0:
+        a0 = new_anchor + window
+        b0 = stored_anchor + window
+        a = new[a0: a0 + right_room]
+        b = stored[b0: b0 + right_room]
+        if a == b:
+            right = right_room
+        else:
+            x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+            right = right_room - ((x.bit_length() + 7) >> 3)
+    else:
+        right = 0
 
+    return new_anchor - left, stored_anchor - left, left + window + right
+
+
+def expand_match(new: bytes, new_anchor: int, stored: bytes, stored_anchor: int,
+                 window: int, left_limit: int = 0) -> "Region | None":
+    """:func:`expand_bounds` packaged as a :class:`Region`.
+
+    The returned region carries a placeholder fingerprint of 0 — the
+    caller fills it in.
+    """
+    bounds = expand_bounds(new, new_anchor, stored, stored_anchor,
+                           window, left_limit)
+    if bounds is None:
+        return None
+    offset_new, offset_stored, length = bounds
     return Region(
         fingerprint=0,
-        offset_new=new_anchor - left,
-        offset_stored=stored_anchor - left,
-        length=left + window + right,
+        offset_new=offset_new,
+        offset_stored=offset_stored,
+        length=length,
     )

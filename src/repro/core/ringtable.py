@@ -1,0 +1,499 @@
+"""Contiguous ring-buffer fingerprint table (batched fast path).
+
+The dict-of-:class:`~repro.core.cache.CacheEntry` table costs one
+object allocation and two dict probes per anchor per cached packet —
+millions per sweep.  This module stores entries in parallel numpy
+arrays instead and addresses them by a monotone *entry id*:
+
+* ``_fps`` / ``_offsets`` / ``_pkt`` — per-entry arrays, indexed by
+  ``id % capacity`` (capacity is a power of two, so the modulo is a
+  mask).  ``_pkt`` points into per-insert *packet records* (store id,
+  tcp seq, flow, counter are identical for every anchor of one cached
+  packet, so they are stored once per packet, not once per anchor).
+* ``_index`` — fingerprint -> newest entry id.  CPython dicts are
+  open-addressed hash tables with C-speed bulk operations
+  (``update(zip(...))``), which measured faster than a hand-rolled
+  numpy open-addressed probe for this scalar-probe mix.
+* a *candidate bitmap* — an epoch-stamped ``uint8`` array over a
+  Fibonacci hash of the fingerprint space.  :meth:`candidates` answers
+  "which of these anchors could be cached?" for a whole packet in a
+  few vectorised ops, so the encoder's region loop only probes anchors
+  that can hit (false positives are filtered by the index; false
+  negatives cannot happen because bits are only invalidated by an
+  epoch bump).
+
+Ids are valid while ``id >= _floor``.  In the default *autogrow* mode
+the ring never invalidates a live entry: when full it either compacts
+(keeping, per fingerprint, the newest entry plus the newest older
+entry referencing a different stored packet — exactly the entries
+reachable through ``get`` and ``previous_entry``) or doubles capacity.
+With ``autogrow=False`` the ring is a fixed-size window: wrapping
+evicts the oldest entries, invalidating them even if still current
+(the classic ring-buffer trade-off, exercised by the edge-case tests).
+
+Newest-wins, insert/replacement counting, ``len`` and lazy removal all
+match :class:`~repro.core.cache.FingerprintTable` exactly — the
+encoder's wire output is byte-identical whichever table backs the
+cache (enforced by the differential runner and bench_hotpath's legacy
+oracle).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+_U64 = np.uint64
+#: Fibonacci multiplier (golden-ratio reciprocal mod 2**64) for the
+#: candidate bitmap hash: one multiply + shift spreads fingerprints
+#: uniformly over the bitmap slots.
+_FIB = np.uint64(0x9E3779B97F4A7C15)
+
+_EMPTY_BOOL = np.zeros(0, dtype=bool)
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class RingEntry:
+    """View of one ring-table entry (CacheEntry-compatible).
+
+    Allocated only for fingerprints that *hit* — the miss path never
+    materialises an entry.  Attribute reads go straight to the table's
+    arrays; ``usable`` writes through (informed marking).
+    """
+
+    __slots__ = ("_table", "_id", "_slot")
+
+    def __init__(self, table: "RingFingerprintTable", entry_id: int) -> None:
+        self._table = table
+        self._id = entry_id
+        self._slot = entry_id & table._mask
+
+    @property
+    def fingerprint(self) -> int:
+        return int(self._table._fps[self._slot])
+
+    @property
+    def offset(self) -> int:
+        return int(self._table._offsets[self._slot])
+
+    @property
+    def store_id(self) -> int:
+        return self._table._rec_store[self._table._pkt[self._slot]]
+
+    @property
+    def tcp_seq(self) -> Optional[int]:
+        return self._table._rec_seq[self._table._pkt[self._slot]]
+
+    @property
+    def flow(self) -> Optional[tuple]:
+        return self._table._rec_flow[self._table._pkt[self._slot]]
+
+    @property
+    def packet_counter(self) -> int:
+        return self._table._rec_counter[self._table._pkt[self._slot]]
+
+    @property
+    def usable(self) -> bool:
+        return self._id not in self._table._unusable_ids
+
+    @usable.setter
+    def usable(self, value: bool) -> None:
+        if value:
+            self._table._unusable_ids.discard(self._id)
+        else:
+            self._table._unusable_ids.add(self._id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RingEntry(fingerprint={self.fingerprint}, "
+                f"store_id={self.store_id}, offset={self.offset}, "
+                f"tcp_seq={self.tcp_seq}, flow={self.flow}, "
+                f"packet_counter={self.packet_counter}, "
+                f"usable={self.usable})")
+
+
+class RingFingerprintTable:
+    """fingerprint -> newest entry, backed by ring-buffer numpy arrays."""
+
+    def __init__(self, capacity: int = 8192, *, autogrow: bool = True,
+                 bitmap_bits: int = 18) -> None:
+        if capacity < 2 or capacity & (capacity - 1):
+            raise ValueError(f"capacity must be a power of two >= 2, "
+                             f"got {capacity}")
+        if not 8 <= bitmap_bits <= 24:
+            raise ValueError(f"bitmap_bits must be in [8, 24], "
+                             f"got {bitmap_bits}")
+        self._capacity = capacity
+        self._mask = capacity - 1
+        self.autogrow = autogrow
+        self._fps = np.zeros(capacity, dtype=np.uint64)
+        self._offsets = np.zeros(capacity, dtype=np.int64)
+        self._pkt = np.zeros(capacity, dtype=np.int64)
+        # Per-insert packet records (shared by every anchor of a packet).
+        self._rec_store: List[int] = []
+        self._rec_seq: List[Optional[int]] = []
+        self._rec_flow: List[Optional[tuple]] = []
+        self._rec_counter: List[int] = []
+        self._index: Dict[int, int] = {}
+        self._next = 0          # next entry id to assign
+        self._floor = 0         # smallest valid entry id
+        self._unusable_ids: Set[int] = set()
+        self.inserts = 0
+        self.replacements = 0
+        self.evictions = 0      # entries invalidated by fixed-mode wrap
+        self.compactions = 0
+        self.grows = 0
+        # Candidate bitmap (epoch-stamped; bump == clear-all).
+        self._bm_bits = bitmap_bits
+        self._bm = np.zeros(1 << bitmap_bits, dtype=np.uint8)
+        self._bm_shift = _U64(64 - bitmap_bits)
+        self._bm_epoch = 1
+        # Grow-only scratch for the per-batch slot/hash arithmetic
+        # (avoids two small allocations per cached packet).  When the
+        # scratch holds the bitmap hashes of a just-probed fingerprint
+        # array, ``_scratch_tag`` is that array object: the encoder
+        # probes a packet's anchors and then inserts the same array, so
+        # the insert can reuse the hashes instead of recomputing them.
+        self._scratch_u64 = np.empty(256, dtype=np.uint64)
+        self._scratch_tag: Optional[np.ndarray] = None
+
+    # -- size and capacity -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def put(self, entry: object) -> None:
+        """Insert one CacheEntry-shaped object (compatibility path)."""
+        offsets = np.array([entry.offset], dtype=np.int64)  # type: ignore[attr-defined]
+        fps = np.array([entry.fingerprint], dtype=np.uint64)  # type: ignore[attr-defined]
+        self.insert_batch(offsets, fps,
+                          entry.store_id,      # type: ignore[attr-defined]
+                          entry.tcp_seq,       # type: ignore[attr-defined]
+                          entry.flow,          # type: ignore[attr-defined]
+                          entry.packet_counter)  # type: ignore[attr-defined]
+        if not getattr(entry, "usable", True):
+            self._unusable_ids.add(self._next - 1)
+
+    # -- the batched hot path ----------------------------------------------
+
+    def insert_batch(self, offsets: np.ndarray, fps: np.ndarray,
+                     store_id: int, tcp_seq: Optional[int],
+                     flow: Optional[tuple], packet_counter: int,
+                     fps_list: Optional[List[int]] = None) -> None:
+        """Point every ``(offset, fingerprint)`` anchor at one packet.
+
+        One packet record plus three vectorised array fills plus one
+        C-speed bulk index update — no per-anchor Python objects.
+        Later anchors win on duplicate fingerprints within the batch,
+        matching the per-entry loop's newest-wins order.
+
+        ``fps_list``, when given, must be ``fps.tolist()`` — callers
+        that already materialised it (the encoder probes the same
+        fingerprints before inserting) pass it in to skip a second
+        conversion.
+        """
+        n = len(fps)
+        rec = len(self._rec_store)
+        self._rec_store.append(store_id)
+        self._rec_seq.append(tcp_seq)
+        self._rec_flow.append(flow)
+        self._rec_counter.append(packet_counter)
+        if n == 0:
+            return
+        if self._next + n - self._floor > self._capacity:
+            self._make_room(n)
+        base = self._next
+        lo = base & self._mask
+        if lo + n <= self._capacity:
+            # Contiguous run: three plain slice stores.
+            self._fps[lo:lo + n] = fps
+            self._offsets[lo:lo + n] = offsets
+            self._pkt[lo:lo + n] = rec
+        else:
+            head = self._capacity - lo
+            self._fps[lo:] = fps[:head]
+            self._fps[:n - head] = fps[head:]
+            self._offsets[lo:] = offsets[:head]
+            self._offsets[:n - head] = offsets[head:]
+            self._pkt[lo:] = rec
+            self._pkt[:n - head] = rec
+        self._next = base + n
+        index = self._index
+        before = len(index)
+        if fps_list is None:
+            fps_list = fps.tolist()
+        index.update(zip(fps_list, range(base, base + n)))
+        self.inserts += n
+        self.replacements += n - (len(index) - before)
+        if self._scratch_tag is fps:
+            # The candidate probe of this same fingerprint array left
+            # its bitmap hashes in the scratch — stamp them directly.
+            scratch = self._scratch_u64[:n]
+            self._scratch_tag = None
+        else:
+            if len(self._scratch_u64) < n:
+                self._scratch_u64 = np.empty(
+                    max(n, 2 * len(self._scratch_u64)), dtype=np.uint64)
+            scratch = self._scratch_u64[:n]
+            np.multiply(fps, _FIB, out=scratch)
+            scratch >>= self._bm_shift
+        self._bm[scratch] = self._bm_epoch
+        if len(index) > (len(self._bm) >> 3) and self._bm_bits < 22:
+            self._rebuild_bitmap(self._bm_bits + 2)
+
+    def candidates(self, fps: np.ndarray) -> np.ndarray:
+        """Boolean mask: which fingerprints *may* be present.
+
+        Vectorised prefilter for the encoder's region loop: no false
+        negatives (every indexed fingerprint has its bit stamped with
+        the current epoch), a few false positives (hash sharing plus
+        stale bits from removed entries), all filtered by the index.
+        """
+        n = len(fps)
+        if n == 0:
+            return _EMPTY_BOOL
+        if len(self._scratch_u64) < n:
+            self._scratch_u64 = np.empty(
+                max(n, 2 * len(self._scratch_u64)), dtype=np.uint64)
+        hashed = self._scratch_u64[:n]
+        np.multiply(fps, _FIB, out=hashed)
+        hashed >>= self._bm_shift
+        self._scratch_tag = fps
+        return self._bm[hashed] == self._bm_epoch
+
+    def candidate_indices(self, fps: np.ndarray) -> np.ndarray:
+        """Indices of the fingerprints that *may* be present.
+
+        :meth:`candidates` fused with the ``nonzero`` the encoder
+        always performs next — one call, one fewer intermediate.
+        """
+        n = len(fps)
+        if n == 0:
+            return _EMPTY_I64
+        if len(self._scratch_u64) < n:
+            self._scratch_u64 = np.empty(
+                max(n, 2 * len(self._scratch_u64)), dtype=np.uint64)
+        hashed = self._scratch_u64[:n]
+        np.multiply(fps, _FIB, out=hashed)
+        hashed >>= self._bm_shift
+        self._scratch_tag = fps
+        return (self._bm[hashed] == self._bm_epoch).nonzero()[0]
+
+    # -- scalar API (FingerprintTable-compatible) --------------------------
+
+    def get(self, fingerprint: int) -> Optional[RingEntry]:
+        entry_id = self._index.get(fingerprint)
+        if entry_id is None:
+            return None
+        return RingEntry(self, entry_id)
+
+    def get_id(self, fingerprint: int) -> Optional[int]:
+        """Newest entry id for a fingerprint (internal fast probes)."""
+        return self._index.get(fingerprint)
+
+    def entry(self, entry_id: int) -> RingEntry:
+        """View of a (valid) entry id."""
+        return RingEntry(self, entry_id)
+
+    def remove(self, fingerprint: int) -> None:
+        self._index.pop(fingerprint, None)
+
+    def clear(self) -> None:
+        self._index.clear()
+        self._rec_store.clear()
+        self._rec_seq.clear()
+        self._rec_flow.clear()
+        self._rec_counter.clear()
+        self._unusable_ids.clear()
+        self._next = 0
+        self._floor = 0
+        self._scratch_tag = None
+        self._bump_bitmap_epoch()
+
+    def entries(self) -> Iterator[RingEntry]:
+        """Views of the *current* entry of every indexed fingerprint."""
+        for entry_id in list(self._index.values()):
+            yield RingEntry(self, entry_id)
+
+    def previous_entry(self, fingerprint: int) -> Optional[RingEntry]:
+        """The newest older entry referencing a *different* packet.
+
+        The decoder's one-generation history fallback: when a reference
+        raced a cache update, the displaced entry (same fingerprint,
+        previous stored packet) may still resolve it.  The ring keeps
+        displaced generations in place until compaction or wrap, so no
+        per-insert displacement tracking is needed — this scans the
+        ring on demand (the fallback path is rare and checksum-gated).
+        """
+        window = self._next - self._floor
+        if window == 0:
+            return None
+        ids = np.arange(self._floor, self._next, dtype=np.int64)
+        slots = ids & self._mask
+        matches = ids[self._fps[slots] == _U64(fingerprint)]
+        if len(matches) == 0:
+            return None
+        ref_id = self._index.get(fingerprint)
+        if ref_id is None:
+            # Lazily removed (dangling store): the newest ring entry
+            # plays the reference role, exactly as the dict table kept
+            # its displaced entry after removing the current one.
+            ref_id = int(matches[-1])
+        ref_store = self._rec_store[int(self._pkt[ref_id & self._mask])]
+        pkt = self._pkt
+        rec_store = self._rec_store
+        mask = self._mask
+        for entry_id in matches[::-1].tolist():
+            if entry_id >= ref_id:
+                continue
+            if rec_store[int(pkt[entry_id & mask])] != ref_store:
+                return RingEntry(self, entry_id)
+        return None
+
+    # -- room making: wrap, compact, grow ----------------------------------
+
+    def _make_room(self, n: int) -> None:
+        if n > self._capacity and not self.autogrow:
+            raise ValueError(
+                f"batch of {n} exceeds fixed ring capacity {self._capacity}")
+        if not self.autogrow:
+            self._advance_floor(self._next + n - self._floor - self._capacity)
+            return
+        # Reachable entries are bounded by 2 per indexed fingerprint
+        # (current + history candidate); compact when that fits in half
+        # the ring, otherwise double.  Compaction must strictly shrink
+        # the window to count as progress — a compact ring that still
+        # cannot absorb the batch (e.g. a batch wider than the whole
+        # capacity) has to fall through to growth or the loop would
+        # never terminate.
+        while self._next + n - self._floor > self._capacity:
+            compacted = False
+            if 4 * len(self._index) <= self._capacity:
+                window = self._next - self._floor
+                compacted = (self._compact()
+                             and self._next - self._floor < window)
+            if not compacted:
+                self._grow()
+
+    def _advance_floor(self, count: int) -> None:
+        """Fixed-capacity wrap: invalidate the ``count`` oldest entries."""
+        if count <= 0:
+            return
+        new_floor = self._floor + count
+        index = self._index
+        fps = self._fps
+        mask = self._mask
+        unusable = self._unusable_ids
+        for entry_id in range(self._floor, new_floor):
+            fp = int(fps[entry_id & mask])
+            if index.get(fp) == entry_id:
+                del index[fp]
+                self.evictions += 1
+            unusable.discard(entry_id)
+        self._floor = new_floor
+
+    def _reachable_ids(self) -> np.ndarray:
+        """Sorted ids of every entry reachable through the public API:
+        per fingerprint, the newest entry plus the newest older entry
+        with a different stored packet (see :meth:`previous_entry`)."""
+        window = self._next - self._floor
+        if window == 0:
+            return np.empty(0, dtype=np.int64)
+        ids = np.arange(self._floor, self._next, dtype=np.int64)
+        slots = ids & self._mask
+        fps = self._fps[slots]
+        stores = np.asarray(self._rec_store, dtype=np.int64)[self._pkt[slots]]
+        order = np.lexsort((ids, fps))
+        fps_s = fps[order]
+        stores_s = stores[order]
+        ids_s = ids[order]
+        breaks = np.nonzero(fps_s[1:] != fps_s[:-1])[0]
+        group_starts = np.concatenate(
+            [np.zeros(1, dtype=np.int64), breaks + 1])
+        group_ends = np.concatenate(
+            [breaks, np.array([window - 1], dtype=np.int64)])
+        # Reference (newest) entry per group, broadcast to positions.
+        group_of = np.zeros(window, dtype=np.int64)
+        group_of[group_starts[1:]] = 1
+        group_of = np.cumsum(group_of)
+        ref_store = stores_s[group_ends][group_of]
+        positions = np.arange(window, dtype=np.int64)
+        candidate = np.where(stores_s != ref_store, positions, -1)
+        cand_pos = np.maximum.reduceat(candidate, group_starts)
+        cand_pos = cand_pos[cand_pos >= 0]
+        keep = np.concatenate([ids_s[group_ends], ids_s[cand_pos]])
+        return np.unique(keep)
+
+    def _compact(self) -> bool:
+        """Rewrite reachable entries contiguously; False when too full."""
+        kept = self._reachable_ids()
+        if 2 * len(kept) > self._capacity:
+            return False
+        old_slots = kept & self._mask
+        remap: Dict[int, int] = dict(
+            zip(kept.tolist(), range(len(kept))))
+        fps = self._fps[old_slots]
+        offsets = self._offsets[old_slots]
+        pkt = self._pkt[old_slots]
+        self._fps[:len(kept)] = fps
+        self._offsets[:len(kept)] = offsets
+        self._pkt[:len(kept)] = pkt
+        self._index = {fp: remap[entry_id]
+                       for fp, entry_id in self._index.items()}
+        self._unusable_ids = {remap[entry_id]
+                              for entry_id in self._unusable_ids
+                              if entry_id in remap}
+        self._floor = 0
+        self._next = len(kept)
+        self.compactions += 1
+        return True
+
+    def _grow(self) -> None:
+        old_mask = self._mask
+        capacity = self._capacity * 2
+        fps = np.zeros(capacity, dtype=np.uint64)
+        offsets = np.zeros(capacity, dtype=np.int64)
+        pkt = np.zeros(capacity, dtype=np.int64)
+        ids = np.arange(self._floor, self._next, dtype=np.int64)
+        old_slots = ids & old_mask
+        new_slots = ids & (capacity - 1)
+        fps[new_slots] = self._fps[old_slots]
+        offsets[new_slots] = self._offsets[old_slots]
+        pkt[new_slots] = self._pkt[old_slots]
+        self._fps = fps
+        self._offsets = offsets
+        self._pkt = pkt
+        self._capacity = capacity
+        self._mask = capacity - 1
+        self.grows += 1
+
+    # -- bitmap maintenance ------------------------------------------------
+
+    def _bump_bitmap_epoch(self) -> None:
+        self._bm_epoch += 1
+        if self._bm_epoch == 256:
+            self._bm.fill(0)
+            self._bm_epoch = 1
+
+    def _rebuild_bitmap(self, bits: int) -> None:
+        self._scratch_tag = None
+        self._bm_bits = bits
+        self._bm = np.zeros(1 << bits, dtype=np.uint8)
+        self._bm_shift = _U64(64 - bits)
+        self._bm_epoch = 1
+        if self._index:
+            fps = np.fromiter(self._index.keys(), dtype=np.uint64,
+                              count=len(self._index))
+            hashed = fps * _FIB
+            hashed >>= self._bm_shift
+            self._bm[hashed] = self._bm_epoch
+
+    # -- introspection (tests, oracles) ------------------------------------
+
+    def id_window(self) -> Tuple[int, int]:
+        """(floor, next): the currently valid id range."""
+        return self._floor, self._next

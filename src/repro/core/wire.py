@@ -29,7 +29,11 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
+
+#: Region reads may be served zero-copy (see PacketStore.view); both
+#: types support the len/slice operations :func:`reconstruct` performs.
+ByteSource = Union[bytes, memoryview]
 
 from .region import Region
 
@@ -48,6 +52,7 @@ MIN_REGION_LENGTH = FIELD_SIZE + 1   # §III-B line B.8: encode only if len > 14
 
 _FIELD_STRUCT = struct.Struct(">QHHH")
 _HEADER_STRUCT = struct.Struct(">BBHH")
+_RAW_SHIM = bytes((MAGIC, FLAG_RAW))
 
 
 class WireFormatError(Exception):
@@ -69,21 +74,28 @@ def encode_payload(payload: bytes, regions: List[Region]) -> bytes:
     ``regions`` must be sorted by ``offset_new`` and non-overlapping.
     """
     if not regions:
-        return bytes([MAGIC, FLAG_RAW]) + payload
+        return _RAW_SHIM + payload
     if len(payload) > 0xFFFF:
         raise WireFormatError("payload too large for 2-byte offsets")
-    parts = [_HEADER_STRUCT.pack(MAGIC, FLAG_ENCODED, len(regions), len(payload))]
+    payload_len = len(payload)
+    parts = [_HEADER_STRUCT.pack(MAGIC, FLAG_ENCODED, len(regions), payload_len)]
     pos = 0
     literal_parts = []
+    pack_field = _FIELD_STRUCT.pack
+    append_field = parts.append
+    append_literal = literal_parts.append
     for region in regions:
-        if region.offset_new < pos:
+        offset_new = region.offset_new
+        if offset_new < pos:
             raise WireFormatError("overlapping or unsorted regions")
-        if region.end_new > len(payload):
+        length = region.length
+        end_new = offset_new + length
+        if end_new > payload_len:
             raise WireFormatError("region exceeds payload")
-        parts.append(_FIELD_STRUCT.pack(region.fingerprint, region.offset_new,
-                                        region.offset_stored, region.length))
-        literal_parts.append(payload[pos: region.offset_new])
-        pos = region.end_new
+        append_field(pack_field(region.fingerprint, offset_new,
+                                region.offset_stored, length))
+        append_literal(payload[pos:offset_new])
+        pos = end_new
     literal_parts.append(payload[pos:])
     parts.extend(literal_parts)
     return b"".join(parts)
@@ -91,7 +103,7 @@ def encode_payload(payload: bytes, regions: List[Region]) -> bytes:
 
 def wrap_raw(payload: bytes) -> bytes:
     """Shim a payload that is sent without any encoding."""
-    return bytes([MAGIC, FLAG_RAW]) + payload
+    return _RAW_SHIM + payload
 
 
 def is_encoded(data: bytes) -> bool:
@@ -143,12 +155,14 @@ class MissingFingerprintError(Exception):
 
 
 def reconstruct(parsed: EncodedPayload,
-                resolve: Callable[[int], Optional[bytes]]) -> bytes:
+                resolve: Callable[[int], Optional[ByteSource]]) -> bytes:
     """Rebuild the original payload from an :class:`EncodedPayload`.
 
     ``resolve`` maps a fingerprint to the cached payload it references
     (or ``None`` when the decoder's cache has no entry — the decoder
-    counts that packet as undecodable, §IV-A step t3).
+    counts that packet as undecodable, §IV-A step t3).  It may return a
+    ``memoryview`` for zero-copy region reads; only ``len``, slicing
+    and buffer concatenation are performed on the result.
     """
     out = bytearray()
     literals = parsed.literals

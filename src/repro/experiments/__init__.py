@@ -2,7 +2,8 @@
 
 from .config import ExperimentConfig
 from .mobility import MobilityConfig, MobilityResult, run_mobility
-from .multiflow import (MultiFlowResult, run_concurrent_fetches,
+from .multiflow import (MultiFlowResult, MultiFlowSetResult,
+                        run_concurrent_fetches, run_parallel_flows,
                         run_sequential_fetches)
 from .runner import Testbed, build_testbed, run_paired, run_transfer
 from .sweep import (CellResult, SweepResult, SweepSpec, config_hash,
@@ -21,7 +22,9 @@ __all__ = [
     "MobilityResult",
     "run_mobility",
     "MultiFlowResult",
+    "MultiFlowSetResult",
     "run_concurrent_fetches",
+    "run_parallel_flows",
     "run_sequential_fetches",
     "Testbed",
     "build_testbed",

@@ -385,20 +385,23 @@ def bench_payload(sweep: SweepResult, name: str) -> Dict[str, Any]:
     }
 
 
-def write_bench_json(sweep: SweepResult, path: str, *,
-                     name: str = "sweep") -> Dict[str, Any]:
-    """Write (or extend) a ``BENCH_sweep.json`` perf-trajectory file.
+def append_bench_history(payload: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Write a ``BENCH_*.json`` record, folding the prior run into history.
 
-    If ``path`` already holds a ``bench_sweep/v1`` document, its
-    summary is appended to this document's ``history`` — successive
-    runs accumulate a wall-clock trajectory.
+    If ``path`` already holds a document with the same ``schema``, its
+    ``name``/``generated_at``/``summary`` are appended to this
+    document's ``history`` list — successive runs accumulate a
+    performance trajectory.  Shared by the sweep, hot-path and
+    multiflow-scaling bench writers; ``payload`` must carry ``schema``
+    and ``summary`` keys and is mutated in place (history + timestamp)
+    before being written.
     """
-    payload = bench_payload(sweep, name)
     history: List[Dict[str, Any]] = []
     try:
         with open(path, "r", encoding="utf-8") as handle:
             previous = json.load(handle)
-        if isinstance(previous, dict) and previous.get("schema") == BENCH_SCHEMA:
+        if (isinstance(previous, dict)
+                and previous.get("schema") == payload.get("schema")):
             history = list(previous.get("history", []))
             history.append({"name": previous.get("name"),
                             "generated_at": previous.get("generated_at"),
@@ -414,6 +417,17 @@ def write_bench_json(sweep: SweepResult, path: str, *,
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return payload
+
+
+def write_bench_json(sweep: SweepResult, path: str, *,
+                     name: str = "sweep") -> Dict[str, Any]:
+    """Write (or extend) a ``BENCH_sweep.json`` perf-trajectory file.
+
+    If ``path`` already holds a ``bench_sweep/v1`` document, its
+    summary is appended to this document's ``history`` — successive
+    runs accumulate a wall-clock trajectory.
+    """
+    return append_bench_history(bench_payload(sweep, name), path)
 
 
 # ---------------------------------------------------------------------------

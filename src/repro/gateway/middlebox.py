@@ -23,7 +23,7 @@ from typing import Callable, Optional
 
 from ..core.cache import ByteCache
 from ..core.decoder import ByteCachingDecoder, DecodeStatus
-from ..core.encoder import ByteCachingEncoder
+from ..core.encoder import ByteCachingEncoder, EncodeResultPool
 from ..core.fingerprint import FingerprintScheme
 from ..core.policies.base import (DecoderPolicy, EncoderPolicy, PacketMeta,
                                   PolicyServices)
@@ -184,6 +184,10 @@ class EncoderGateway(_GatewayBase):
                                      if resilience is not None else 0)
         self.encoder = ByteCachingEncoder(scheme, cache, policy,
                                           shim_overhead=shim_overhead)
+        # One result shell per in-flight packet is all the gateway ever
+        # holds, so the encoder recycles them through a small free list.
+        self._result_pool = EncodeResultPool()
+        self.encoder.result_pool = self._result_pool
         if resilience is not None:
             self.resilience = EncoderResilience(self, resilience)
         self._data_counter = 0
@@ -255,6 +259,9 @@ class EncoderGateway(_GatewayBase):
         else:
             self.stats.passthrough_packets += 1
         self.stats.bytes_after += pkt.wire_size
+        # The shell is consumed within this event (dependencies/regions
+        # are never recycled — see EncodeResultPool's ownership rule).
+        self._result_pool.release(result)
         return pkt
 
 

@@ -22,6 +22,12 @@ class SimulationError(Exception):
     """Raised for invalid uses of the simulation engine."""
 
 
+#: Upper bound on recycled Event shells kept by a Simulator — enough
+#: for any realistic in-flight window, small enough that a burst does
+#: not pin memory forever.
+_EVENT_POOL_CAP = 1024
+
+
 class Event:
     """Handle for a scheduled callback.
 
@@ -30,12 +36,18 @@ class Event:
     disarmed by an ACK).  The run loop orders events by heap entries of
     ``(time, seq, event)`` tuples, so ordering is resolved by C-level
     tuple comparison and this class is never compared on the hot path.
+
+    Events created by :meth:`Simulator.post` / :meth:`post_after` are
+    *pooled*: no handle escapes, so the run loop recycles the shell
+    into the simulator's free list after dispatch instead of leaving it
+    for the allocator.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "done", "_sim")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "done", "_sim",
+                 "pooled")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
-                 sim: "Optional[Simulator]" = None):
+                 sim: "Optional[Simulator]" = None, pooled: bool = False):
         self.time = time
         self.seq = seq
         self.fn = fn
@@ -43,6 +55,7 @@ class Event:
         self.cancelled = False
         self.done = False
         self._sim = sim
+        self.pooled = pooled
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
@@ -78,6 +91,8 @@ class Simulator:
         #: Optional :class:`repro.metrics.profiling.StageProfiler`
         #: accumulating an "event_dispatch" stage.
         self.profiler = profiler
+        # Free list of Event shells for post()/post_after(); see Event.
+        self._pool: list = []
 
     @property
     def now(self) -> float:
@@ -101,6 +116,38 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         return self.at(self._now + delay, fn, *args)
+
+    def post(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time``, fire-and-forget.
+
+        Like :meth:`at` but returns no handle: the event cannot be
+        cancelled, and its shell is recycled through the simulator's
+        free list after dispatch.  Links and other components that
+        never cancel their callbacks use this to keep the per-packet
+        event allocation out of the hot loop.
+        """
+        if time < self._now:
+            raise SimulationError("cannot schedule event in the past")
+        seq = next(self._counter)
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.fn = fn
+            event.args = args
+            event.cancelled = False
+            event.done = False
+        else:
+            event = Event(time, seq, fn, args, self, True)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
+
+    def post_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """:meth:`post` at ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("negative delay")
+        self.post(self._now + delay, fn, *args)
 
     def stop(self) -> None:
         """Stop the run loop after the current event returns."""
@@ -137,6 +184,9 @@ class Simulator:
                     profiler.add("event_dispatch", perf_counter() - started)
                 else:
                     event.fn(*event.args)
+                if event.pooled and len(self._pool) < _EVENT_POOL_CAP:
+                    event.fn = event.args = None  # type: ignore[assignment]
+                    self._pool.append(event)
                 self.events_processed += 1
                 processed += 1
                 if max_events is not None and processed >= max_events:

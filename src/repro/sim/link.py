@@ -202,7 +202,9 @@ class Link:
         tx_time = pkt.wire_size / self.bandwidth
         self._busy_until = start + tx_time
         self._queued += 1
-        self.sim.at(self._busy_until, self._transmitted, pkt)
+        # Fire-and-forget: links never cancel a transmission, so the
+        # pooled path avoids one Event allocation per packet.
+        self.sim.post(self._busy_until, self._transmitted, pkt)
 
     # -- internal ---------------------------------------------------------
 
@@ -232,7 +234,7 @@ class Link:
             self.stats.packets_reordered += 1
             delay += self.rng.uniform(0.0, self.reorder_extra_delay)
 
-        self.sim.after(delay, self._deliver, pkt)
+        self.sim.post_after(delay, self._deliver, pkt)
 
     def _deliver(self, pkt: IPPacket) -> None:
         self.stats.packets_delivered += 1

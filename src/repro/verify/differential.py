@@ -1,6 +1,6 @@
 """Differential runner: paired executions that must agree.
 
-Three comparisons, each a pair of runs differing in exactly one
+Six comparisons, each a pair of runs differing in exactly one
 implementation choice that must be behaviour-preserving:
 
 * **fingerprinters** — the vectorised polynomial fingerprinter against
@@ -17,9 +17,18 @@ implementation choice that must be behaviour-preserving:
   faults* must not change the delivered stream (the epoch stamp rides
   in the shim; heartbeats share the bottleneck but cannot perturb
   correctness).
+* **batched encoder** — :meth:`ByteCachingEncoder.encode_batch` (the
+  fused whole-window path) against a per-packet ``encode`` loop: the
+  wire bytes must match packet for packet.
+* **table implementations** — the ring fingerprint table against the
+  reference dict table, same packet sequence: byte-identical wire
+  output.
+* **multiflow parallelism** — independent flows run serially and
+  sharded over a process pool must merge to the same per-flow link
+  byte counts (see :func:`repro.experiments.multiflow.run_parallel_flows`).
 
 Each comparison returns a :class:`DifferentialResult`; ``repro verify``
-runs all three and exits non-zero on any mismatch.
+runs all of them and exits non-zero on any mismatch.
 """
 
 from __future__ import annotations
@@ -151,10 +160,108 @@ def compare_resilience(file_size: int = 40 * 1460,
                               _digest(streams[True]))
 
 
+def _offline_packets(n_packets: int, mss: int = 1460) -> List[bytes]:
+    """Three-phase workload (fresh / cold / warm) for offline passes.
+
+    Mirrors the hot-path bench's regimes: incompressible traffic, a
+    first corpus transfer, and a fully redundant repeat.
+    """
+    import random
+
+    rnd = random.Random(0xBC)
+    fresh = [rnd.randbytes(mss) for _ in range(max(1, n_packets // 2))]
+    data = corpus_object("file1", seed=3)
+    cold = [data[index: index + mss]
+            for index in range(0, len(data), mss)][:n_packets]
+    return fresh + cold + cold
+
+
+def _offline_encode(packets: List[bytes], *, batched: bool,
+                    table_kind: str = "ring") -> List[bytes]:
+    """Wire bytes of one offline encoder pass over ``packets``."""
+    from ..core.cache import ByteCache
+    from ..core.encoder import ByteCachingEncoder
+    from ..core.fingerprint import FingerprintScheme
+    from ..core.policies import PacketMeta, make_policy_pair
+
+    scheme = FingerprintScheme(window=16, zero_bits=4)
+    policy, _ = make_policy_pair("naive")
+    encoder = ByteCachingEncoder(
+        scheme, ByteCache(16 * 1024 * 1024, table_kind=table_kind), policy)
+    metas = [PacketMeta(packet_id=counter, flow=("diff", 0),
+                        tcp_seq=counter * 1460, counter=counter)
+             for counter in range(len(packets))]
+    if batched:
+        return [result.data
+                for result in encoder.encode_batch(packets, metas)]
+    return [encoder.encode(payload, meta).data
+            for payload, meta in zip(packets, metas)]
+
+
+def compare_batched_encoder(n_packets: int = 96) -> DifferentialResult:
+    """encode_batch (fused window path) vs a per-packet encode loop."""
+    packets = _offline_packets(n_packets)
+    per_packet = _offline_encode(packets, batched=False)
+    batched = _offline_encode(packets, batched=True)
+    matched = per_packet == batched
+    mismatches = sum(1 for left, right in zip(per_packet, batched)
+                     if left != right)
+    detail = (f"{len(packets)} packets byte-identical between encode() "
+              f"and encode_batch()" if matched else
+              f"{mismatches}/{len(packets)} packets differ between "
+              f"per-packet and batched encoding")
+    return DifferentialResult(
+        "batched-encoder", matched, detail,
+        _digest(b"".join(per_packet)), _digest(b"".join(batched)))
+
+
+def compare_table_impls(n_packets: int = 96) -> DifferentialResult:
+    """Ring fingerprint table vs the reference dict table."""
+    packets = _offline_packets(n_packets)
+    ring = _offline_encode(packets, batched=True, table_kind="ring")
+    reference = _offline_encode(packets, batched=True, table_kind="dict")
+    matched = ring == reference
+    mismatches = sum(1 for left, right in zip(ring, reference)
+                     if left != right)
+    detail = (f"{len(packets)} packets byte-identical between ring and "
+              f"dict tables" if matched else
+              f"{mismatches}/{len(packets)} packets differ between "
+              f"table implementations")
+    return DifferentialResult(
+        "table-impls", matched, detail,
+        _digest(b"".join(ring)), _digest(b"".join(reference)))
+
+
+def compare_multiflow_parallelism(n_flows: int = 3,
+                                  file_size: int = 30 * 1460,
+                                  workers: int = 2) -> DifferentialResult:
+    """Serial vs process-pool multiflow: identical per-flow results."""
+    from ..experiments.multiflow import run_parallel_flows
+
+    configs = [ExperimentConfig(file_size=file_size,
+                                corpus_seed=3 + index, seed=11 + index)
+               for index in range(n_flows)]
+    serial = run_parallel_flows(configs)
+    parallel = run_parallel_flows(configs, workers=workers)
+    serial_bytes = [flow.per_fetch_link_bytes for flow in serial.flows]
+    parallel_bytes = [flow.per_fetch_link_bytes for flow in parallel.flows]
+    matched = (serial_bytes == parallel_bytes
+               and serial.total_bytes_on_link == parallel.total_bytes_on_link
+               and serial.all_completed and parallel.all_completed)
+    detail = (f"{n_flows} flows merge bit-identically across serial and "
+              f"{workers}-worker execution" if matched else
+              f"flow results diverge between serial and parallel "
+              f"execution ({serial_bytes} vs {parallel_bytes})")
+    return DifferentialResult(
+        "multiflow-parallelism", matched, detail,
+        _digest(repr(serial_bytes).encode()),
+        _digest(repr(parallel_bytes).encode()))
+
+
 def run_differential(scale: str = "smoke",
                      log: Optional[Callable[[str], None]] = None
                      ) -> List[DifferentialResult]:
-    """All three comparisons; ``scale`` picks the workload size.
+    """All six comparisons; ``scale`` picks the workload size.
 
     ``smoke`` uses small objects (seconds, used by the test suite);
     ``headline`` uses the paper-scale object of the headline scenario
@@ -169,15 +276,22 @@ def run_differential(scale: str = "smoke",
         # expensive configuration — CI-sized, not test-sized.
         pairs = dict(file_size=0)
         sweep = dict(losses=(0.0, 0.02, 0.05), file_size=60 * 1460)
+        offline = dict(n_packets=384)
+        multiflow = dict(n_flows=4, file_size=60 * 1460)
     else:
         pairs = dict(file_size=40 * 1460)
         sweep = dict(losses=(0.0, 0.02), file_size=30 * 1460)
+        offline = dict(n_packets=96)
+        multiflow = dict(n_flows=3, file_size=30 * 1460)
 
     results = []
     for runner in (
             lambda: compare_fingerprinters(**pairs),
             lambda: compare_sweep_parallelism(**sweep),
-            lambda: compare_resilience(**pairs)):
+            lambda: compare_resilience(**pairs),
+            lambda: compare_batched_encoder(**offline),
+            lambda: compare_table_impls(**offline),
+            lambda: compare_multiflow_parallelism(**multiflow)):
         result = runner()
         if log is not None:
             log(str(result))

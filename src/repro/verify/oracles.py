@@ -415,7 +415,7 @@ class VerificationHarness:
         enc_cache = self._enc_core.cache
         dec_cache = self._dec_core.cache
         window = self._enc_core.scheme.window
-        dec_table = dec_cache.table._table
+        dec_lookup = dec_cache.table.get  # side-effect-free on both table kinds
         self.coherence_checks += 1
         for entry in list(enc_cache.table.entries()):
             if not entry.usable or entry.store_id in enc_cache._unusable_store_ids:
@@ -423,7 +423,7 @@ class VerificationHarness:
             enc_payload = enc_cache.store._data.get(entry.store_id)
             if enc_payload is None:
                 continue
-            dec_entry = dec_table.get(entry.fingerprint)
+            dec_entry = dec_lookup(entry.fingerprint)
             if dec_entry is None or not dec_entry.usable:
                 continue
             if dec_entry.store_id in dec_cache._unusable_store_ids:

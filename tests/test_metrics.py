@@ -253,3 +253,63 @@ class TestTransferResult:
         baseline = make_result()
         point = RatioPoint.from_results(0.05, dre, baseline)
         assert point.delay_ratio is None
+
+
+class TestStageAccounting:
+    """The profiler's stage totals must account for the wall time."""
+
+    def test_batch_stages_are_canonical(self):
+        from repro.metrics.profiling import STAGES
+
+        for stage in ("batch_fingerprint", "table_probe", "wire_pack",
+                      "merge"):
+            assert stage in STAGES
+
+    def test_stage_totals_sum_to_wall_time(self):
+        import random
+        import time as _time
+
+        from repro.core.cache import ByteCache
+        from repro.core.encoder import ByteCachingEncoder
+        from repro.core.fingerprint import FingerprintScheme
+        from repro.core.policies import PacketMeta, make_policy_pair
+        from repro.workload.corpus import corpus_object
+
+        rnd = random.Random(0xBC)
+        fresh = [rnd.randbytes(1460) for _ in range(24)]
+        data = corpus_object("file1", seed=3)
+        cold = [data[i: i + 1460]
+                for i in range(0, len(data), 1460)][:48]
+        packets = fresh + cold + cold
+        metas = [PacketMeta(packet_id=i, flow=("t", 0),
+                            tcp_seq=i * 1460, counter=i)
+                 for i in range(len(packets))]
+        scheme = FingerprintScheme(window=16, zero_bits=4)
+        policy, _ = make_policy_pair("naive")
+        encoder = ByteCachingEncoder(scheme, ByteCache(1 << 24), policy)
+        encoder.encode_batch(packets, metas)     # warm numpy workspaces
+        profiler = StageProfiler()
+        encoder.profiler = profiler
+        started = _time.perf_counter()
+        encoder.encode_batch(packets, metas)
+        wall = _time.perf_counter() - started
+        for stage in ("batch_fingerprint", "table_probe",
+                      "region_expand", "wire_pack", "cache_ops"):
+            assert profiler.count(stage) > 0, stage
+        stage_sum = sum(total for _, total, _ in profiler.stages())
+        # The stages tile the batch pass: only loop glue is untimed, so
+        # the sum must land within tolerance of the measured wall time
+        # (and never exceed it beyond timer resolution).
+        assert stage_sum <= wall * 1.05
+        assert stage_sum >= wall * 0.65, (
+            f"stages cover only {stage_sum / wall:.0%} of wall time")
+
+    def test_merge_stage_accumulates(self):
+        from repro.experiments import ExperimentConfig
+        from repro.experiments.multiflow import run_parallel_flows
+
+        profiler = StageProfiler()
+        run_parallel_flows([ExperimentConfig(file_size=10 * 1460)],
+                           profiler=profiler)
+        assert profiler.count("merge") == 1
+        assert profiler.total("merge") >= 0.0

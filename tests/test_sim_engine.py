@@ -234,3 +234,74 @@ def test_dispatch_profiling_counts_every_event():
     sim.run()
     assert profiler.count("event_dispatch") == 3
     assert profiler.total("event_dispatch") >= 0.0
+
+
+class TestPooledEvents:
+    """post/post_after: fire-and-forget events recycled via a free list."""
+
+    def test_post_runs_in_time_order_with_handles(self):
+        sim = Simulator()
+        order = []
+        sim.post(2.0, order.append, "pooled")
+        sim.at(1.0, lambda: order.append("handle"))
+        sim.post_after(3.0, order.append, "late")
+        sim.run()
+        assert order == ["handle", "pooled", "late"]
+
+    def test_shells_are_recycled(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, 1)
+        sim.run()
+        assert len(sim._pool) == 1
+        shell = sim._pool[0]
+        # Recycled shells drop their callback references (no leaks).
+        assert shell.fn is None and shell.args is None
+        sim.post(2.0, fired.append, 2)
+        assert sim._pool == []          # the shell was taken back out
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_pool_is_bounded(self):
+        from repro.sim.engine import _EVENT_POOL_CAP
+
+        sim = Simulator()
+        n = _EVENT_POOL_CAP + 64
+        for index in range(n):
+            sim.post(float(index), lambda: None)
+        sim.run()
+        assert len(sim._pool) == _EVENT_POOL_CAP
+
+    def test_post_validates_like_at(self):
+        sim = Simulator()
+        sim.at(5.0, sim.stop)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.post(1.0, lambda: None)     # in the past
+        with pytest.raises(SimulationError):
+            sim.post_after(-0.1, lambda: None)
+
+    def test_pooled_and_handle_events_interleave(self):
+        # Cancelling a handle event must not disturb pooled dispatch.
+        sim = Simulator()
+        order = []
+        sim.post(1.0, order.append, "a")
+        handle = sim.at(1.5, lambda: order.append("cancelled"))
+        sim.post(2.0, order.append, "b")
+        handle.cancel()
+        sim.run()
+        assert order == ["a", "b"]
+        assert sim.pending() == 0
+
+    def test_post_reschedules_from_callback(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                sim.post_after(1.0, tick)
+
+        sim.post(0.0, tick)
+        sim.run()
+        assert ticks == [0.0, 1.0, 2.0, 3.0, 4.0]

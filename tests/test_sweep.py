@@ -155,3 +155,35 @@ class TestProfileCollection:
                                                file_size=FILE_SIZE,
                                                policy="cache_flush"))
         assert result.profile is None
+
+
+class TestBenchHistory:
+    def test_append_bench_history_generic_record(self, tmp_path):
+        from repro.experiments.sweep import append_bench_history
+
+        path = str(tmp_path / "BENCH_hotpath.json")
+        first = append_bench_history(
+            {"schema": "bench_hotpath/v1", "name": "hotpath",
+             "summary": {"speedup": 3.2}}, path)
+        assert first["history"] == []
+        second = append_bench_history(
+            {"schema": "bench_hotpath/v1", "name": "hotpath",
+             "summary": {"speedup": 3.4}}, path)
+        assert len(second["history"]) == 1
+        assert second["history"][0]["speedup"] == 3.2
+        assert second["history"][0]["name"] == "hotpath"
+        on_disk = json.loads((tmp_path / "BENCH_hotpath.json").read_text())
+        assert on_disk["summary"]["speedup"] == 3.4
+
+    def test_history_ignores_foreign_schema(self, tmp_path):
+        from repro.experiments.sweep import append_bench_history
+
+        path = str(tmp_path / "BENCH_x.json")
+        append_bench_history(
+            {"schema": "bench_hotpath/v1", "name": "a",
+             "summary": {}}, path)
+        replaced = append_bench_history(
+            {"schema": "bench_multiflow/v1", "name": "b",
+             "summary": {}}, path)
+        # A different schema starts a fresh trajectory.
+        assert replaced["history"] == []

@@ -8,7 +8,7 @@ Covers the acceptance criteria of the verify layer:
   grid violation-free;
 * the cache-coherence oracle catches a deliberately poisoned decoder
   store and the byte-integrity oracle catches a wrong delivered chunk;
-* the differential runner's three comparisons all agree;
+* the differential runner's six comparisons all agree;
 * the fuzzer finds an injected policy bug, shrinks it to a minimal
   case, and the JSON round-trip replays to the same oracle.
 """
@@ -234,12 +234,33 @@ class TestPolicyOracles:
 # ---------------------------------------------------------------------------
 
 class TestDifferential:
-    def test_all_three_comparisons_agree(self):
+    def test_all_six_comparisons_agree(self):
         results = run_differential("smoke")
         assert [r.name for r in results] == \
-            ["fingerprinters", "sweep-parallelism", "resilience"]
+            ["fingerprinters", "sweep-parallelism", "resilience",
+             "batched-encoder", "table-impls", "multiflow-parallelism"]
         for result in results:
             assert result.matched, str(result)
+
+    def test_batched_encoder_comparison(self):
+        from repro.verify.differential import compare_batched_encoder
+
+        result = compare_batched_encoder(n_packets=32)
+        assert result.matched, result.detail
+        assert result.left_digest == result.right_digest
+
+    def test_table_impls_comparison(self):
+        from repro.verify.differential import compare_table_impls
+
+        result = compare_table_impls(n_packets=32)
+        assert result.matched, result.detail
+
+    def test_multiflow_parallelism_comparison(self):
+        from repro.verify.differential import compare_multiflow_parallelism
+
+        result = compare_multiflow_parallelism(n_flows=2,
+                                               file_size=10 * 1460)
+        assert result.matched, result.detail
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError):
@@ -306,7 +327,7 @@ class TestCli:
 
         assert main(["verify", "--scale", "smoke"]) == 0
         out = capsys.readouterr().out
-        assert "all 3 differential comparisons agree" in out
+        assert "all 6 differential comparisons agree" in out
 
     def test_fuzz_command_clean(self, capsys):
         from repro.cli import main
