@@ -68,9 +68,11 @@ DEFAULT_HOT_FUNCTIONS = [
 ]
 
 #: Attribute names holding optional observer hooks (telemetry,
-#: profilers, verifiers).  On the hot path these must be hoisted into
-#: a local and guarded by a single ``is not None`` check.
-DEFAULT_TELEMETRY_ATTRS = ["profiler", "verifier", "telemetry", "recorder"]
+#: profilers, verifiers, span recorders).  On the hot path these must
+#: be hoisted into a local and guarded by a single ``is not None``
+#: check.
+DEFAULT_TELEMETRY_ATTRS = ["profiler", "verifier", "telemetry", "recorder",
+                           "spans"]
 
 
 @dataclass

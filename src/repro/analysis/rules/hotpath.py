@@ -17,7 +17,11 @@ encoder/decoder/cache/region/simulator hot path — the ones the
   reference;
 * telemetry attributes must not be re-read (``self.profiler``) inside
   a loop — hoist the load into a local before the loop, the PR-2/PR-3
-  single-None-check pattern.
+  single-None-check pattern;
+* span *creation* calls (``spans.begin`` / ``spans.packet_begin`` /
+  ... — :data:`repro.metrics.spans.SPAN_CREATION_METHODS`) must not
+  sit inside an inner loop: one span per packet is the contract, a
+  span per byte/region would dominate the run being measured.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import ast
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
+from ...metrics.spans import SPAN_CREATION_METHODS
 from ..astutil import ParsedFile, walk_functions
 from ..config import LintConfig
 from ..findings import Finding
@@ -147,7 +152,7 @@ class _Scan:
             self.scan(node, guards, loops, raising)
             return
         if isinstance(node, ast.Call):
-            self._check_call(node, guards, raising)
+            self._check_call(node, guards, loops, raising)
             self.scan(node, guards, loops, raising)
             return
         if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
@@ -164,7 +169,7 @@ class _Scan:
             return
         self.scan(node, guards, loops, raising)
 
-    def _check_call(self, node: ast.Call, guards: Set[str],
+    def _check_call(self, node: ast.Call, guards: Set[str], loops: int,
                     raising: bool) -> None:
         dotted = self.parsed.resolve_call(node.func)
         if dotted is not None and (dotted == "logging"
@@ -211,6 +216,16 @@ class _Scan:
                         fixable=True,
                         fix="wrap the call in the single None-check the "
                             "bench_hotpath gate assumes")
+                if node.func.attr in SPAN_CREATION_METHODS and loops:
+                    self.add(
+                        "hotpath-span-in-loop", node,
+                        f"span creation .{node.func.attr}() inside a hot "
+                        "loop; spans are per-packet, not per-iteration — "
+                        "a span per byte/region would dominate the run "
+                        "being measured",
+                        fixable=True,
+                        fix="create the span once before the loop and "
+                            "attach aggregates as end() tags")
 
 
 def _hot_functions_in(parsed: ParsedFile, config: LintConfig
@@ -234,8 +249,8 @@ def check_hotpath(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
     Emits findings under the specific rule ids
     ``hotpath-logging``/``hotpath-format``/
     ``hotpath-comprehension-in-loop``/``hotpath-telemetry-guard``/
-    ``hotpath-telemetry-load`` (select them via the ``hotpath``
-    family).
+    ``hotpath-telemetry-load``/``hotpath-span-in-loop`` (select them
+    via the ``hotpath`` family).
     """
     telemetry = set(config.telemetry_attrs)
     findings: List[Finding] = []

@@ -23,6 +23,7 @@ from ..experiments.runner import (FILE_NAME, SERVER_ADDR, Testbed,
 from ..experiments.sweep import parallel_map
 from ..metrics.collectors import TransferResult
 from ..metrics.report import format_table
+from ..metrics.spans import spans_rollup
 from ..sim.faults import (FaultInjector, GatewayFaultLog, all_of,
                           control_blackout, match_time_window,
                           schedule_asymmetric_eviction, schedule_bursty_loss,
@@ -203,6 +204,12 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     campaign = Campaign.from_dict(payload["campaign"])
     config = campaign.config(payload["policy"], payload["seed"],
                              resilience=payload["resilience"])
+    # Sampled causal tracing in every cell: a failed SLO record then
+    # carries trace ids that replay back to a concrete causal chain.
+    # The rollup folded into the scorecard excludes wall times, so
+    # replay_report's byte-for-byte comparison still holds.
+    config.spans = True
+    config.spans_kwargs = {"trace_sample": 16, "max_spans": 4000}
     testbed = build_testbed(config)
     armed = arm_campaign(campaign, testbed, payload["seed"])
 
@@ -230,7 +237,9 @@ def _run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         # result still carries stats and telemetry for the scorecard.
         summary = exc.summary()
         violation = {"oracle": summary["oracle"],
-                     "message": summary["message"]}
+                     "message": summary["message"],
+                     "trace": summary["context"].get("trace_id"),
+                     "span": summary["context"].get("span_id")}
 
     result = collect_result(testbed, outcome, config)
     return {"result": result.to_dict(), "violation": violation,
@@ -321,13 +330,41 @@ def run_campaign(campaign: Campaign,
                           summary=_summarise(runs))
 
 
+def _trace_hints(doc: Optional[Dict[str, Any]],
+                 limit: int = 5) -> List[int]:
+    """Trace ids worth replaying for a failed cell (deterministic).
+
+    Picks the first traces containing a watchdog trip, an abandoned
+    resync, or an undecodable drop — the spans a §IV post-mortem
+    starts from (``repro spans <trace-id>`` on the cell's config).
+    """
+    if doc is None:
+        return []
+    hints: List[int] = []
+    seen = set()
+    for span in doc["spans"]:
+        name = span["name"]
+        tags = span.get("tags", {})
+        interesting = (
+            name == "watchdog_trip"
+            or (name == "decode" and tags.get("status") == "missing")
+            or (name == "resync" and tags.get("outcome") == "gave_up"))
+        if interesting and span["trace"] not in seen:
+            seen.add(span["trace"])
+            hints.append(span["trace"])
+            if len(hints) >= limit:
+                break
+    return hints
+
+
 def _run_record(payload, result: TransferResult,
                 baseline: Optional[TransferResult], slos, mttrs,
                 output) -> Dict[str, Any]:
+    passed = all(s.passed for s in slos)
     return {
         "policy": payload["policy"],
         "seed": payload["seed"],
-        "passed": all(s.passed for s in slos),
+        "passed": passed,
         "slos": [s.to_dict() for s in slos],
         "mttrs": [_round(m) for m in mttrs],
         "metrics": {
@@ -347,6 +384,9 @@ def _run_record(payload, result: TransferResult,
         },
         "faults": output["faults"],
         "violation": output["violation"],
+        "spans": (spans_rollup(result.spans)
+                  if result.spans is not None else None),
+        "trace_hints": ([] if passed else _trace_hints(result.spans)),
     }
 
 

@@ -24,6 +24,13 @@ chaos      composable fault campaigns (link flaps, loss bursts,
 lint       static architecture lint: layering DAG, determinism,
            hot-path discipline and robustness hygiene, with a
            committed ratcheting baseline
+flame      one span-traced run rendered as a self/total-time flame
+           tree (ASCII + folded-stacks output)
+spans      print one causal chain end-to-end from a spans/v1 export
+           (encoder decision -> wire -> decoder outcome, following
+           cross-trace links; finds the §IV-B livelock by default)
+bench      benchmark utilities; `bench diff` is the regression
+           sentinel over committed BENCH_*.json history
 """
 
 from __future__ import annotations
@@ -263,6 +270,81 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--show-suppressed", action="store_true",
                           help="include pragma-suppressed findings in "
                                "text output")
+
+    def add_span_run_args(cmd) -> None:
+        """Shared args for commands that run one span-traced transfer."""
+        cmd.add_argument(
+            "--policy", default="classic",
+            choices=sorted(ENCODER_POLICIES) + ["classic", "none"],
+            help="encoding policy ('classic' = the paper's §IV naive "
+                 "scheme, 'none' disables DRE)")
+        cmd.add_argument("--loss", type=float, default=1.0,
+                         help="loss rate in percent")
+        cmd.add_argument("--corpus", default="file1",
+                         choices=corpus_names())
+        cmd.add_argument("--size", type=int, default=60 * 1460,
+                         help="object size in bytes")
+        cmd.add_argument("--seed", type=int, default=11)
+        cmd.add_argument("--resilience", action="store_true",
+                         help="arm the gateway resilience layer")
+        cmd.add_argument("--sample", type=int, default=1,
+                         help="trace 1 in N flows (default: all)")
+        cmd.add_argument("--from", dest="from_file", default=None,
+                         metavar="SPANS.json",
+                         help="read an existing spans/v1 export instead "
+                              "of running a transfer")
+        cmd.add_argument("--out", default=None, metavar="SPANS.json",
+                         help="write the spans/v1 export to this file")
+
+    flame_cmd = sub.add_parser(
+        "flame", help="span-traced run rendered as a flame tree "
+                      "(self/total time per pipeline stage)")
+    add_span_run_args(flame_cmd)
+    flame_cmd.add_argument("--weight", default="wall",
+                           choices=["wall", "sim", "count"],
+                           help="node weight: host wall time, sim time, "
+                                "or span count")
+    flame_cmd.add_argument("--depth", type=int, default=None,
+                           help="maximum stack depth to render")
+    flame_cmd.add_argument("--min-frac", type=float, default=0.0,
+                           dest="min_frac",
+                           help="hide nodes below this fraction of the "
+                                "total weight")
+    flame_cmd.add_argument("--folded", default=None, metavar="FILE",
+                           help="also write folded-stacks lines "
+                                "(flamegraph.pl / speedscope input)")
+
+    spans_cmd = sub.add_parser(
+        "spans", help="print one causal chain end-to-end "
+                      "(default: the §IV-B livelock suspect)")
+    spans_cmd.add_argument("trace", nargs="?", type=int, default=None,
+                           help="trace id to walk (default: auto-detect "
+                                "the circular-dependency chain)")
+    add_span_run_args(spans_cmd)
+    spans_cmd.add_argument("--list", action="store_true",
+                           help="list traces instead of walking one")
+    spans_cmd.add_argument("--hops", type=int, default=6,
+                           help="cross-trace hops to follow")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="benchmark utilities (regression sentinel)")
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command",
+                                         required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff", help="compare current BENCH_*.json records against "
+                     "their committed history; non-zero exit on a "
+                     "statistically significant regression")
+    bench_diff.add_argument("--root", default=".",
+                            help="repo root holding pyproject.toml "
+                                 "(default: cwd)")
+    bench_diff.add_argument("--dir", default=None, metavar="PATH",
+                            help="directory holding the BENCH_*.json "
+                                 "files (default: --root)")
+    bench_diff.add_argument("--window", type=int, default=None,
+                            help="history records to compare against "
+                                 "(default: [tool.repro-bench] window)")
+    bench_diff.add_argument("--out", default=None, metavar="REPORT.json",
+                            help="write the bench_diff/v1 report")
 
     sub.add_parser("policies", help="list encoding policies")
     return parser
@@ -674,6 +756,128 @@ def cmd_lint(args) -> int:
     return report.exit_code
 
 
+def _spans_doc(args) -> dict:
+    """A spans/v1 export: from ``--from FILE`` or by running a transfer."""
+    if args.from_file:
+        with open(args.from_file, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    policy = {"classic": "naive", "none": None}.get(args.policy, args.policy)
+    config = ExperimentConfig(
+        corpus=args.corpus, file_size=args.size, policy=policy,
+        policy_kwargs={}, loss_rate=_percent(args.loss), seed=args.seed,
+        resilience=args.resilience,
+        spans=True, spans_kwargs={"trace_sample": args.sample},
+        # Bounded stall settings (as in `repro timeline`): a naive
+        # livelock exhausts 8 retries at <= 2 s RTO well inside the
+        # 120 s limit instead of grinding through the full defaults.
+        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0)
+    result = run_transfer(config)
+    doc = result.spans
+    assert doc is not None  # spans=True guarantees an export
+    if not args.from_file:
+        print(f"ran {args.corpus} @ {args.loss:.3g}% loss, "
+              f"policy={args.policy}: completed={result.completed} "
+              f"sim_time={result.sim_time:.3f}s "
+              f"spans={doc['summary']['spans']} "
+              f"traces={doc['summary']['traces']}")
+    return doc
+
+
+def cmd_flame(args) -> int:
+    from .metrics.flame import build_flame, format_flame, to_folded
+    from .metrics.spans import validate_spans
+
+    doc = _spans_doc(args)
+    validate_spans(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote spans/v1 export to {args.out}")
+    root = build_flame(doc, weight=args.weight)
+    print()
+    print("\n".join(format_flame(root, weight=args.weight,
+                                 max_depth=args.depth,
+                                 min_fraction=args.min_frac)))
+    if args.folded:
+        lines = to_folded(root, weight=args.weight)
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"\nwrote {len(lines)} folded-stack lines to {args.folded}")
+    return 0
+
+
+def cmd_spans(args) -> int:
+    from .metrics.spans import (find_livelock_trace, format_chain,
+                                spans_by_trace, validate_spans)
+
+    doc = _spans_doc(args)
+    validate_spans(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote spans/v1 export to {args.out}")
+    by_trace = spans_by_trace(doc)
+    if not by_trace:
+        print("export contains no spans (was tracing sampled away? "
+              "try --sample 1)")
+        return 1
+
+    if args.list:
+        rows = []
+        for tid in sorted(by_trace):
+            spans = by_trace[tid]
+            root = min(spans, key=lambda s: s["span"])
+            tags = root["tags"]
+            rows.append([tid, root["name"], len(spans),
+                         tags.get("packet", "-"), tags.get("seq", "-")])
+        print(format_table(f"{len(by_trace)} traces",
+                           ["trace", "root", "spans", "packet", "seq"],
+                           rows))
+        return 0
+
+    trace = args.trace
+    if trace is None:
+        trace = find_livelock_trace(doc)
+        if trace is not None:
+            print(f"livelock suspect: trace t{trace} (a decode failed on "
+                  "a fingerprint whose carrier was this same segment)")
+        else:
+            trace = min(by_trace)
+            print("no circular-dependency signature found; showing "
+                  f"trace t{trace} (pick one with --list)")
+    print()
+    print("\n".join(format_chain(doc, trace, max_hops=args.hops)))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .metrics.regression import (bench_diff_report, format_bench_diff,
+                                     run_bench_diff)
+
+    diffs, exit_code = run_bench_diff(
+        Path(args.root).resolve(),
+        bench_dir=Path(args.dir) if args.dir else None,
+        window=args.window)
+    print("\n".join(format_bench_diff(diffs)))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(bench_diff_report(diffs), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote bench_diff/v1 report to {args.out}")
+    regressions = sum(1 for d in diffs if d.status == "regression")
+    if exit_code:
+        print(f"REGRESSION: {regressions} bench(es) significantly "
+              "slower than their history")
+    else:
+        print("no significant regressions")
+    return exit_code
+
+
 def cmd_policies(_args) -> int:
     from .core.policies import make_policy_pair
 
@@ -699,6 +903,9 @@ COMMANDS = {
     "fuzz": cmd_fuzz,
     "chaos": cmd_chaos,
     "lint": cmd_lint,
+    "flame": cmd_flame,
+    "spans": cmd_spans,
+    "bench": cmd_bench,
     "policies": cmd_policies,
 }
 

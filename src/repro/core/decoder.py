@@ -85,6 +85,12 @@ class ByteCachingDecoder:
         #: Optional :class:`repro.verify.oracles.VerificationHarness`;
         #: None (the default) costs one ``is None`` check per drop.
         self.verifier = None
+        #: Optional causal span recorder (duck-typed,
+        #: :class:`repro.metrics.spans.SpanRecorder`).  When set,
+        #: reconstruction emits a ``reconstruct`` stage span under the
+        #: gateway's decode span; None costs one check per encoded
+        #: packet.
+        self.spans: Optional[Any] = None
         self.policy.attach_decoder(self)
 
     def decode(self, data: bytes, meta: PacketMeta,
@@ -127,11 +133,20 @@ class ByteCachingDecoder:
                 self.verifier.on_undecodable(meta, missing)
             return DecodeResult(DecodeStatus.MISSING, missing=missing)
 
+        spans = self.spans
+        recon_span = None
+        if spans is not None:
+            recon_span = spans.begin_stage("reconstruct", "decoder-core",
+                                           regions=len(parsed.regions))
         try:
             payload = self._reconstruct(parsed)
         except (WireFormatError, MissingFingerprintError):
             self.stats.malformed += 1
+            if spans is not None:
+                spans.end_stage(recon_span, outcome="malformed")
             return DecodeResult(DecodeStatus.MALFORMED)
+        if spans is not None:
+            spans.end_stage(recon_span, bytes_out=len(payload))
 
         if checksum is not None and not verify_payload(payload, checksum):
             # Stale cache entry: some fingerprint resolved to bytes that

@@ -17,7 +17,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import (TYPE_CHECKING, Iterable, List, NamedTuple, Optional,
+from typing import (TYPE_CHECKING, Any, Iterable, List, NamedTuple, Optional,
                     Sequence, Set, Tuple, Union)
 
 from .cache import ByteCache
@@ -165,6 +165,12 @@ class ByteCachingEncoder:
         #: pooled shells the caller must release (see the pool's
         #: ownership rule).  None (the default) allocates per packet.
         self.result_pool: Optional[EncodeResultPool] = None
+        #: Optional causal span recorder (duck-typed,
+        #: :class:`repro.metrics.spans.SpanRecorder`).  When set, the
+        #: per-packet pass emits table_probe / region_expand /
+        #: wire_pack stage spans under the gateway's encode span; when
+        #: None the cost is an ``is None`` check per stage boundary.
+        self.spans: Optional[Any] = None
         # Adaptive candidate-probe bypass (see _candidate_pairs): in
         # hit-dense traffic every anchor survives the bitmap prefilter,
         # so the vectorised probe is pure overhead.  After
@@ -217,6 +223,7 @@ class ByteCachingEncoder:
         policy = self.policy
         policy_cls = type(policy)
         fused = (profiler is None and self.verifier is None
+                 and self.spans is None
                  and not force_raw
                  and policy_cls.before_packet is EncoderPolicy.before_packet
                  and policy_cls.may_encode is EncoderPolicy.may_encode
@@ -305,21 +312,39 @@ class ByteCachingEncoder:
 
         self.policy.before_packet(meta, self.cache)
 
+        spans = self.spans
         regions: List[Region] = []
         dependencies: Set[int] = set()
         if not force_raw and self.policy.may_encode(meta):
+            probe_span = None
+            if spans is not None:
+                probe_span = spans.begin_stage("table_probe", "encoder-core")
             if profiler is not None:
                 started = perf_counter()
                 pairs = self._candidate_pairs(anchors)
                 profiler.add("table_probe", perf_counter() - started)
+            else:
+                pairs = self._candidate_pairs(anchors)
+            expand_span = None
+            if spans is not None:
+                spans.end_stage(probe_span)
+                expand_span = spans.begin_stage("region_expand",
+                                                "encoder-core")
+            if profiler is not None:
                 started = perf_counter()
                 regions, dependencies = self._find_regions(payload, pairs,
                                                            meta)
                 profiler.add("region_expand", perf_counter() - started)
             else:
-                regions, dependencies = self._find_regions(
-                    payload, self._candidate_pairs(anchors), meta)
+                regions, dependencies = self._find_regions(payload, pairs,
+                                                           meta)
+            if spans is not None:
+                spans.end_stage(expand_span, regions=len(regions),
+                                dependencies=len(dependencies))
 
+        pack_span = None
+        if spans is not None:
+            pack_span = spans.begin_stage("wire_pack", "encoder-core")
         if profiler is not None:
             started = perf_counter()
         if regions:
@@ -333,6 +358,8 @@ class ByteCachingEncoder:
             data = wrap_raw(payload)
         if profiler is not None:
             profiler.add("wire_pack", perf_counter() - started)
+        if spans is not None:
+            spans.end_stage(pack_span, bytes_out=len(data))
 
         cached = False
         if profiler is not None:

@@ -85,6 +85,15 @@ class ExperimentConfig:
     #: TelemetryConfig field overrides (sample_interval, max_samples,
     #: flight_ring, flight_flows, dump_events).
     telemetry_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Record causal span traces (repro.metrics.spans): one trace per
+    #: sampled data packet, spans across encode -> link transit ->
+    #: decode with cross-trace encoded_against/retransmit links, plus
+    #: control-plane traces for resyncs and watchdog trips.  The
+    #: spans/v1 export lands in TransferResult.spans.  When False every
+    #: hook site pays exactly one None-check (bench_hotpath budget).
+    spans: bool = False
+    #: SpanRecorder overrides (trace_sample=1/N flows, max_spans).
+    spans_kwargs: Dict[str, Any] = field(default_factory=dict)
     #: Arm the verification oracles (repro.verify.oracles): end-to-end
     #: byte integrity, quiescent-point cache coherence, and the
     #: policy's declared safety properties, each raising a structured

@@ -22,6 +22,7 @@ from ..gateway.pair import GatewayPair
 from ..gateway.resilience import ResilienceConfig
 from ..metrics.collectors import TransferResult
 from ..metrics.profiling import StageProfiler, profiler_if
+from ..metrics.spans import SpanRecorder, spans_if
 from ..metrics.telemetry import FlightRecorder, Telemetry, telemetry_if
 from ..net.tcp import TCPStack
 from ..sim.engine import Simulator
@@ -54,6 +55,8 @@ class Testbed:
     tracer: Tracer
     profiler: Optional[StageProfiler] = None
     telemetry: Optional[Telemetry] = None
+    #: repro.metrics.spans.SpanRecorder when config.spans.
+    spans: Optional[SpanRecorder] = None
     #: repro.verify.oracles.VerificationHarness when config.verify.
     verifier: object = None
 
@@ -69,6 +72,7 @@ def build_testbed(config: ExperimentConfig,
     tracer.bind_clock(lambda: sim.now)
     telemetry = telemetry_if(config.telemetry, sim,
                              **config.telemetry_kwargs)
+    span_recorder = spans_if(config.spans, sim, **config.spans_kwargs)
     if telemetry is not None:
         # Existing tracer.emit call sites feed the flight recorder even
         # while full tracing stays off.
@@ -89,10 +93,16 @@ def build_testbed(config: ExperimentConfig,
             # the recent event history even with telemetry off.
             recorder = FlightRecorder()
             tracer.sink = recorder.record
+        recorder.spans = span_recorder
         verifier = VerificationHarness(sim, recorder=recorder,
                                        **config.verify_kwargs)
+        verifier.spans = span_recorder
         if telemetry is not None:
             telemetry.register_verifier(verifier)
+    if telemetry is not None and span_recorder is not None:
+        # Flight-recorder rows resolve packet ids back to trace/span
+        # ids, so a post-mortem dump points into the span export.
+        telemetry.recorder.spans = span_recorder
 
     client = Host(sim, "client", CLIENT_ADDR, tracer)
     server = Host(sim, "server", SERVER_ADDR, tracer)
@@ -114,6 +124,7 @@ def build_testbed(config: ExperimentConfig,
                         if config.resilience else None),
             telemetry=telemetry,
             verifier=verifier,
+            spans=span_recorder,
             **config.policy_kwargs)
         enc_node: Node = gateways.encoder
         dec_node: Node = gateways.decoder
@@ -136,11 +147,11 @@ def build_testbed(config: ExperimentConfig,
                     corrupt_rate=config.corrupt_rate,
                     reorder_rate=config.reorder_rate,
                     rng=rng.stream("bottleneck_fwd"), name="bottleneck-fwd",
-                    telemetry=telemetry)
+                    telemetry=telemetry, spans=span_recorder)
     bott_rev = Link(sim, config.bandwidth, config.bottleneck_delay,
                     loss_rate=config.reverse_loss_rate,
                     rng=rng.stream("bottleneck_rev"), name="bottleneck-rev",
-                    telemetry=telemetry)
+                    telemetry=telemetry, spans=span_recorder)
     # decoder <-> client LAN
     lan_c_fwd = Link(sim, config.lan_bandwidth, config.lan_delay,
                      rng=rng.stream("lan_c_fwd"), name="lan-client-fwd")
@@ -163,8 +174,10 @@ def build_testbed(config: ExperimentConfig,
     client.set_default_route(lan_c_rev)
 
     tcp_config = config.tcp_config()
-    client_stack = TCPStack(sim, client, tcp_config, telemetry=telemetry)
-    server_stack = TCPStack(sim, server, tcp_config, telemetry=telemetry)
+    client_stack = TCPStack(sim, client, tcp_config, telemetry=telemetry,
+                            spans=span_recorder)
+    server_stack = TCPStack(sim, server, tcp_config, telemetry=telemetry,
+                            spans=span_recorder)
 
     if telemetry is not None:
         telemetry.start()
@@ -176,7 +189,8 @@ def build_testbed(config: ExperimentConfig,
                    client_stack=client_stack, server_stack=server_stack,
                    bottleneck_forward=bott_fwd, bottleneck_reverse=bott_rev,
                    gateways=gateways, tracer=tracer, profiler=profiler,
-                   telemetry=telemetry, verifier=verifier)
+                   telemetry=telemetry, spans=span_recorder,
+                   verifier=verifier)
 
 
 def run_transfer(config: ExperimentConfig,
@@ -270,6 +284,8 @@ def collect_result(testbed: Testbed, outcome,
         profile=(testbed.profiler.as_dict()
                  if testbed.profiler is not None else None),
         telemetry=telemetry_export,
+        spans=(testbed.spans.export()
+               if testbed.spans is not None else None),
     )
 
 

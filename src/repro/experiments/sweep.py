@@ -344,13 +344,19 @@ def parallel_map(fn: Callable[[Any], Any], items: Sequence[Any], *,
 # ---------------------------------------------------------------------------
 
 def _cell_metrics(result: TransferResult) -> Dict[str, Any]:
-    return {
+    metrics = {
         "completed": result.completed,
         "bytes_on_link": result.forward_bytes_on_link,
         "download_time": result.download_time,
         "perceived_loss_rate": result.perceived_loss_rate,
         "sim_time": result.sim_time,
     }
+    if result.spans is not None:
+        # Deterministic rollup only (counts + sim durations, no wall
+        # times) so cached and fresh cells stay byte-identical.
+        from ..metrics.spans import spans_rollup
+        metrics["spans"] = spans_rollup(result.spans)
+    return metrics
 
 
 def bench_payload(sweep: SweepResult, name: str) -> Dict[str, Any]:

@@ -109,6 +109,9 @@ class _GatewayBase(Middlebox):
         self.down = False
         #: Set by subclasses when a ResilienceConfig is supplied.
         self.resilience = None
+        #: Duck-typed repro.metrics.spans.SpanRecorder (PR 3 contract:
+        #: disabled path is one attribute load + `is not None`).
+        self.spans = None
 
     def set_peer(self, peer_address: str) -> None:
         """Address of the other gateway (for control messages)."""
@@ -131,6 +134,10 @@ class _GatewayBase(Middlebox):
             self.stats.dropped_while_down += 1
             self.tracer.emit(self.name, "drop_gateway_down",
                              packet_id=pkt.packet_id)
+            spans = self.spans
+            if spans is not None:
+                spans.packet_event("drop_gateway_down", self.name,
+                                   pkt.packet_id)
             return
         super().handle(pkt)
 
@@ -234,6 +241,13 @@ class EncoderGateway(_GatewayBase):
         self._data_counter += 1
         if pkt.proto == PROTO_TCP:
             self.segment_log[pkt.packet_id] = payload.seq
+        spans = self.spans
+        span = None
+        if spans is not None:
+            # Roots this packet's trace (flow-sampled); the codec's
+            # stage sub-spans attach underneath via the context stack.
+            span = spans.packet_begin("encode", self.name, pkt.packet_id,
+                                      flow=meta.flow, seq=meta.tcp_seq)
         result = self.encoder.encode(payload.data, meta,
                                      force_raw=(mode == MODE_RAW))
         if mode == MODE_RAW:
@@ -256,8 +270,16 @@ class EncoderGateway(_GatewayBase):
             self.tracer.emit(self.name, "encode", packet_id=pkt.packet_id,
                              deps=sorted(result.dependencies),
                              saved=result.bytes_in - result.bytes_out)
+            if spans is not None:
+                # The paper's causal arrow: this packet now depends on
+                # the traces of the cache entries it was encoded against.
+                spans.link_deps(span, result.dependencies)
         else:
             self.stats.passthrough_packets += 1
+        if spans is not None:
+            spans.packet_end(span, encoded=result.encoded,
+                             bytes_in=result.bytes_in,
+                             bytes_out=result.bytes_out)
         self.stats.bytes_after += pkt.wire_size
         # The shell is consumed within this event (dependencies/regions
         # are never recycled — see EncodeResultPool's ownership rule).
@@ -332,6 +354,13 @@ class DecoderGateway(_GatewayBase):
             counter=self._data_counter,
         )
         self._data_counter += 1
+        spans = self.spans
+        span = None
+        if spans is not None:
+            # Continues the trace rooted at the encoder gateway (the
+            # packet id resolves it across the link hop).
+            span = spans.packet_begin("decode", self.name, pkt.packet_id,
+                                      flow=meta.flow, seq=meta.tcp_seq)
         carries_regions = False
         if self.resilience is not None:
             try:
@@ -347,6 +376,8 @@ class DecoderGateway(_GatewayBase):
                 self.stats.desync_dropped += 1
                 self.tracer.emit(self.name, "drop_desync",
                                  packet_id=pkt.packet_id)
+                if spans is not None:
+                    spans.packet_end(span, status="desync_drop")
                 return None
         tag = getattr(payload, "dre_wire_tag", None)
         if tag is not None:
@@ -361,21 +392,33 @@ class DecoderGateway(_GatewayBase):
             payload.dre_encoded = False
             self.stats.decoded_ok += 1
             self.delivered_ids.add(pkt.packet_id)
+            if spans is not None:
+                spans.packet_end(span, status="ok")
             return pkt
         if result.status is DecodeStatus.BUFFERED:
             self.stats.buffered += 1
             self.tracer.emit(self.name, "buffer", packet_id=pkt.packet_id,
                              missing=len(result.missing))
+            if spans is not None:
+                spans.packet_end(span, status="buffered",
+                                 missing=len(result.missing))
             return None
         if result.status is DecodeStatus.MISSING:
             self.stats.undecodable_dropped += 1
             self.tracer.emit(self.name, "drop_undecodable",
                              packet_id=pkt.packet_id,
                              missing=len(result.missing))
+            if spans is not None:
+                spans.packet_end(span, status="missing",
+                                 missing=len(result.missing))
         elif result.status is DecodeStatus.CHECKSUM_MISMATCH:
             self.stats.checksum_dropped += 1
             self.tracer.emit(self.name, "drop_checksum", packet_id=pkt.packet_id)
+            if spans is not None:
+                spans.packet_end(span, status="checksum_mismatch")
         else:
             self.stats.malformed_dropped += 1
             self.tracer.emit(self.name, "drop_malformed", packet_id=pkt.packet_id)
+            if spans is not None:
+                spans.packet_end(span, status="malformed")
         return None

@@ -34,6 +34,7 @@ class GatewayPair:
                resilience: Optional[ResilienceConfig] = None,
                telemetry=None,
                verifier=None,
+               spans=None,
                **policy_kwargs) -> "GatewayPair":
         """Build both gateways for one direction of traffic.
 
@@ -48,7 +49,10 @@ class GatewayPair:
         occupancy, drop accounting, resilience state and the running
         perceived-loss gauge on both sides.  A ``verifier`` harness
         (duck-typed, see :mod:`repro.verify.oracles`) attaches its
-        invariant oracles to both ends of the pair.
+        invariant oracles to both ends of the pair.  A ``spans``
+        recorder (duck-typed, see :mod:`repro.metrics.spans`) threads
+        causal per-packet traces through both gateways and their codec
+        cores.
         """
         if scheme is None:
             scheme = FingerprintScheme()
@@ -71,4 +75,9 @@ class GatewayPair:
             telemetry.register_dre_pair(encoder, decoder)
         if verifier is not None:
             verifier.attach_pair(encoder, decoder)
+        if spans is not None:
+            encoder.spans = spans
+            decoder.spans = spans
+            encoder.encoder.spans = spans
+            decoder.decoder.spans = spans
         return cls(encoder=encoder, decoder=decoder)

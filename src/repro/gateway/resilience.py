@@ -175,6 +175,10 @@ class EncoderResilience:
                 self._last_resync_id = payload
                 self._flush_and_bump()
                 self.stats.resyncs_handled += 1
+                spans = self.gateway.spans
+                if spans is not None:
+                    spans.event("resync_served", self.gateway.name,
+                                resync_id=payload, epoch=self.epoch)
             self.gateway.send_control(CONTROL_KIND_RESYNC_ACK,
                                       (payload, self.epoch))
 
@@ -214,6 +218,10 @@ class EncoderResilience:
         self._flush_and_bump()
         self.gateway.tracer.emit(self.gateway.name, "degraded_recover",
                                  epoch=self.epoch)
+        spans = self.gateway.spans
+        if spans is not None:
+            spans.event("degraded_recover", self.gateway.name,
+                        epoch=self.epoch)
 
     def _heartbeat_tick(self) -> None:
         gateway = self.gateway
@@ -233,6 +241,11 @@ class EncoderResilience:
             gateway.tracer.emit(gateway.name, "degraded_enter",
                                 last_ack_age=gateway.sim.now
                                 - self._last_ack_time)
+            spans = gateway.spans
+            if spans is not None:
+                spans.event("degraded_enter", gateway.name,
+                            last_ack_age=gateway.sim.now
+                            - self._last_ack_time)
 
 
 class DecoderResilience:
@@ -249,6 +262,9 @@ class DecoderResilience:
         self._retry_delay = config.resync_timeout
         self._retries = 0
         self._window: deque = deque(maxlen=config.watchdog_window)
+        #: Open span for the in-flight resync handshake (a multi-event
+        #: control-plane unit: start -> retries -> ack / give-up).
+        self._resync_span = None
 
     @property
     def epoch(self) -> int:
@@ -274,6 +290,11 @@ class DecoderResilience:
             self.gateway.tracer.emit(
                 self.gateway.name, "resync_complete", epoch=epoch,
                 elapsed=self.gateway.sim.now - self._resync_started)
+            spans = self.gateway.spans
+            if spans is not None:
+                spans.end(self._resync_span, outcome="completed",
+                          epoch=epoch)
+                self._resync_span = None
 
     def gate_encoded(self, wire_epoch: Optional[int]) -> bool:
         """Admission check for a *region-bearing* payload.
@@ -311,6 +332,11 @@ class DecoderResilience:
                 self.gateway.name, "watchdog_trip",
                 undecodable=sum(self._window),
                 window=config.watchdog_window)
+            spans = self.gateway.spans
+            if spans is not None:
+                spans.event("watchdog_trip", self.gateway.name,
+                            undecodable=sum(self._window),
+                            window=config.watchdog_window)
             self.start_resync()
 
     def start_resync(self) -> None:
@@ -327,6 +353,10 @@ class DecoderResilience:
         self.stats.resyncs_initiated += 1
         self.gateway.tracer.emit(self.gateway.name, "resync_start",
                                  resync_id=self._resync_id)
+        spans = self.gateway.spans
+        if spans is not None:
+            self._resync_span = spans.open("resync", self.gateway.name,
+                                           resync_id=self._resync_id)
         self._send_request()
 
     def on_restart(self) -> None:
@@ -336,6 +366,10 @@ class DecoderResilience:
             self._retry_event = None
         self.resyncing = False
         self._window.clear()
+        spans = self.gateway.spans
+        if spans is not None and self._resync_span is not None:
+            spans.end(self._resync_span, outcome="aborted_by_restart")
+            self._resync_span = None
 
     # ------------------------------------------------------------------
 
@@ -356,8 +390,18 @@ class DecoderResilience:
             self.gateway.tracer.emit(self.gateway.name, "resync_give_up",
                                      resync_id=self._resync_id,
                                      retries=self._retries)
+            spans = self.gateway.spans
+            if spans is not None:
+                spans.end(self._resync_span, outcome="gave_up",
+                          retries=self._retries)
+                self._resync_span = None
             return
         self._retries += 1
         self.stats.resync_retries += 1
         self._retry_delay *= self.config.resync_backoff
+        spans = self.gateway.spans
+        if spans is not None:
+            spans.child_event(self._resync_span, "resync_retry",
+                              self.gateway.name, attempt=self._retries,
+                              delay=self._retry_delay)
         self._send_request()

@@ -3,9 +3,17 @@
 from .collectors import RatioPoint, TransferResult
 from .depgraph import (DependencyGraph, format_dependency_trace,
                        graph_from_gateways)
+from .flame import FlameNode, build_flame, format_flame, to_folded
 from .profiling import STAGES, StageProfiler, profiler_if
+from .regression import (BENCH_DIFF_SCHEMA, BenchDiff, BenchSpec,
+                         SentinelConfig, bench_diff_report,
+                         format_bench_diff, load_bench_config,
+                         run_bench_diff)
 from .report import format_series, format_table, format_timeseries
 from .series import Aggregate, Series, sweep
+from .spans import (SPANS_SCHEMA, Span, SpanRecorder, find_livelock_trace,
+                    format_chain, spans_by_trace, spans_if, spans_rollup,
+                    validate_spans)
 from .telemetry import (TELEMETRY_SCHEMA, FlightRecorder, MetricsRegistry,
                         Telemetry, TelemetryConfig, TelemetrySampler,
                         telemetry_if, validate_telemetry)
@@ -14,6 +22,27 @@ __all__ = [
     "STAGES",
     "StageProfiler",
     "profiler_if",
+    "SPANS_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "spans_if",
+    "spans_rollup",
+    "spans_by_trace",
+    "find_livelock_trace",
+    "format_chain",
+    "validate_spans",
+    "FlameNode",
+    "build_flame",
+    "format_flame",
+    "to_folded",
+    "BENCH_DIFF_SCHEMA",
+    "BenchDiff",
+    "BenchSpec",
+    "SentinelConfig",
+    "bench_diff_report",
+    "format_bench_diff",
+    "load_bench_config",
+    "run_bench_diff",
     "TELEMETRY_SCHEMA",
     "FlightRecorder",
     "MetricsRegistry",

@@ -53,6 +53,10 @@ class TransferResult:
     #: JSON-shaped dict so to_dict/from_dict round-trip it untouched
     #: through the sweep result cache.
     telemetry: Optional[Dict[str, Any]] = None
+    #: spans/v1 causal-trace export (see repro.metrics.spans), populated
+    #: when the run was configured with ``spans=True``.  Same plain-dict
+    #: round-trip contract as ``telemetry``.
+    spans: Optional[Dict[str, Any]] = None
 
     # -- headline metrics --------------------------------------------------
 

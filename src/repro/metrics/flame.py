@@ -1,0 +1,150 @@
+"""Flame-graph aggregation over spans/v1 exports.
+
+Folds every span onto its name-stack (root span name -> ... -> its own
+name) and accumulates **self** weight — the span's weight minus its
+children's — so a node's **total** (self + descendants) matches the
+usual flame-graph semantics.  Three weights:
+
+* ``wall``  — host-clock self time (``perf_counter``), the profiling view;
+* ``sim``   — simulated seconds, the model view (link transits dominate);
+* ``count`` — one per span, the shape view.
+
+Rendered as an indented ASCII tree (``repro flame``) and as
+folded-stacks lines (``a;b;c <weight>``) consumable by external
+flamegraph tooling (e.g. Brendan Gregg's ``flamegraph.pl`` or speedscope).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+WEIGHTS = ("wall", "sim", "count")
+
+
+class FlameNode:
+    """One stack frame in the aggregated tree."""
+
+    __slots__ = ("name", "count", "self_weight", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.self_weight = 0.0
+        self.children: Dict[str, "FlameNode"] = {}
+
+    def child(self, name: str) -> "FlameNode":
+        node = self.children.get(name)
+        if node is None:
+            node = FlameNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def total(self) -> float:
+        return self.self_weight + sum(c.total for c in self.children.values())
+
+
+def _span_weight(span: Dict[str, Any], weight: str) -> float:
+    if weight == "count":
+        return 1.0
+    if weight == "wall":
+        return float(span.get("wall") or 0.0)
+    end = span.get("end")
+    if end is None:
+        return 0.0
+    return max(0.0, end - span["start"])
+
+
+def build_flame(doc: Dict[str, Any], weight: str = "wall") -> FlameNode:
+    """Aggregate a spans/v1 export into a flame tree rooted at "all"."""
+    if weight not in WEIGHTS:
+        raise ValueError(f"weight must be one of {WEIGHTS}, got {weight!r}")
+    spans: List[Dict[str, Any]] = doc["spans"]
+    by_id: Dict[Tuple[int, int], Dict[str, Any]] = {
+        (s["trace"], s["span"]): s for s in spans}
+    child_sum: Dict[Tuple[int, int], float] = {}
+    if weight != "count":
+        for span in spans:
+            parent = span["parent"]
+            if parent is not None:
+                key = (span["trace"], parent)
+                child_sum[key] = (child_sum.get(key, 0.0)
+                                  + _span_weight(span, weight))
+    root = FlameNode("all")
+    for span in spans:
+        # Name stack from the trace root down to this span.
+        path: List[str] = []
+        cur: Optional[Dict[str, Any]] = span
+        while cur is not None:
+            path.append(cur["name"])
+            parent = cur["parent"]
+            cur = by_id.get((cur["trace"], parent)) if parent is not None else None
+        path.reverse()
+        node = root
+        for name in path:
+            node = node.child(name)
+        node.count += 1
+        if weight == "count":
+            node.self_weight += 1.0
+        else:
+            own = _span_weight(span, weight)
+            kids = child_sum.get((span["trace"], span["span"]), 0.0)
+            node.self_weight += max(0.0, own - kids)
+    return root
+
+
+def _fmt_weight(value: float, weight: str) -> str:
+    if weight == "count":
+        return f"{int(value)}"
+    return f"{value * 1e3:10.3f}ms"
+
+
+def format_flame(root: FlameNode, weight: str = "wall",
+                 max_depth: Optional[int] = None,
+                 min_fraction: float = 0.0) -> List[str]:
+    """Indented tree, children sorted by total weight, heaviest first."""
+    grand = root.total or 1.0
+    lines = [f"flame (weight={weight}, total {_fmt_weight(root.total, weight).strip()}, "
+             f"{sum(c.count for c in root.children.values())} root spans)"]
+    lines.append(f"{'stack':<44} {'n':>7} {'total':>12} {'self':>12} {'tot%':>6}")
+
+    def walk(node: FlameNode, depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        total = node.total
+        if total / grand < min_fraction:
+            return
+        label = ("  " * depth + node.name)[:44]
+        lines.append(f"{label:<44} {node.count:>7} "
+                     f"{_fmt_weight(total, weight):>12} "
+                     f"{_fmt_weight(node.self_weight, weight):>12} "
+                     f"{100.0 * total / grand:>5.1f}%")
+        for child in sorted(node.children.values(),
+                            key=lambda c: -c.total):
+            walk(child, depth + 1)
+
+    for child in sorted(root.children.values(), key=lambda c: -c.total):
+        walk(child, 0)
+    return lines
+
+
+def to_folded(root: FlameNode, weight: str = "wall") -> List[str]:
+    """Folded-stacks lines: ``name;name;name <int-weight>``.
+
+    Wall/sim weights are emitted in microseconds so they stay integral
+    (the folded format expects integer sample counts).
+    """
+    scale = 1.0 if weight == "count" else 1e6
+    lines: List[str] = []
+
+    def walk(node: FlameNode, prefix: str) -> None:
+        stack = f"{prefix};{node.name}" if prefix else node.name
+        value = int(round(node.self_weight * scale))
+        if value > 0:
+            lines.append(f"{stack} {value}")
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            walk(child, stack)
+
+    for child in sorted(root.children.values(), key=lambda c: c.name):
+        walk(child, "")
+    return lines

@@ -1,0 +1,647 @@
+"""Causal span tracing: walk a receiver-side stall back to its cause.
+
+The telemetry layer (PR 3) answers *how much* — gauges, counters,
+flight-recorder rings.  This layer answers *why this packet*: every
+sampled data packet gets a **trace**, and every causal unit it passes
+through — gateway encode (with table-probe / region-expand / wire-pack
+stage children), link transit, gateway decode/reconstruct — gets a
+**span** inside that trace, parented to the span that caused it.
+Control-plane units (resync handshakes, watchdog trips, TCP
+retransmissions) get traces of their own, connected to the data-plane
+traces through cross-trace ``links``:
+
+* ``encoded_against`` — an encode span links to the trace of each
+  cache entry the encoder referenced (the paper's causal arrow: a
+  region match *here* creates a decode dependency *there*);
+* ``retransmission_of`` — a TCP retransmit event links back to the
+  trace of the packet that first carried this sequence number;
+* ``caused_by_retransmit`` — the re-encoded packet's trace links back
+  to the retransmit decision that spawned it.
+
+Together these make the §IV-B livelock mechanically walkable: decode
+drops MISSING → same-trace encode span → ``encoded_against`` → the
+dependency's trace ends in a lost link transit — and its root carries
+the *same* TCP sequence number, i.e. the retransmission was encoded
+against a stale copy of itself (see :func:`format_chain`).
+
+Contract (same as PR 3 telemetry): producers hold a duck-typed
+``spans`` attribute, ``None`` by default; the disabled path costs one
+attribute load and an ``is not None`` check.  ``trace_sample=N``
+samples every Nth *flow* (control-plane units are always sampled) so
+the layer scales to multiflow runs.  Wall-clock self-times come from
+``perf_counter`` — permitted by the determinism lint because they feed
+profiling output, never simulation results; simulation timestamps come
+from the injected ``sim`` clock and stay deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+SPANS_SCHEMA = "spans/v1"
+
+#: Recorder methods that allocate a span.  The architecture lint's
+#: hotpath family forbids calling any of these inside an inner batch
+#: loop of a registered hot function (see analysis/rules/hotpath.py).
+SPAN_CREATION_METHODS = frozenset([
+    "begin", "open", "event", "child_event", "begin_stage",
+    "packet_begin", "packet_event", "link_begin", "note_retransmit",
+])
+
+
+class Span:
+    """One timed causal unit inside a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "source",
+                 "start", "end", "wall", "tags", "links", "_wall0")
+
+    def __init__(self, trace_id: int, span_id: int, parent_id: Optional[int],
+                 name: str, source: str, start: float) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.source = source
+        self.start = start
+        self.end: Optional[float] = None
+        self.wall: float = 0.0
+        self.tags: Dict[str, Any] = {}
+        self.links: List[Dict[str, Any]] = []
+        self._wall0 = perf_counter()
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "source": self.source,
+            "start": self.start,
+            "end": self.end,
+            "wall": self.wall,
+            "tags": self.tags,
+        }
+        if self.links:
+            doc["links"] = self.links
+        return doc
+
+
+class SpanRecorder:
+    """Collects spans for sampled flows; bounded, append-only.
+
+    All methods are no-ops (returning ``None``) for packets whose flow
+    was not sampled or once ``max_spans`` is reached — call sites never
+    need to distinguish the cases, they just pass the returned handle
+    back to the matching ``end``.
+    """
+
+    def __init__(self, sim: Any = None, trace_sample: int = 1,
+                 max_spans: int = 50_000) -> None:
+        self.sim = sim
+        self.trace_sample = max(1, int(trace_sample))
+        self.max_spans = int(max_spans)
+        self.spans: List[Span] = []
+        self.traces = 0
+        self.dropped = 0
+        self._next_span = 0
+        # Synchronous context stack: packet_begin/begin push, end pops.
+        # Stage sub-spans attach to the top, so the core codec never
+        # needs to know trace ids.
+        self._stack: List[Span] = []
+        # packet_id -> most recent span in that packet's trace; how a
+        # trace id crosses the gateway -> link -> gateway boundary
+        # without touching the packet objects.
+        self._pkt: Dict[int, Span] = {}
+        self._open_links: Dict[int, Span] = {}
+        self._flow_sampled: Dict[Any, bool] = {}
+        self._flow_seen = 0
+        # (flow, seq) -> first span that carried this segment / the
+        # pending retransmit decision for it.
+        self._seq_origin: Dict[Any, Span] = {}
+        self._retx: Dict[Any, Span] = {}
+        self._faults: List[str] = []
+
+    # -- internals ---------------------------------------------------------
+
+    def _now(self) -> float:
+        sim = self.sim
+        return 0.0 if sim is None else sim.now
+
+    def _full(self) -> bool:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return True
+        return False
+
+    def _alloc(self, name: str, source: str, trace_id: int,
+               parent_id: Optional[int]) -> Span:
+        self._next_span += 1
+        span = Span(trace_id, self._next_span, parent_id, name, source,
+                    self._now())
+        if self._faults:
+            span.tags["faults"] = list(self._faults)
+        self.spans.append(span)
+        return span
+
+    def _new_trace(self) -> int:
+        self.traces += 1
+        return self.traces
+
+    def sampled(self, flow: Any) -> bool:
+        """Deterministic per-flow sampling: every Nth new flow."""
+        if flow is None:
+            return True
+        hit = self._flow_sampled.get(flow)
+        if hit is None:
+            hit = (self._flow_seen % self.trace_sample) == 0
+            self._flow_seen += 1
+            self._flow_sampled[flow] = hit
+        return hit
+
+    # -- synchronous scopes (same-event begin/end) -------------------------
+
+    def begin(self, name: str, source: str, **tags: Any) -> Optional[Span]:
+        """Open a span and push it as the current context.
+
+        Child of the current context if one is active, else the root
+        of a fresh (always-sampled) trace.  Must be closed with
+        :meth:`end` within the same simulator event.
+        """
+        if self._full():
+            return None
+        if self._stack:
+            top = self._stack[-1]
+            span = self._alloc(name, source, top.trace_id, top.span_id)
+        else:
+            span = self._alloc(name, source, self._new_trace(), None)
+        if tags:
+            span.tags.update(tags)
+        self._stack.append(span)
+        return span
+
+    def begin_stage(self, name: str, source: str, **tags: Any) -> Optional[Span]:
+        """Like :meth:`begin` but only when a context is already active.
+
+        The codec cores call this: with no enclosing packet span (flow
+        unsampled, or the core driven directly by a benchmark) it
+        records nothing rather than minting orphan traces per packet.
+        """
+        if not self._stack or self._full():
+            return None
+        top = self._stack[-1]
+        span = self._alloc(name, source, top.trace_id, top.span_id)
+        if tags:
+            span.tags.update(tags)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span], **tags: Any) -> None:
+        if span is None:
+            return
+        span.end = self._now()
+        span.wall = perf_counter() - span._wall0
+        if tags:
+            span.tags.update(tags)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def end_stage(self, span: Optional[Span], **tags: Any) -> None:
+        self.end(span, **tags)
+
+    # -- asynchronous scopes (multi-event units, e.g. a resync) ------------
+
+    def open(self, name: str, source: str, parent: Optional[Span] = None,
+             **tags: Any) -> Optional[Span]:
+        """Open a span that stays live across simulator events.
+
+        Not pushed on the context stack; the caller holds the handle
+        and closes it with :meth:`end` when the unit completes.
+        """
+        if self._full():
+            return None
+        if parent is not None:
+            span = self._alloc(name, source, parent.trace_id, parent.span_id)
+        else:
+            span = self._alloc(name, source, self._new_trace(), None)
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    def event(self, name: str, source: str, **tags: Any) -> Optional[Span]:
+        """Zero-duration span: child of the active context, else a root."""
+        if self._full():
+            return None
+        if self._stack:
+            top = self._stack[-1]
+            span = self._alloc(name, source, top.trace_id, top.span_id)
+        else:
+            span = self._alloc(name, source, self._new_trace(), None)
+        span.end = span.start
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    def child_event(self, parent: Optional[Span], name: str, source: str,
+                    **tags: Any) -> Optional[Span]:
+        """Zero-duration span under an explicitly held parent."""
+        if parent is None or self._full():
+            return None
+        span = self._alloc(name, source, parent.trace_id, parent.span_id)
+        span.end = span.start
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    # -- packet plumbing (trace propagation across hops) -------------------
+
+    def packet_begin(self, name: str, source: str, packet_id: int,
+                     flow: Any = None, seq: Optional[int] = None,
+                     **tags: Any) -> Optional[Span]:
+        """Open a packet-scoped span and push it as the context.
+
+        Continues the packet's existing trace when one is known (the
+        decode side of a hop), else roots a new trace subject to flow
+        sampling.  A fresh root inherits any pending retransmit
+        decision for (flow, seq) as a ``caused_by_retransmit`` link.
+        """
+        prior = self._pkt.get(packet_id)
+        if prior is not None:
+            if self._full():
+                return None
+            span = self._alloc(name, source, prior.trace_id, prior.span_id)
+        else:
+            if not self.sampled(flow) or self._full():
+                return None
+            span = self._alloc(name, source, self._new_trace(), None)
+        span.tags["packet"] = packet_id
+        if flow is not None:
+            span.tags["flow"] = list(flow)
+        if seq is not None:
+            span.tags["seq"] = seq
+            key = (flow, seq)
+            if key not in self._seq_origin:
+                self._seq_origin[key] = span
+            retx = self._retx.pop(key, None)
+            if retx is not None:
+                span.links.append({"ref": "caused_by_retransmit",
+                                   "trace": retx.trace_id,
+                                   "span": retx.span_id})
+        if tags:
+            span.tags.update(tags)
+        self._pkt[packet_id] = span
+        self._stack.append(span)
+        return span
+
+    def packet_end(self, span: Optional[Span], **tags: Any) -> None:
+        self.end(span, **tags)
+
+    def packet_event(self, name: str, source: str, packet_id: int,
+                     **tags: Any) -> Optional[Span]:
+        """Zero-duration span appended to a packet's trace (if traced)."""
+        ctx = self._pkt.get(packet_id)
+        if ctx is None or self._full():
+            return None
+        span = self._alloc(name, source, ctx.trace_id, ctx.span_id)
+        span.end = span.start
+        span.tags["packet"] = packet_id
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    def link_deps(self, span: Optional[Span],
+                  dep_packet_ids: Iterable[int]) -> None:
+        """Record ``encoded_against`` links to the dependencies' traces."""
+        if span is None:
+            return
+        pkt = self._pkt
+        links = []
+        for dep in dep_packet_ids:
+            target = pkt.get(dep)
+            if target is not None:
+                links.append({"ref": "encoded_against",
+                              "trace": target.trace_id,
+                              "span": target.span_id,
+                              "packet": dep})
+        # Dependencies arrive as a set of process-global packet ids;
+        # order by trace so the export replays bit-identically.
+        links.sort(key=lambda link: (link["trace"], link["span"]))
+        span.links.extend(links)
+
+    # -- link transit ------------------------------------------------------
+
+    def link_begin(self, source: str, packet_id: int,
+                   **tags: Any) -> Optional[Span]:
+        """Open a transit span when a traced packet enters a link."""
+        ctx = self._pkt.get(packet_id)
+        if ctx is None or self._full():
+            return None
+        span = self._alloc("link_transit", source, ctx.trace_id, ctx.span_id)
+        span.tags["packet"] = packet_id
+        if tags:
+            span.tags.update(tags)
+        self._open_links[packet_id] = span
+        self._pkt[packet_id] = span
+        return span
+
+    def link_annotate(self, packet_id: int, **tags: Any) -> None:
+        span = self._open_links.get(packet_id)
+        if span is not None:
+            span.tags.update(tags)
+
+    def link_end(self, packet_id: int, outcome: str,
+                 **tags: Any) -> Optional[Span]:
+        """Close the packet's open transit span with an outcome tag."""
+        span = self._open_links.pop(packet_id, None)
+        if span is None:
+            return None
+        span.end = self._now()
+        span.wall = perf_counter() - span._wall0
+        span.tags["outcome"] = outcome
+        if tags:
+            span.tags.update(tags)
+        return span
+
+    # -- control plane -----------------------------------------------------
+
+    def note_retransmit(self, source: str, flow: Any, seq: int,
+                        **tags: Any) -> Optional[Span]:
+        """Record a TCP retransmit decision as its own small trace.
+
+        Links back to the first traced packet that carried this
+        sequence number; the next packet traced with the same
+        (flow, seq) links forward to this span, closing the causal
+        chain stall -> retransmit -> re-encode.
+        """
+        if not self.sampled(flow) or self._full():
+            return None
+        span = self._alloc("tcp_retransmit", source, self._new_trace(), None)
+        span.end = span.start
+        if flow is not None:
+            span.tags["flow"] = list(flow)
+        span.tags["seq"] = seq
+        if tags:
+            span.tags.update(tags)
+        key = (flow, seq)
+        origin = self._seq_origin.get(key)
+        if origin is not None:
+            span.links.append({"ref": "retransmission_of",
+                               "trace": origin.trace_id,
+                               "span": origin.span_id})
+        self._retx[key] = span
+        return span
+
+    def fault_begin(self, name: str) -> None:
+        """Mark an injected-fault window: spans created while any
+        window is active carry a ``faults`` tag."""
+        self._faults.append(name)
+
+    def fault_end(self, name: str) -> None:
+        try:
+            self._faults.remove(name)
+        except ValueError:
+            pass
+
+    # -- introspection -----------------------------------------------------
+
+    def current_ids(self) -> Tuple[Optional[int], Optional[int]]:
+        """(trace_id, span_id) of the active context, or (None, None)."""
+        if self._stack:
+            top = self._stack[-1]
+            return (top.trace_id, top.span_id)
+        return (None, None)
+
+    def ids_for_packet(self, packet_id: int
+                       ) -> Tuple[Optional[int], Optional[int]]:
+        span = self._pkt.get(packet_id)
+        if span is None:
+            return (None, None)
+        return (span.trace_id, span.span_id)
+
+    # -- export ------------------------------------------------------------
+
+    def export(self) -> Dict[str, Any]:
+        """The full spans/v1 document (JSON-shaped, schema-stamped)."""
+        open_spans = 0
+        for span in self.spans:
+            if span.end is None:
+                open_spans += 1
+        return {
+            "schema": SPANS_SCHEMA,
+            "trace_sample": self.trace_sample,
+            "summary": {
+                "spans": len(self.spans),
+                "traces": self.traces,
+                "dropped": self.dropped,
+                "open": open_spans,
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def to_jsonl(self, path: str) -> None:
+        """One span per line; first line is the schema header."""
+        doc = self.export()
+        with open(path, "w") as fh:
+            header = {"schema": doc["schema"],
+                      "trace_sample": doc["trace_sample"],
+                      "summary": doc["summary"]}
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in doc["spans"]:
+                fh.write(json.dumps(span, sort_keys=True) + "\n")
+
+
+def spans_if(enabled: bool, sim: Any = None,
+             **kwargs: Any) -> Optional[SpanRecorder]:
+    """``SpanRecorder`` when enabled, else ``None`` — the single
+    None-check contract (mirrors ``profiler_if`` / ``telemetry_if``)."""
+    if not enabled:
+        return None
+    return SpanRecorder(sim=sim, **kwargs)
+
+
+# -- validation ------------------------------------------------------------
+
+_REQUIRED_SPAN_KEYS = ("trace", "span", "parent", "name", "source",
+                       "start", "end", "wall", "tags")
+
+
+def validate_spans(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Structural validation of a spans/v1 export; raises ValueError."""
+    if not isinstance(doc, dict) or doc.get("schema") != SPANS_SCHEMA:
+        raise ValueError(f"not a {SPANS_SCHEMA} document: "
+                         f"schema={doc.get('schema')!r}")
+    summary = doc.get("summary")
+    spans = doc.get("spans")
+    if not isinstance(summary, dict) or not isinstance(spans, list):
+        raise ValueError("missing summary/spans sections")
+    if summary.get("spans") != len(spans):
+        raise ValueError(f"summary.spans={summary.get('spans')} but "
+                         f"{len(spans)} spans present")
+    seen: set = set()
+    traces: set = set()
+    for i, span in enumerate(spans):
+        for key in _REQUIRED_SPAN_KEYS:
+            if key not in span:
+                raise ValueError(f"span[{i}] missing key {key!r}")
+        if not isinstance(span["trace"], int) or not isinstance(span["span"], int):
+            raise ValueError(f"span[{i}] ids must be ints")
+        ident = (span["trace"], span["span"])
+        if ident in seen:
+            raise ValueError(f"span[{i}] duplicate id {ident}")
+        parent = span["parent"]
+        if parent is not None and (span["trace"], parent) not in seen:
+            raise ValueError(f"span[{i}] parent {parent} not defined "
+                             f"earlier in trace {span['trace']}")
+        if not isinstance(span["tags"], dict):
+            raise ValueError(f"span[{i}] tags must be a dict")
+        for link in span.get("links", []):
+            if not {"ref", "trace", "span"} <= set(link):
+                raise ValueError(f"span[{i}] malformed link: {link}")
+        seen.add(ident)
+        traces.add(span["trace"])
+    declared = summary.get("traces")
+    if not isinstance(declared, int) or declared < len(traces):
+        raise ValueError(f"summary.traces={declared} < {len(traces)} "
+                         "distinct trace ids present")
+    return doc
+
+
+def spans_rollup(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Compact, deterministic per-run rollup for sweep/chaos records.
+
+    Deliberately excludes wall-clock figures so cached sweep cells and
+    chaos replays stay bit-identical across hosts.
+    """
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for span in doc["spans"]:
+        entry = by_name.setdefault(span["name"], {"count": 0, "sim_time": 0.0})
+        entry["count"] += 1
+        end = span["end"]
+        if end is not None:
+            entry["sim_time"] += end - span["start"]
+    for entry in by_name.values():
+        entry["sim_time"] = round(entry["sim_time"], 9)
+    return {
+        "traces": doc["summary"]["traces"],
+        "spans": doc["summary"]["spans"],
+        "dropped": doc["summary"]["dropped"],
+        "by_name": {name: by_name[name] for name in sorted(by_name)},
+    }
+
+
+# -- causal-chain walking --------------------------------------------------
+
+def spans_by_trace(doc: Dict[str, Any]) -> Dict[int, List[Dict[str, Any]]]:
+    out: Dict[int, List[Dict[str, Any]]] = {}
+    for span in doc["spans"]:
+        out.setdefault(span["trace"], []).append(span)
+    return out
+
+
+def _trace_root(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    for span in spans:
+        if span["parent"] is None:
+            return span
+    return spans[0]
+
+
+def find_livelock_trace(doc: Dict[str, Any]) -> Optional[int]:
+    """Pick the trace that best exhibits the §IV-B circular dependency.
+
+    Preference order: a trace whose decode dropped MISSING *and* whose
+    encode links to a dependency trace carrying the same TCP sequence
+    number (the circular case); then any MISSING-drop trace; then any
+    trace with a drop event at all.
+    """
+    by_trace = spans_by_trace(doc)
+    fallback: Optional[int] = None
+    dropped: Optional[int] = None
+    for tid in sorted(by_trace):
+        spans = by_trace[tid]
+        missing = any(s["name"] == "decode"
+                      and s["tags"].get("status") == "missing"
+                      for s in spans)
+        if not missing:
+            if dropped is None and any("drop" in s["name"] for s in spans):
+                dropped = tid
+            continue
+        if fallback is None:
+            fallback = tid
+        seq = _trace_root(spans)["tags"].get("seq")
+        for span in spans:
+            for link in span.get("links", []):
+                if link["ref"] != "encoded_against":
+                    continue
+                dep = by_trace.get(link["trace"])
+                if dep and seq is not None \
+                        and _trace_root(dep)["tags"].get("seq") == seq:
+                    return tid
+    return fallback if fallback is not None else dropped
+
+
+def format_chain(doc: Dict[str, Any], trace_id: int,
+                 max_hops: int = 6) -> List[str]:
+    """Render one causal chain, hop by hop, following cross-trace links.
+
+    Starts at ``trace_id`` and walks ``encoded_against`` /
+    ``retransmission_of`` / ``caused_by_retransmit`` links breadth-
+    first (bounded by ``max_hops``).  A hop whose root carries a
+    (flow, seq) already seen earlier in the chain is flagged as the
+    circular dependency.
+    """
+    by_trace = spans_by_trace(doc)
+    if trace_id not in by_trace:
+        return [f"trace t{trace_id}: not found "
+                f"({len(by_trace)} traces in export)"]
+    lines: List[str] = []
+    visited: List[int] = []
+    seen_seqs: Dict[Any, int] = {}
+    queue: List[int] = [trace_id]
+    while queue and len(visited) < max_hops:
+        tid = queue.pop(0)
+        if tid in visited or tid not in by_trace:
+            continue
+        visited.append(tid)
+        spans = sorted(by_trace[tid], key=lambda s: s["span"])
+        root = _trace_root(spans)
+        tags = root["tags"]
+        header = f"trace t{tid} [{root['name']}]"
+        if "packet" in tags:
+            header += f" packet={tags['packet']}"
+        if "seq" in tags:
+            header += f" seq={tags['seq']}"
+        if "flow" in tags:
+            header += f" flow={':'.join(str(p) for p in tags['flow'])}"
+        key = (json.dumps(tags.get("flow")), tags.get("seq"))
+        if tags.get("seq") is not None:
+            prev = seen_seqs.get(key)
+            if prev is not None:
+                header += (f"   <== CIRCULAR: same flow/seq as trace t{prev}"
+                           " — this segment was encoded against a lost copy"
+                           " of itself")
+            else:
+                seen_seqs[key] = tid
+        lines.append(header)
+        # Depth from parent links, for indentation.
+        depth_of: Dict[int, int] = {}
+        for span in spans:
+            parent = span["parent"]
+            depth_of[span["span"]] = (depth_of.get(parent, -1) + 1
+                                      if parent is not None else 0)
+        for span in spans:
+            indent = "  " * depth_of[span["span"]]
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(span["tags"].items())
+                if k not in ("flow", "packet"))
+            lines.append(f"  [{span['start']:10.4f}s] {indent}"
+                         f"{span['source']:<16} {span['name']:<16} {detail}")
+            for link in span.get("links", []):
+                lines.append(f"  {'':12s} {indent}  "
+                             f"`-> {link['ref']} -> trace t{link['trace']}")
+                if link["trace"] not in visited:
+                    queue.append(link["trace"])
+    if len(visited) >= max_hops and queue:
+        lines.append(f"... chain truncated at {max_hops} hops "
+                     f"({len(queue)} linked traces unvisited)")
+    return lines

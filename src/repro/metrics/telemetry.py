@@ -361,11 +361,25 @@ class FlightRecorder:
         self._overflow: deque = deque(maxlen=ring_size)
         self._seq = 0
         self.events_seen = 0
+        # Duck-typed causal span recorder (repro.metrics.spans).  When
+        # set, recorded events are annotated with the trace/span ids of
+        # the packet they concern (falling back to the active span
+        # context), so a flight-recorder dump attached to an
+        # InvariantViolation points back at a replayable causal chain.
+        self.spans = None
 
     def record(self, time: float, source: str, event: str,
                detail: Optional[Dict[str, Any]] = None) -> None:
         """Append one event to its flow's ring."""
         detail = detail if detail is not None else {}
+        spans = self.spans
+        if spans is not None and "trace" not in detail:
+            trace_id, span_id = spans.ids_for_packet(detail.get("packet_id"))
+            if trace_id is None:
+                trace_id, span_id = spans.current_ids()
+            if trace_id is not None:
+                detail["trace"] = trace_id
+                detail["span"] = span_id
         key = detail.get("flow", source)
         ring = self._rings.get(key)
         if ring is None:

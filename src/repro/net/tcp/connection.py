@@ -169,6 +169,13 @@ class TCPConnection:
         self.closed_at: Optional[float] = None
         self.close_reason: Optional[str] = None
 
+        # Duck-typed causal span recorder (repro.metrics.spans).  When
+        # set, retransmissions emit a ``tcp_retransmit`` span linked to
+        # the original segment's trace — the hop that ties a receiver
+        # stall back to the encoder decision that caused it.  Costs one
+        # ``is not None`` check per retransmission when absent.
+        self.spans = None
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -371,6 +378,13 @@ class TCPConnection:
         else:
             self.stats.retransmissions += 1
             self._timing = None  # Karn: a retransmission spoils the sample
+            spans = self.spans
+            if spans is not None:
+                spans.note_retransmit(
+                    f"tcp:{self.local_addr}:{self.local_port}",
+                    (self.local_addr, self.local_port,
+                     self.remote_addr, self.remote_port),
+                    seq, length=len(data))
         self.stats.segments_sent += 1
         self._transmit(segment)
 

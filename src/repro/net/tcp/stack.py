@@ -19,7 +19,7 @@ class TCPStack:
 
     def __init__(self, sim: Simulator, host: Host,
                  config: Optional[TCPConfig] = None,
-                 telemetry=None):
+                 telemetry=None, spans=None):
         self.sim = sim
         self.host = host
         self.config = config if config is not None else TCPConfig()
@@ -29,6 +29,9 @@ class TCPStack:
         # segment path, so the only stack-side cost is this None check
         # at connection setup.
         self.telemetry = telemetry
+        # Duck-typed causal span recorder (repro.metrics.spans),
+        # propagated to every connection the stack creates.
+        self.spans = spans
         self._connections: Dict[ConnKey, TCPConnection] = {}
         self._listeners: Dict[int, Callable[[TCPConnection], None]] = {}
         self._ephemeral = itertools.count(49152)
@@ -86,6 +89,8 @@ class TCPStack:
                              config=config if config is not None else self.config,
                              iss=iss)
         self._connections[key] = conn
+        if self.spans is not None:
+            conn.spans = self.spans
         if self.telemetry is not None:
             self.telemetry.register_connection(
                 conn, f"{self.host.name}:{local_port}")

@@ -290,9 +290,14 @@ class FaultInjector:
             return
         index = self._offer_index
         self._offer_index += 1
+        spans = getattr(self.link, "spans", None)
         for action, predicate, arg in self._rules:
             if not predicate(pkt, index):
                 continue
+            if spans is not None:
+                # Traced packets record which injected fault hit them.
+                spans.packet_event("fault_" + action, self.link.name,
+                                   pkt.packet_id, fault=action)
             if action == "drop":
                 self.log.dropped.append(index)
                 return
@@ -364,11 +369,20 @@ def schedule_gateway_restart(sim: Simulator, gateway, at: float,
         token = getattr(gateway, "_crash_token", 0) + 1
         gateway._crash_token = token
         gateway.fail()
+        spans = getattr(gateway, "spans", None)
+        if spans is not None:
+            spans.fault_begin("gateway_down")
         if log is not None:
             log.crashes.append(sim.now)
         sim.after(downtime, restore, token)
 
     def restore(token: int) -> None:
+        # Every crash schedules exactly one restore, so ending the
+        # fault window here (even for a superseded restore) keeps the
+        # begin/end counts balanced under overlapping crash windows.
+        spans = getattr(gateway, "spans", None)
+        if spans is not None:
+            spans.fault_end("gateway_down")
         if getattr(gateway, "_crash_token", 0) != token or not gateway.down:
             return
         gateway.restart()
@@ -490,9 +504,15 @@ def schedule_link_flap(sim: Simulator, link: Link, at: float,
 
     def down() -> None:
         link.down = True
+        spans = getattr(link, "spans", None)
+        if spans is not None:
+            spans.fault_begin("link_flap")
 
     def up() -> None:
         link.down = False
+        spans = getattr(link, "spans", None)
+        if spans is not None:
+            spans.fault_end("link_flap")
 
     events: List[Event] = []
     for index in range(flaps):
@@ -526,10 +546,16 @@ def schedule_bursty_loss(sim: Simulator, link: Link, at: float, until: float,
 
     def attach() -> None:
         link.loss_model = model
+        spans = getattr(link, "spans", None)
+        if spans is not None:
+            spans.fault_begin("bursty_loss")
 
     def detach() -> None:
         if link.loss_model is model:
             link.loss_model = None
+        spans = getattr(link, "spans", None)
+        if spans is not None:
+            spans.fault_end("bursty_loss")
 
     sim.at(at, attach)
     sim.at(until, detach)

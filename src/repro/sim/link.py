@@ -132,6 +132,13 @@ class Link:
         pull gauges for its queue depth and loss counters — sampled on
         the telemetry tick, so the send path itself carries no extra
         per-packet work.
+    spans:
+        Optional causal span recorder (duck-typed, see
+        ``repro.metrics.spans``).  When given, traced packets get a
+        ``link_transit`` span from transmitter to delivery, closed
+        with an outcome tag (delivered / lost / queue_drop) — the hop
+        that carries a trace id across the gateway boundary.  Costs a
+        single ``is not None`` check per packet when absent.
     """
 
     def __init__(
@@ -148,6 +155,7 @@ class Link:
         rng: Optional[random.Random] = None,
         name: str = "link",
         telemetry=None,
+        spans=None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -179,6 +187,7 @@ class Link:
         self.loss_model: Optional[GilbertElliottLoss] = None
         self._busy_until = 0.0
         self._queued = 0
+        self.spans = spans
         if telemetry is not None:
             telemetry.register_link(self)
 
@@ -192,11 +201,16 @@ class Link:
             raise RuntimeError(f"link {self.name!r} has no receiver connected")
         self.stats.packets_offered += 1
         self.stats.bytes_offered += pkt.wire_size
+        spans = self.spans
 
         if self.queue_limit is not None and self._queued >= self.queue_limit:
             self.stats.packets_queue_dropped += 1
+            if spans is not None:
+                spans.packet_event("queue_drop", self.name, pkt.packet_id)
             return
 
+        if spans is not None:
+            spans.link_begin(self.name, pkt.packet_id, bytes=pkt.wire_size)
         now = self.sim.now
         start = max(now, self._busy_until)
         tx_time = pkt.wire_size / self.bandwidth
@@ -211,34 +225,49 @@ class Link:
     def _transmitted(self, pkt: IPPacket) -> None:
         """Packet finished serialising; apply impairments and propagate."""
         self._queued -= 1
+        spans = self.spans
 
         if self.down:
             self.stats.packets_lost += 1
+            if spans is not None:
+                spans.link_end(pkt.packet_id, "lost", reason="link_down")
             return
 
         loss_model = self.loss_model
         if loss_model is not None:
             if loss_model.lost():
                 self.stats.packets_lost += 1
+                if spans is not None:
+                    spans.link_end(pkt.packet_id, "lost",
+                                   reason="bursty_loss")
                 return
         elif self.rng.random() < self.loss_rate:
             self.stats.packets_lost += 1
+            if spans is not None:
+                spans.link_end(pkt.packet_id, "lost", reason="loss")
             return
 
         if self.corrupt_rate and self.rng.random() < self.corrupt_rate:
             self.stats.packets_corrupted += 1
             pkt = self._corrupt(pkt)
+            if spans is not None:
+                spans.link_annotate(pkt.packet_id, corrupted=True)
 
         delay = self.prop_delay
         if self.reorder_rate and self.rng.random() < self.reorder_rate:
             self.stats.packets_reordered += 1
             delay += self.rng.uniform(0.0, self.reorder_extra_delay)
+            if spans is not None:
+                spans.link_annotate(pkt.packet_id, reordered=True)
 
         self.sim.post_after(delay, self._deliver, pkt)
 
     def _deliver(self, pkt: IPPacket) -> None:
         self.stats.packets_delivered += 1
         self.stats.bytes_delivered += pkt.wire_size
+        spans = self.spans
+        if spans is not None:
+            spans.link_end(pkt.packet_id, "delivered")
         assert self.receiver is not None
         self.receiver(pkt)
 

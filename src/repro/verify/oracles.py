@@ -281,6 +281,11 @@ class VerificationHarness:
             raise ValueError("coherence_interval must be positive")
         self.sim = sim
         self.recorder = recorder
+        # Duck-typed causal span recorder (repro.metrics.spans); the
+        # runner arms it alongside the harness so a violation's context
+        # names the active trace/span — a replayable causal chain, not
+        # just a counter snapshot.
+        self.spans = None
         self.coherence_interval = float(coherence_interval)
         self.oracles: List[EncoderOracle] = []
         self.violations = 0
@@ -475,6 +480,10 @@ class VerificationHarness:
                            self.sim.now if self.sim is not None else None)
         context.setdefault("undecodable_seen", self.undecodable_seen)
         context.setdefault("stale_seen", self.stale_seen)
+        if self.spans is not None:
+            trace_id, span_id = self.spans.current_ids()
+            context.setdefault("trace_id", trace_id)
+            context.setdefault("span_id", span_id)
         self._note("violation", oracle=oracle, message=message)
         dump = self.recorder.dump(64) if self.recorder is not None else []
         raise InvariantViolation(oracle, message, context=context,

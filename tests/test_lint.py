@@ -236,6 +236,34 @@ class TestHotpath:
             "return data"])
         assert "hotpath-telemetry-load" in rules_of(report)
 
+    def test_span_creation_in_loop_flagged(self, tmp_path):
+        report = self.write(tmp_path, [
+            "spans = self.spans",
+            "for b in data:",
+            "    if spans is not None:",
+            "        spans.begin_stage('probe', 'enc')",
+            "return data"])
+        assert "hotpath-span-in-loop" in rules_of(report)
+
+    def test_span_creation_outside_loop_clean(self, tmp_path):
+        report = self.write(tmp_path, [
+            "spans = self.spans",
+            "span = None",
+            "if spans is not None:",
+            "    span = spans.begin_stage('probe', 'enc')",
+            "for b in data:",
+            "    pass",
+            "if spans is not None:",
+            "    spans.end_stage(span)",
+            "return data"])
+        assert "hotpath-span-in-loop" not in rules_of(report)
+
+    def test_unguarded_span_call_flagged(self, tmp_path):
+        report = self.write(tmp_path, [
+            "self.spans.packet_event('drop', 'enc', 1)",
+            "return data"])
+        assert "hotpath-telemetry-guard" in rules_of(report)
+
     def test_cold_function_unconstrained(self, tmp_path):
         make_tree(tmp_path, {
             "src/repro/core/encoder.py": (

@@ -1,0 +1,369 @@
+"""Tests for causal span tracing (repro.metrics.spans) and the flame
+builder (repro.metrics.flame)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_transfer
+from repro.metrics.collectors import TransferResult
+from repro.metrics.flame import build_flame, format_flame, to_folded
+from repro.metrics.spans import (SPANS_SCHEMA, SpanRecorder,
+                                 find_livelock_trace, format_chain,
+                                 spans_by_trace, spans_if, spans_rollup,
+                                 validate_spans)
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestSpanRecorderScopes:
+    def test_begin_end_nest_under_context_stack(self):
+        rec = SpanRecorder()
+        outer = rec.begin("outer", "a")
+        inner = rec.begin("inner", "a")
+        assert inner.trace_id == outer.trace_id
+        assert inner.parent_id == outer.span_id
+        rec.end(inner)
+        rec.end(outer)
+        assert rec.current_ids() == (None, None)
+
+    def test_begin_stage_noops_without_context(self):
+        """Codec cores driven directly (benchmarks) record nothing."""
+        rec = SpanRecorder()
+        assert rec.begin_stage("table_probe", "enc") is None
+        rec.end_stage(None)  # must be None-safe
+        assert rec.spans == []
+
+    def test_stage_attaches_to_active_packet(self):
+        rec = SpanRecorder()
+        pkt = rec.packet_begin("encode", "gw", packet_id=1)
+        stage = rec.begin_stage("table_probe", "enc")
+        assert stage.trace_id == pkt.trace_id
+        assert stage.parent_id == pkt.span_id
+        rec.end_stage(stage)
+        rec.packet_end(pkt, encoded=True)
+        assert pkt.tags["encoded"] is True
+
+    def test_sim_clock_stamps_start_end(self):
+        sim = FakeSim()
+        rec = SpanRecorder(sim=sim)
+        span = rec.begin("s", "a")
+        sim.now = 2.5
+        rec.end(span)
+        assert span.start == 0.0 and span.end == 2.5
+
+    def test_event_is_zero_duration(self):
+        rec = SpanRecorder()
+        span = rec.event("watchdog_trip", "dec", window=16)
+        assert span.end == span.start
+        assert span.tags["window"] == 16
+
+    def test_open_span_survives_across_events(self):
+        rec = SpanRecorder()
+        resync = rec.open("resync", "dec", resync_id=3)
+        child = rec.child_event(resync, "resync_retry", "dec", attempt=1)
+        assert child.parent_id == resync.span_id
+        rec.end(resync, outcome="completed")
+        assert resync.tags["outcome"] == "completed"
+
+
+class TestTracePropagation:
+    def test_trace_crosses_gateway_link_gateway(self):
+        """encode -> link_transit -> decode share one trace id."""
+        rec = SpanRecorder()
+        enc = rec.packet_begin("encode", "enc-gw", packet_id=7,
+                               flow=("a", 1, "b", 2), seq=100)
+        rec.packet_end(enc)
+        transit = rec.link_begin("link.fwd", 7, bytes=60)
+        rec.link_end(7, "delivered")
+        dec = rec.packet_begin("decode", "dec-gw", packet_id=7)
+        rec.packet_end(dec, status="ok")
+        assert enc.trace_id == transit.trace_id == dec.trace_id
+        assert transit.parent_id == enc.span_id
+        assert dec.parent_id == transit.span_id
+        assert transit.tags["outcome"] == "delivered"
+
+    def test_flow_sampling_every_nth(self):
+        rec = SpanRecorder(trace_sample=2)
+        kept = rec.packet_begin("encode", "gw", 1, flow="f0", seq=1)
+        rec.packet_end(kept)
+        skipped = rec.packet_begin("encode", "gw", 2, flow="f1", seq=1)
+        assert kept is not None and skipped is None
+        # Same flow keeps its verdict.
+        again = rec.packet_begin("encode", "gw", 3, flow="f0", seq=2)
+        assert again is not None
+        rec.packet_end(again)
+
+    def test_packet_event_needs_traced_packet(self):
+        rec = SpanRecorder()
+        assert rec.packet_event("queue_drop", "link", 99) is None
+        span = rec.packet_begin("encode", "gw", 99)
+        rec.packet_end(span)
+        drop = rec.packet_event("queue_drop", "link", 99)
+        assert drop.trace_id == span.trace_id
+
+    def test_link_deps_record_encoded_against(self):
+        rec = SpanRecorder()
+        dep = rec.packet_begin("encode", "gw", 1)
+        rec.packet_end(dep)
+        cur = rec.packet_begin("encode", "gw", 2)
+        rec.link_deps(cur, [1, 42])  # 42 untraced -> skipped
+        rec.packet_end(cur)
+        assert cur.links == [{"ref": "encoded_against",
+                              "trace": dep.trace_id,
+                              "span": dep.span_id, "packet": 1}]
+
+    def test_retransmit_links_close_the_causal_loop(self):
+        rec = SpanRecorder()
+        flow = ("s", 80, "c", 1000)
+        first = rec.packet_begin("encode", "gw", 1, flow=flow, seq=500)
+        rec.packet_end(first)
+        retx = rec.note_retransmit("tcp", flow, 500)
+        assert retx.links == [{"ref": "retransmission_of",
+                               "trace": first.trace_id,
+                               "span": first.span_id}]
+        second = rec.packet_begin("encode", "gw", 2, flow=flow, seq=500)
+        rec.packet_end(second)
+        assert {"ref": "caused_by_retransmit", "trace": retx.trace_id,
+                "span": retx.span_id} in second.links
+
+    def test_fault_windows_tag_spans(self):
+        rec = SpanRecorder()
+        rec.fault_begin("link_flap")
+        span = rec.packet_begin("encode", "gw", 1)
+        rec.packet_end(span)
+        rec.fault_end("link_flap")
+        after = rec.packet_begin("encode", "gw", 2)
+        assert span.tags["faults"] == ["link_flap"]
+        assert "faults" not in after.tags
+        rec.fault_end("never_opened")  # must not raise
+
+    def test_max_spans_bounds_and_counts_drops(self):
+        rec = SpanRecorder(max_spans=2)
+        a = rec.begin("a", "x")
+        rec.end(a)
+        b = rec.begin("b", "x")
+        rec.end(b)
+        assert rec.begin("c", "x") is None
+        assert rec.packet_begin("d", "x", 9) is None
+        assert len(rec.spans) == 2
+        assert rec.dropped == 2
+        assert rec.export()["summary"]["dropped"] == 2
+
+
+class TestExport:
+    def make_doc(self):
+        rec = SpanRecorder(sim=FakeSim())
+        enc = rec.packet_begin("encode", "gw", 1, flow=("a", 1, "b", 2),
+                               seq=10)
+        stage = rec.begin_stage("table_probe", "enc")
+        rec.end_stage(stage)
+        rec.packet_end(enc)
+        rec.link_begin("link", 1)
+        rec.link_end(1, "delivered")
+        return rec.export()
+
+    def test_export_shape_and_validation(self):
+        doc = self.make_doc()
+        assert doc["schema"] == SPANS_SCHEMA
+        assert doc["summary"]["spans"] == len(doc["spans"]) == 3
+        json.dumps(doc)  # JSON-safe
+        validate_spans(doc)
+
+    def test_validate_rejects_corruption(self):
+        doc = self.make_doc()
+        with pytest.raises(ValueError):
+            validate_spans({**doc, "schema": "bogus/v9"})
+        broken = json.loads(json.dumps(doc))
+        broken["spans"][0].pop("trace")
+        with pytest.raises(ValueError):
+            validate_spans(broken)
+        dup = json.loads(json.dumps(doc))
+        dup["spans"][1]["span"] = dup["spans"][0]["span"]
+        with pytest.raises(ValueError):
+            validate_spans(dup)
+
+    def test_rollup_is_wall_free(self):
+        """The rollup feeds cached/replayed records: no wall times."""
+        doc = self.make_doc()
+        rollup = spans_rollup(doc)
+        assert rollup["spans"] == 3
+        assert "wall" not in json.dumps(rollup)
+        assert rollup["by_name"]["encode"]["count"] == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        rec = SpanRecorder()
+        span = rec.begin("s", "x")
+        rec.end(span)
+        path = tmp_path / "spans.jsonl"
+        rec.to_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == SPANS_SCHEMA
+        assert len(lines) == 1 + header["summary"]["spans"]
+        assert json.loads(lines[1])["name"] == "s"
+
+    def test_spans_if_contract(self):
+        assert spans_if(False) is None
+        rec = spans_if(True, trace_sample=4)
+        assert isinstance(rec, SpanRecorder)
+        assert rec.trace_sample == 4
+
+
+class TestFlame:
+    def make_doc(self):
+        rec = SpanRecorder(sim=FakeSim())
+        for pkt in range(3):
+            enc = rec.packet_begin("encode", "gw", pkt)
+            stage = rec.begin_stage("table_probe", "enc")
+            rec.end_stage(stage)
+            rec.packet_end(enc)
+        return rec.export()
+
+    def test_tree_structure_and_counts(self):
+        root = build_flame(self.make_doc(), weight="count")
+        assert set(root.children) == {"encode"}
+        encode = root.children["encode"]
+        assert encode.count == 3
+        assert encode.children["table_probe"].count == 3
+        # count weight: self == count, total adds descendants
+        assert encode.self_weight == 3
+        assert encode.total == 6
+
+    def test_self_never_negative(self):
+        root = build_flame(self.make_doc(), weight="wall")
+        for node in root.children.values():
+            assert node.self_weight >= 0
+
+    def test_format_and_folded(self):
+        root = build_flame(self.make_doc(), weight="count")
+        text = "\n".join(format_flame(root, weight="count"))
+        assert "encode" in text and "table_probe" in text
+        folded = to_folded(root, weight="count")
+        assert "encode 3" in folded
+        assert "encode;table_probe 3" in folded
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValueError):
+            build_flame(self.make_doc(), weight="bogus")
+
+
+def naive_run(loss=0.01, size=60 * 1460, **kwargs):
+    config = ExperimentConfig(
+        corpus="file1", file_size=size, policy="naive", policy_kwargs={},
+        loss_rate=loss, seed=11, spans=True,
+        time_limit=120.0, tcp_max_retries=8, tcp_max_rto=2.0, **kwargs)
+    return run_transfer(config)
+
+
+class TestEndToEnd:
+    def test_disabled_by_default_and_result_roundtrip(self):
+        config = ExperimentConfig(corpus="file1", file_size=20 * 1460,
+                                  policy="naive", policy_kwargs={},
+                                  loss_rate=0.0, seed=3)
+        result = run_transfer(config)
+        assert result.spans is None
+        # The plain-dict round-trip contract holds for the new field.
+        clone = TransferResult.from_dict(result.to_dict())
+        assert clone.spans is None
+
+    def test_traced_run_validates_and_covers_the_pipeline(self):
+        result = naive_run(loss=0.0, size=20 * 1460)
+        doc = result.spans
+        validate_spans(doc)
+        names = {span["name"] for span in doc["spans"]}
+        assert {"encode", "table_probe", "region_expand", "wire_pack",
+                "link_transit", "decode"} <= names
+        assert doc["summary"]["open"] == 0  # clean run closes every span
+        clone = TransferResult.from_dict(result.to_dict())
+        assert clone.spans["summary"] == doc["summary"]
+
+    def test_livelock_chain_found_and_rendered(self):
+        """§IV-B: the naive stall walks back to a circular dependency."""
+        result = naive_run(loss=0.01)
+        assert not result.completed  # the classic livelock stall
+        doc = result.spans
+        validate_spans(doc)
+        trace = find_livelock_trace(doc)
+        assert trace is not None
+        lines = format_chain(doc, trace)
+        text = "\n".join(lines)
+        assert "CIRCULAR" in text
+        assert "encoded_against" in text
+        assert "retransmission_of" in text or "caused_by_retransmit" in text
+        assert "status=missing" in text
+        # The flagged hop names the same (flow, seq) twice: the
+        # retransmission was encoded against a lost copy of itself.
+        by_trace = spans_by_trace(doc)
+        assert trace in by_trace
+
+    def test_trace_ids_deterministic_across_runs(self):
+        a = naive_run(loss=0.01).spans
+        b = naive_run(loss=0.01).spans
+
+        def strip(doc):
+            # Wall times are host noise and packet ids come from a
+            # process-global counter; everything else must replay
+            # bit-identically.
+            out = []
+            for span in doc["spans"]:
+                clean = {k: v for k, v in span.items() if k != "wall"}
+                clean["tags"] = {k: v for k, v in span["tags"].items()
+                                 if k != "packet"}
+                if "links" in clean:
+                    clean["links"] = [
+                        {k: v for k, v in link.items() if k != "packet"}
+                        for link in clean["links"]]
+                out.append(clean)
+            return out
+
+        assert strip(a) == strip(b)
+        assert spans_rollup(a) == spans_rollup(b)
+
+    def test_resilience_control_plane_spans_emitted(self):
+        """Resync handshakes and watchdog trips show up as spans."""
+        result = naive_run(loss=0.05, resilience=True)
+        doc = result.spans
+        validate_spans(doc)
+        names = {span["name"] for span in doc["spans"]}
+        assert "watchdog_trip" in names
+        assert "resync" in names and "resync_served" in names
+        resyncs = [span for span in doc["spans"]
+                   if span["name"] == "resync"]
+        assert all("outcome" in span["tags"] for span in resyncs)
+
+    def test_gateway_crash_window_tags_spans(self):
+        from repro.app.transfer import FileClient, FileServer
+        from repro.experiments.runner import (FILE_NAME, SERVER_ADDR,
+                                              build_testbed)
+        from repro.sim.faults import schedule_gateway_restart
+        from repro.workload.corpus import corpus_object
+
+        config = ExperimentConfig(
+            corpus="file1", file_size=40 * 1460, policy="naive",
+            policy_kwargs={}, loss_rate=0.0, seed=5, resilience=True,
+            spans=True, time_limit=120.0, tcp_max_retries=8,
+            tcp_max_rto=2.0)
+        testbed = build_testbed(config)
+        data = corpus_object(config.corpus, config.file_size,
+                             config.corpus_seed)
+        FileServer(testbed.server_stack, {FILE_NAME: data})
+        client = FileClient(testbed.client_stack, testbed.sim)
+        schedule_gateway_restart(testbed.sim, testbed.gateways.decoder,
+                                 at=0.01, downtime=0.02)
+        client.fetch(SERVER_ADDR, FILE_NAME, expected_size=len(data),
+                     on_done=lambda _o: testbed.sim.stop())
+        testbed.sim.run(until=config.time_limit)
+        doc = testbed.spans.export()
+        validate_spans(doc)
+        tagged = [span for span in doc["spans"]
+                  if span["tags"].get("faults") == ["gateway_down"]]
+        assert tagged, "no spans created inside the crash window"
+        untagged = [span for span in doc["spans"]
+                    if "faults" not in span["tags"]]
+        assert untagged, "fault window never closed"

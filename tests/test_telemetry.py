@@ -120,6 +120,47 @@ class TestTelemetrySampler:
         assert len(sampler.series()["g"]) == len(sampler.times)
         assert sampler.times[-1] > 9.0
 
+    def test_decimation_at_exact_max_samples_boundary(self):
+        """The max_samples-th sample (not one more) triggers decimation."""
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.gauge("g", fn=lambda: 1.0)
+        sampler = TelemetrySampler(sim, registry, interval=0.01,
+                                   max_samples=8)
+        for _ in range(7):
+            sampler.sample_once()
+        assert sampler.decimations == 0
+        assert len(sampler.times) == 7
+        sampler.sample_once()  # the boundary sample
+        assert sampler.decimations == 1
+        assert len(sampler.times) == 4  # 8 stored, halved in place
+        assert sampler.interval == 2 * sampler.initial_interval
+        assert len(sampler.series()["g"]) == len(sampler.times)
+
+    def test_late_gauge_backfilled_across_decimation(self):
+        """A gauge registered after a decimation still aligns.
+
+        Backfill length must match the *decimated* time axis, not the
+        raw sample count — the known-untested edge of late
+        registration.
+        """
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.gauge("early", fn=lambda: 1.0)
+        sampler = TelemetrySampler(sim, registry, interval=0.01,
+                                   max_samples=16)
+        sampler.start()
+        # Register mid-run, after at least one decimation has halved
+        # the stored series.
+        sim.at(0.5, lambda: registry.gauge("late", fn=lambda: 2.0))
+        sim.run(until=1.0)
+        assert sampler.decimations >= 1
+        series = sampler.series()
+        assert len(series["late"]) == len(sampler.times)
+        assert len(series["early"]) == len(sampler.times)
+        assert series["late"][-1] == 2.0
+        assert math.isnan(series["late"][0])
+
     def test_invalid_parameters_rejected(self):
         sim = Simulator()
         with pytest.raises(ValueError):
