@@ -1,0 +1,75 @@
+"""Serving-mode grid: users x catalog size x cache budget.
+
+Runs a small serving grid through the sweep engine's
+:func:`~repro.experiments.sweep.parallel_map` twice — serially and over
+a process pool — and asserts the two produce **bit-identical**
+``serving/v1`` reports (the serving engine is a pure function of its
+spec).  The steady-state summary lands in ``BENCH_serving.json``,
+feeding the regression sentinel (``repro bench diff``): a cache or
+encoder change that silently depresses the population hit ratio, or
+inflates p99 download time, trips the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import bench_workers, print_report
+
+from repro.metrics import format_table
+from repro.serving import ServingSpec, run_serving_grid
+from repro.serving.sweep import grid_specs, write_serving_bench
+
+BASE = ServingSpec(mean_object_bytes=4096, arrival_rate=50.0, seed=7)
+USERS = [30, 60]
+CONTENTS = [100, 400]
+CACHE_BYTES = [1 * 1024 * 1024, 4 * 1024 * 1024]
+
+
+def test_serving_grid(benchmark):
+    specs = grid_specs(BASE, USERS, CONTENTS, CACHE_BYTES)
+    workers = bench_workers() or 2
+
+    started = time.perf_counter()
+    serial = run_serving_grid(specs)
+    serial_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_serving_grid(specs, workers=workers)
+    parallel_elapsed = time.perf_counter() - started
+
+    benchmark.pedantic(lambda: run_serving_grid(specs, workers=workers),
+                       rounds=1, iterations=1)
+
+    # The hard gate: worker count changes wall-clock only, never results.
+    serial_blob = json.dumps(serial, sort_keys=True)
+    parallel_blob = json.dumps(parallel, sort_keys=True)
+    assert serial_blob == parallel_blob, \
+        "serial and parallel serving grids diverged"
+
+    doc = write_serving_bench(serial, "BENCH_serving.json",
+                              name="serving-grid")
+    summary = doc["summary"]
+    speedup = serial_elapsed / parallel_elapsed
+
+    rows = [
+        ["grid cells", summary["cells"]],
+        ["total requests", summary["total_requests"]],
+        ["completed", summary["completed_requests"]],
+        ["mean steady hit ratio", f"{summary['steady_hit_ratio']:.1%}"],
+        ["mean steady bytes saved",
+         f"{summary['steady_bytes_saved_ratio']:.1%}"],
+        ["worst steady p99 download",
+         f"{summary['worst_p99_download_s']:.3f}s"],
+        ["serial wall-clock (s)", f"{serial_elapsed:.2f}"],
+        [f"parallel wall-clock (s, {workers} workers)",
+         f"{parallel_elapsed:.2f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["bit-identical grids", "yes"],
+    ]
+    print_report("Serving grid (users x catalog x cache budget)",
+                 format_table(
+                     f"users={USERS} contents={CONTENTS} "
+                     f"cache={[b // (1024 * 1024) for b in CACHE_BYTES]}MB",
+                     ["measurement", "value"], rows))

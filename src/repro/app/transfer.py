@@ -94,7 +94,8 @@ class FileClient:
               expected_content: Optional[bytes] = None,
               port: int = 80,
               on_data: Optional[Callable[[bytes], None]] = None,
-              on_done: Optional[Callable[[TransferOutcome], None]] = None
+              on_done: Optional[Callable[[TransferOutcome], None]] = None,
+              conn_sink: Optional[Callable[[TCPConnection], None]] = None
               ) -> TransferOutcome:
         """Start a retrieval; returns the live outcome object.
 
@@ -102,12 +103,18 @@ class FileClient:
         observes every in-order chunk as TCP delivers it (the
         verification layer's byte-integrity oracle and the differential
         runner's stream capture hang here); ``on_done`` fires when the
-        transfer completes or the connection dies.
+        transfer completes or the connection dies.  ``conn_sink``
+        receives the underlying connection object at open time — the
+        serving engine's flow pool needs it for timeout aborts and
+        post-close release, while the outcome itself stays a pure value
+        object (see below).
         """
         outcome = TransferOutcome(name=name, expected_size=expected_size,
                                   started_at=self.sim.now)
         received = bytearray() if expected_content is not None else None
         conn = self.stack.connect(server_addr, port)
+        if conn_sink is not None:
+            conn_sink(conn)
 
         def finish(stalled: bool, reason: Optional[str]) -> None:
             if outcome.finished_at is not None:

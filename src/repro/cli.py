@@ -31,6 +31,10 @@ spans      print one causal chain end-to-end from a spans/v1 export
            cross-trace links; finds the §IV-B livelock by default)
 bench      benchmark utilities; `bench diff` is the regression
            sentinel over committed BENCH_*.json history
+serve-sim  population serving simulation: Zipf catalog + Poisson
+           sessions as concurrent flows through one shared sharded
+           byte cache, reporting warm-up-excluded steady-state hit
+           ratio / bytes saved / p50-p99 download times
 """
 
 from __future__ import annotations
@@ -345,6 +349,42 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: [tool.repro-bench] window)")
     bench_diff.add_argument("--out", default=None, metavar="REPORT.json",
                             help="write the bench_diff/v1 report")
+
+    serve_cmd = sub.add_parser(
+        "serve-sim", help="population serving simulation over a shared "
+                          "sharded byte cache")
+    serve_cmd.add_argument("--users", type=int, default=50,
+                           help="subscriber population size")
+    serve_cmd.add_argument("--contents", type=int, default=200,
+                           help="catalog size (Zipf-ranked)")
+    serve_cmd.add_argument("--alpha", type=float, default=0.8,
+                           help="Zipf skew of content popularity")
+    serve_cmd.add_argument("--mean-object", type=int, default=8192,
+                           help="mean object size in bytes")
+    serve_cmd.add_argument("--cache-mb", type=float, default=4.0,
+                           help="shared cache budget per direction (MB)")
+    serve_cmd.add_argument("--shards", type=int, default=8,
+                           help="cache shard count (0 = unsharded)")
+    serve_cmd.add_argument("--admission", type=float, default=1.0,
+                           help="probabilistic admission fraction (0,1]")
+    serve_cmd.add_argument("--policy", default="cache_flush",
+                           help="encoding policy for the gateway pair")
+    serve_cmd.add_argument("--loss", type=float, default=1.0,
+                           help="bottleneck loss rate in percent")
+    serve_cmd.add_argument("--arrival-rate", type=float, default=25.0,
+                           help="user arrivals per second (Poisson)")
+    serve_cmd.add_argument("--requests-per-user", type=float, default=2.0,
+                           help="geometric mean session length")
+    serve_cmd.add_argument("--max-requests", type=int, default=None,
+                           help="cap the schedule (soak-style runs)")
+    serve_cmd.add_argument("--seed", type=int, default=7)
+    serve_cmd.add_argument("--verify", action="store_true",
+                           help="arm per-flow content checks and the "
+                                "sharded-cache invariant oracle")
+    serve_cmd.add_argument("--json", action="store_true",
+                           help="print the full serving/v1 report")
+    serve_cmd.add_argument("--out", default=None, metavar="REPORT.json",
+                           help="write the serving/v1 report here")
 
     sub.add_parser("policies", help="list encoding policies")
     return parser
@@ -878,6 +918,71 @@ def cmd_bench(args) -> int:
     return exit_code
 
 
+def cmd_serve_sim(args) -> int:
+    from .serving import ServingSpec, run_serving
+
+    if args.policy not in ENCODER_POLICIES:
+        print(f"unknown policy {args.policy!r}; try: "
+              f"{', '.join(sorted(ENCODER_POLICIES))}", file=sys.stderr)
+        return 2
+    spec = ServingSpec(
+        users=args.users, n_contents=args.contents, alpha=args.alpha,
+        mean_object_bytes=args.mean_object,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        cache_shards=args.shards, cache_admission=args.admission,
+        policy=args.policy, loss_rate=_percent(args.loss),
+        arrival_rate=args.arrival_rate,
+        requests_per_user=args.requests_per_user,
+        max_requests=args.max_requests,
+        seed=args.seed, verify=args.verify)
+    report = run_serving(spec)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=1)
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(report, indent=1))
+        return 0
+    requests = report["requests"]
+    steady = report["steady"]
+    cache = report.get("cache", {})
+    pool = report["pool"]
+
+    def _secs(value):
+        return "-" if value is None else f"{value:.3f}s"
+
+    rows = [
+        ["requests (total/completed)",
+         f"{requests['total']} / {requests['completed']}"],
+        ["timeouts / stalled / unfinished",
+         f"{requests['timeouts']} / {requests['stalled']} / "
+         f"{requests['unfinished']}"],
+        ["warm-up requests excluded", requests["warmup"]],
+        ["steady hit ratio", f"{steady['hit_ratio']:.1%}"],
+        ["steady bytes saved", f"{steady['bytes_saved_ratio']:.1%}"],
+        ["steady p50 download", _secs(steady["p50_download_s"])],
+        ["steady p99 download", _secs(steady["p99_download_s"])],
+        ["cache bytes used / budget",
+         f"{cache.get('bytes_used', 0):,} / {cache.get('byte_budget', 0):,}"],
+        ["cache evictions", cache.get("evictions", 0)],
+        ["pool high-water / released",
+         f"{pool['high_water']} / {pool['released']}"],
+        ["simulated time", f"{report['sim_time']:.1f}s"],
+    ]
+    if "shards" in cache:
+        occupied = [s for s in cache["shards"] if s["payloads"]]
+        rows.append(["shards occupied",
+                     f"{len(occupied)} / {len(cache['shards'])}"])
+    if "oracle_checks" in report:
+        rows.append(["oracle checks (all passed)", report["oracle_checks"]])
+    print(format_table(
+        f"serve-sim: {args.users} users x {args.contents} contents, "
+        f"alpha={args.alpha}, cache={args.cache_mb:g}MB/"
+        f"{args.shards} shards",
+        ["metric", "value"], rows))
+    return 0
+
+
 def cmd_policies(_args) -> int:
     from .core.policies import make_policy_pair
 
@@ -906,6 +1011,7 @@ COMMANDS = {
     "flame": cmd_flame,
     "spans": cmd_spans,
     "bench": cmd_bench,
+    "serve-sim": cmd_serve_sim,
     "policies": cmd_policies,
 }
 

@@ -198,6 +198,12 @@ class EncoderGateway(_GatewayBase):
         if resilience is not None:
             self.resilience = EncoderResilience(self, resilience)
         self._data_counter = 0
+        #: The §VII dependency-graph bookkeeping below grows with every
+        #: data packet of the run — fine for one transfer, unbounded for
+        #: a serving run pushing millions of packets through one
+        #: gateway.  The serving engine clears this flag; everything
+        #: else keeps the analysis logs.
+        self.retain_logs = True
         #: packet_id -> set of packet ids it was encoded against
         #: (dependency bookkeeping for the §VII analysis)
         self.dependency_log: dict = {}
@@ -239,7 +245,7 @@ class EncoderGateway(_GatewayBase):
             counter=self._data_counter,
         )
         self._data_counter += 1
-        if pkt.proto == PROTO_TCP:
+        if pkt.proto == PROTO_TCP and self.retain_logs:
             self.segment_log[pkt.packet_id] = payload.seq
         spans = self.spans
         span = None
@@ -266,7 +272,8 @@ class EncoderGateway(_GatewayBase):
                 payload.options_size += EPOCH_STAMP_SIZE
         if result.encoded:
             self.stats.encoded_packets += 1
-            self.dependency_log[pkt.packet_id] = result.dependencies
+            if self.retain_logs:
+                self.dependency_log[pkt.packet_id] = result.dependencies
             self.tracer.emit(self.name, "encode", packet_id=pkt.packet_id,
                              deps=sorted(result.dependencies),
                              saved=result.bytes_in - result.bytes_out)
@@ -308,6 +315,9 @@ class DecoderGateway(_GatewayBase):
             self.policy.retry = self.reinject  # type: ignore[attr-defined]
         self.decoder = ByteCachingDecoder(scheme, cache, self.policy)
         self._data_counter = 0
+        #: Grows per delivered packet; cleared by the serving engine
+        #: (see EncoderGateway.retain_logs).
+        self.retain_logs = True
         #: packet ids successfully decoded and forwarded (for the
         #: dependency-graph analysis of §VII)
         self.delivered_ids: set = set()
@@ -391,7 +401,8 @@ class DecoderGateway(_GatewayBase):
             payload.data = result.payload
             payload.dre_encoded = False
             self.stats.decoded_ok += 1
-            self.delivered_ids.add(pkt.packet_id)
+            if self.retain_logs:
+                self.delivered_ids.add(pkt.packet_id)
             if spans is not None:
                 spans.packet_end(span, status="ok")
             return pkt

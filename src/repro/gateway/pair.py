@@ -7,6 +7,7 @@ from typing import Optional
 
 from ..core.cache import ByteCache
 from ..core.fingerprint import FingerprintScheme
+from ..core.shardcache import ShardedByteCache
 from ..core.policies import make_policy_pair
 from ..sim.engine import Simulator
 from ..sim.trace import NULL_TRACER, Tracer
@@ -28,6 +29,8 @@ class GatewayPair:
                cache_bytes: int = 16 * 1024 * 1024,
                cache_max_packets: Optional[int] = None,
                cache_eviction: str = "fifo",
+               cache_shards: int = 0,
+               cache_admission: float = 1.0,
                encoder_address: str = "10.255.0.1",
                decoder_address: str = "10.255.0.2",
                tracer: Tracer = NULL_TRACER,
@@ -57,14 +60,29 @@ class GatewayPair:
         if scheme is None:
             scheme = FingerprintScheme()
         encoder_policy, decoder_policy = make_policy_pair(policy, **policy_kwargs)
+
+        def build_cache():
+            # ``cache_shards > 0`` selects the shared-cache serving
+            # configuration: one memory-bounded sharded cache per
+            # direction, LRU by default, optional probabilistic
+            # admission.  Both gateways get structurally identical
+            # caches either way — cache symmetry is what DRE relies on.
+            if cache_shards > 0:
+                return ShardedByteCache(
+                    cache_bytes, n_shards=cache_shards,
+                    max_packets=cache_max_packets,
+                    eviction=cache_eviction,
+                    admission=cache_admission)
+            return ByteCache(cache_bytes, cache_max_packets, cache_eviction)
+
         encoder = EncoderGateway(
             sim, "encoder-gw", encoder_address, scheme,
-            ByteCache(cache_bytes, cache_max_packets, cache_eviction),
+            build_cache(),
             encoder_policy, data_dst=data_dst, tracer=tracer,
             resilience=resilience)
         decoder = DecoderGateway(
             sim, "decoder-gw", decoder_address, scheme,
-            ByteCache(cache_bytes, cache_max_packets, cache_eviction),
+            build_cache(),
             decoder_policy, data_dst=data_dst, tracer=tracer,
             resilience=resilience)
         encoder.set_peer(decoder_address)

@@ -431,6 +431,13 @@ class TelemetryConfig:
     flight_ring: int = 128           # events retained per flow
     flight_flows: int = 16           # distinct flow rings
     dump_events: int = 64            # flight-recorder rows in the export
+    #: Register the 4 per-connection TCP gauges.  A single-transfer run
+    #: has a handful of connections and wants them all; a serving run
+    #: churns thousands of short flows through one stack and must turn
+    #: this off (the aggregate stack/gateway gauges remain).
+    per_connection: bool = True
+    #: Register per-shard occupancy/eviction gauges for sharded caches.
+    per_shard: bool = True
 
 
 class Telemetry:
@@ -453,6 +460,10 @@ class Telemetry:
         self.recorder = FlightRecorder(
             ring_size=self.config.flight_ring,
             max_flows=self.config.flight_flows)
+        # Gauges registered per connection, so a pruned connection's
+        # callbacks can be detached (the registry itself never drops
+        # entries — the sampler's alignment depends on that).
+        self._conn_gauges: Dict[int, List[Gauge]] = {}
 
     # -- component registration hooks -------------------------------------
     # Called by the runner and by instrumented components; each
@@ -472,15 +483,30 @@ class Telemetry:
 
     def register_connection(self, conn, label: str) -> None:
         """cwnd / ssthresh / RTO / in-flight of one TCP connection."""
-        self.registry.gauge("tcp.cwnd",
-                            fn=lambda c=conn: c.cc.cwnd, conn=label)
-        self.registry.gauge("tcp.ssthresh",
-                            fn=lambda c=conn: min(c.cc.ssthresh, 1 << 30),
-                            conn=label)
-        self.registry.gauge("tcp.rto",
-                            fn=lambda c=conn: c.rto.rto, conn=label)
-        self.registry.gauge("tcp.inflight",
-                            fn=lambda c=conn: c.flight_size, conn=label)
+        if not self.config.per_connection:
+            return
+        gauges = [
+            self.registry.gauge("tcp.cwnd",
+                                fn=lambda c=conn: c.cc.cwnd, conn=label),
+            self.registry.gauge("tcp.ssthresh",
+                                fn=lambda c=conn: min(c.cc.ssthresh, 1 << 30),
+                                conn=label),
+            self.registry.gauge("tcp.rto",
+                                fn=lambda c=conn: c.rto.rto, conn=label),
+            self.registry.gauge("tcp.inflight",
+                                fn=lambda c=conn: c.flight_size, conn=label),
+        ]
+        self._conn_gauges[id(conn)] = gauges
+
+    def unregister_connection(self, conn) -> None:
+        """Detach a pruned connection's gauge callbacks.
+
+        The gauge objects stay registered (series alignment), but stop
+        holding the connection: they read nan from here on and the
+        connection object becomes collectable.
+        """
+        for gauge in self._conn_gauges.pop(id(conn), ()):
+            gauge.fn = None
 
     def register_gateway(self, gateway, role: str) -> None:
         """Cache occupancy/evictions and drop accounting of a gateway."""
@@ -493,6 +519,24 @@ class Telemetry:
                             fn=lambda c=cache: c.store.evictions, gw=role)
         self.registry.gauge("cache.epoch",
                             fn=lambda c=cache: c.epoch, gw=role)
+        shards = getattr(cache, "shards", None)
+        if shards is not None and self.config.per_shard:
+            # Sharded serving cache: per-shard occupancy and eviction
+            # gauges (duck-typed — only repro.core.shardcache has them).
+            for shard in shards:
+                index = shard.index
+                self.registry.gauge(
+                    "cache.shard_bytes",
+                    fn=lambda s=shard: s.store.bytes_used,
+                    gw=role, shard=index)
+                self.registry.gauge(
+                    "cache.shard_entries",
+                    fn=lambda s=shard: len(s.table),
+                    gw=role, shard=index)
+                self.registry.gauge(
+                    "cache.shard_evictions",
+                    fn=lambda s=shard: s.store.evictions,
+                    gw=role, shard=index)
         stats = gateway.stats
         self.registry.gauge("gw.undecodable_dropped",
                             fn=lambda s=stats: s.undecodable_dropped, gw=role)

@@ -116,6 +116,31 @@ class TCPStack:
         # No matching connection or listener: silently drop (a real
         # stack would send RST; nothing in the evaluation needs it).
 
+    def release(self, conn: TCPConnection) -> bool:
+        """Drop a fully-closed connection from the connection table.
+
+        Single-transfer experiments never need this — their handful of
+        connections die with the simulator.  A serving run churns
+        thousands of short flows through one stack, and an unpruned
+        table is exactly the per-flow state leak the flow pool's
+        high-water-mark invariant guards against.  Only closed
+        connections are released (a released key silently drops any
+        late retransmission from the peer, which is why the pool
+        lingers past the max RTO before calling this).
+        """
+        if conn.is_open:
+            return False
+        key: ConnKey = (conn.local_port, conn.remote_addr, conn.remote_port)
+        if self._connections.get(key) is not conn:
+            return False
+        del self._connections[key]
+        if self.telemetry is not None:
+            # Duck-typed facade; older/fake facades may lack the hook.
+            unregister = getattr(self.telemetry, "unregister_connection", None)
+            if unregister is not None:
+                unregister(conn)
+        return True
+
     def connection_count(self) -> int:
         return len(self._connections)
 

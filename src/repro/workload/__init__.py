@@ -1,5 +1,6 @@
 """Synthetic workloads: corpus objects and dependency-controlled files."""
 
+from .catalog import CatalogSpec, ContentCatalog, zipf_sample_counts
 from .corpus import (EVAL_FILE_SIZE, PAPER_EBOOK_SIZE, clear_corpus_cache,
                      corpus_names, corpus_object)
 from .objects import (generate_ebook, generate_software_versions,
@@ -8,6 +9,9 @@ from .redundancy import (DEFAULT_MSS, DependencyFileSpec,
                          generate_dependency_file, measure_dependencies)
 
 __all__ = [
+    "CatalogSpec",
+    "ContentCatalog",
+    "zipf_sample_counts",
     "EVAL_FILE_SIZE",
     "PAPER_EBOOK_SIZE",
     "clear_corpus_cache",

@@ -1,0 +1,246 @@
+"""Serving mode: Zipf sampler, sessions, engine goldens, 10k soak.
+
+The property tests pin the statistical and determinism contracts of
+the serving workload; the golden test freezes the end-to-end numbers
+of one small fixed run so a cache/encoder change that shifts serving
+results is caught deliberately; the soak run holds the sharded-cache
+invariants and the no-per-flow-leak bound under 10k requests of churn.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.sweep import parallel_map
+from repro.serving import (ServingSpec, generate_sessions, run_serving,
+                           run_serving_grid)
+from repro.serving.engine import deterministic_report
+from repro.serving.sessions import SessionSpec, session_digest
+from repro.serving.sweep import (serving_bench_payload,
+                                 validate_bench_serving,
+                                 write_serving_bench)
+from repro.workload.catalog import (CatalogSpec, ContentCatalog,
+                                    zipf_sample_counts)
+
+
+# ---------------------------------------------------------------------------
+# Zipf sampler matches the theoretical pmf (chi-square)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("alpha", [0.6, 0.8, 1.0, 1.2])
+def test_zipf_sampler_matches_pmf(alpha):
+    """Observed draw frequencies fit rank^-alpha within chi-square.
+
+    With k-1 degrees of freedom the chi-square statistic concentrates
+    around k-1 (sd ~ sqrt(2k)); a sampler drawing from the wrong
+    distribution blows through the 2*(k-1) ceiling immediately, while
+    a correct one stays near it for any seed.
+    """
+    spec = CatalogSpec(n_contents=50, alpha=alpha, seed=11)
+    n_samples = 60_000
+    counts = zipf_sample_counts(spec, n_samples)
+    pmf = ContentCatalog(spec).pmf()
+    chi2 = sum((counts[i] - n_samples * pmf[i]) ** 2 / (n_samples * pmf[i])
+               for i in range(spec.n_contents))
+    dof = spec.n_contents - 1
+    assert chi2 < 2.0 * dof, (
+        f"alpha={alpha}: chi-square {chi2:.1f} vs {dof} dof")
+
+
+@given(alpha=st.floats(0.0, 1.5), seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_zipf_sampler_total_and_support(alpha, seed):
+    """Every draw lands in [0, n); counts sum to the sample size."""
+    spec = CatalogSpec(n_contents=20, alpha=alpha, seed=seed)
+    counts = zipf_sample_counts(spec, 2_000)
+    assert counts.sum() == 2_000
+    assert len(counts) == 20
+    # Monotone pmf: rank 0 is the most popular content in expectation.
+    pmf = ContentCatalog(spec).pmf()
+    assert all(pmf[i] >= pmf[i + 1] - 1e-12 for i in range(19))
+    assert math.isclose(float(pmf.sum()), 1.0, rel_tol=1e-9)
+
+
+def test_catalog_objects_deterministic_and_distinct():
+    spec = CatalogSpec(n_contents=10, seed=5)
+    a, b = ContentCatalog(spec), ContentCatalog(spec)
+    for cid in range(10):
+        assert a.object_bytes(cid) == b.object_bytes(cid)
+        assert len(a.object_bytes(cid)) == a.size_of(cid)
+    assert a.object_bytes(0) != a.object_bytes(1)
+    assert a.content_id(a.name_of(7)) == 7
+    with pytest.raises(KeyError):
+        a.content_id("c999")
+    with pytest.raises(KeyError):
+        a.content_id("bogus")
+
+
+# ---------------------------------------------------------------------------
+# session generator: deterministic across reruns and worker counts
+# ---------------------------------------------------------------------------
+
+def _session_digest_job(seed):
+    """Module-level so the process pool can pickle it."""
+    catalog = ContentCatalog(CatalogSpec(n_contents=40, seed=seed))
+    requests = generate_sessions(
+        SessionSpec(users=30, seed=seed), catalog)
+    return session_digest(requests)
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_sessions_byte_identical_across_reruns(seed):
+    catalog = ContentCatalog(CatalogSpec(n_contents=40, seed=seed))
+    spec = SessionSpec(users=25, seed=seed)
+    first = generate_sessions(spec, catalog)
+    second = generate_sessions(spec, catalog)
+    assert first == second
+    assert session_digest(first) == session_digest(second)
+    # Time-ordered, non-negative, content ids in range.
+    assert all(a.time <= b.time for a, b in zip(first, first[1:]))
+    assert all(0 <= r.content_id < 40 and r.time >= 0 for r in first)
+
+
+def test_sessions_byte_identical_across_worker_counts():
+    seeds = [3, 7, 11]
+    serial = parallel_map(_session_digest_job, seeds)
+    pooled = parallel_map(_session_digest_job, seeds, workers=2)
+    assert serial == pooled
+
+
+def test_sessions_respect_max_requests_and_users():
+    catalog = ContentCatalog(CatalogSpec(n_contents=10, seed=1))
+    capped = generate_sessions(
+        SessionSpec(users=50, seed=1, max_requests=20), catalog)
+    uncapped = generate_sessions(SessionSpec(users=50, seed=1), catalog)
+    assert len(capped) == 20
+    assert capped == uncapped[:20]
+    assert len({r.user for r in uncapped}) == 50
+
+
+# ---------------------------------------------------------------------------
+# golden end-to-end runs (seed 7, 50 users, 200 contents)
+# ---------------------------------------------------------------------------
+
+def test_serving_golden_run():
+    """Frozen numbers for the canonical small serve-sim.
+
+    Any cache/encoder/session change that shifts serving results must
+    update these constants consciously, with the shift explained in
+    the PR — that is the point of the test.
+    """
+    report = run_serving(ServingSpec(users=50, n_contents=200, seed=7))
+    assert report["requests"]["total"] == 85
+    assert report["requests"]["completed"] == 85
+    assert report["requests"]["timeouts"] == 0
+    assert report["requests"]["unfinished"] == 0
+    assert report["steady"]["hit_ratio"] == pytest.approx(
+        0.8203125, rel=1e-12)
+    assert report["steady"]["bytes_saved_ratio"] == pytest.approx(
+        0.42451746521818334, rel=1e-9)
+    assert report["cache"]["evictions"] == 0
+    assert report["steady"]["samples"] == 68
+
+
+def test_serving_golden_run_under_memory_pressure():
+    """Same run with a 64 KB budget: evictions happen, hits survive."""
+    report = run_serving(ServingSpec(users=50, n_contents=200, seed=7,
+                                     cache_bytes=64 * 1024, cache_shards=4))
+    assert report["requests"]["completed"] == 85
+    assert report["cache"]["evictions"] == 680
+    assert report["steady"]["hit_ratio"] == pytest.approx(
+        0.8151041666666666, rel=1e-12)
+    assert report["steady"]["bytes_saved_ratio"] == pytest.approx(
+        0.4085336503888084, rel=1e-9)
+    # Per-shard occupancy never exceeds its split budget.
+    for shard in report["cache"]["shards"]:
+        assert shard["bytes"] <= shard["byte_budget"]
+
+
+def test_serving_report_is_deterministic():
+    spec = ServingSpec(users=20, n_contents=50, seed=13)
+    first = json.dumps(deterministic_report(run_serving(spec)),
+                       sort_keys=True)
+    second = json.dumps(deterministic_report(run_serving(spec)),
+                        sort_keys=True)
+    assert first == second
+
+
+def test_serving_grid_serial_parallel_bit_identical(tmp_path):
+    base = ServingSpec(users=15, n_contents=40, mean_object_bytes=2048,
+                       seed=7)
+    specs = [base, ServingSpec(users=25, n_contents=40,
+                               mean_object_bytes=2048, seed=7)]
+    serial = run_serving_grid(specs)
+    pooled = run_serving_grid(specs, workers=2)
+    assert json.dumps(serial, sort_keys=True) == \
+        json.dumps(pooled, sort_keys=True)
+
+    path = tmp_path / "BENCH_serving.json"
+    doc = write_serving_bench(serial, str(path))
+    validate_bench_serving(doc)
+    validate_bench_serving(json.loads(path.read_text()))
+    # The sentinel's contract: summary carries the watched metric.
+    assert "steady_hit_ratio" in doc["summary"]
+    # Second write folds the first into history.
+    doc2 = write_serving_bench(serial, str(path))
+    assert len(doc2["history"]) == 1
+    assert doc2["history"][0]["steady_hit_ratio"] == \
+        doc["summary"]["steady_hit_ratio"]
+
+
+def test_bench_serving_validation_rejects_garbage():
+    with pytest.raises(ValueError):
+        validate_bench_serving({"schema": "nope"})
+    with pytest.raises(ValueError):
+        validate_bench_serving({"schema": "bench_serving/v1", "cells": []})
+    good = serving_bench_payload(
+        [deterministic_report(run_serving(
+            ServingSpec(users=5, n_contents=10, seed=2)))])
+    validate_bench_serving(good)
+    bad = dict(good)
+    bad["summary"] = {}
+    with pytest.raises(ValueError):
+        validate_bench_serving(bad)
+
+
+# ---------------------------------------------------------------------------
+# soak: 10k requests, invariants armed, churn leaks nothing
+# ---------------------------------------------------------------------------
+
+def test_serving_soak_10k_requests_with_invariants():
+    """10k requests of churning users through a tight sharded cache.
+
+    ``verify=True`` arms per-flow content checks and the serving
+    oracle (per-shard budgets respected, fingerprints in exactly one
+    shard, global count consistent) every simulated second — any
+    violation raises InvariantViolation and fails the run.  The pool
+    bound is the leak check: without connection release the stacks
+    would peak at exactly 2 table entries per request (20k); staying
+    well under that proves churned flows are actually pruned.
+    """
+    spec = ServingSpec(users=6000, n_contents=2000, mean_object_bytes=1200,
+                       max_requests=10_000, cache_bytes=256 * 1024,
+                       cache_shards=8, arrival_rate=400.0, linger=2.0,
+                       seed=3, verify=True)
+    report = run_serving(spec)
+    requests = report["requests"]
+    assert requests["total"] == 10_000
+    assert requests["completed"] == 10_000
+    assert requests["unfinished"] == 0
+    assert requests["content_mismatches"] == 0
+    # The oracle actually ran, repeatedly, and never raised.
+    assert report["oracle_checks"] > 10
+    # Memory bound held under real eviction pressure.
+    assert report["cache"]["evictions"] > 1_000
+    assert report["cache"]["bytes_used"] <= report["cache"]["byte_budget"]
+    for shard in report["cache"]["shards"]:
+        assert shard["bytes"] <= shard["byte_budget"]
+    # Churn leak bound: high-water well below the no-release ceiling.
+    pool = report["pool"]
+    assert pool["released"] > 5_000
+    assert pool["high_water"] < 2 * requests["total"] * 0.75
+    # And the cache still earns its keep in steady state.
+    assert report["steady"]["hit_ratio"] > 0.2

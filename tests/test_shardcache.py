@@ -1,0 +1,245 @@
+"""ShardedByteCache: routing, budgets, and oracle parity.
+
+The load-bearing property is the hypothesis parity test: in the
+no-eviction regime a sharded cache must be observationally equivalent
+to one big reference :class:`ByteCache` (dict table) for *any*
+interleaving of inserts, lookups, markings and flushes — otherwise the
+serving refactor silently changed what the paper's encoder/decoder
+see.  The unit tests pin the shard-local behaviours the oracle cannot
+express: budget splitting, per-shard eviction, admission, invariants.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import ByteCache
+from repro.core.shardcache import ShardedByteCache, shard_of
+
+BIG = 1 << 30
+
+# Value-selection anchors have their low zero_bits (4) bits zero —
+# exactly the fingerprints a naive `fp % n` router would collapse.
+FPS = [(i * 2654435761 % (1 << 36)) << 4 for i in range(1, 25)]
+
+
+def make_pair(n_shards):
+    """(reference, sharded) with unbounded budgets — pure parity."""
+    oracle = ByteCache(BIG, table_kind="dict")
+    sharded = ShardedByteCache(BIG, n_shards=n_shards, eviction="fifo")
+    return oracle, sharded
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+
+def test_shard_routing_spreads_low_bit_zero_fingerprints():
+    for n in (2, 4, 8, 16):
+        used = {shard_of(fp, n) for fp in FPS}
+        assert len(used) > 1, f"all fingerprints collapsed with {n} shards"
+        assert all(0 <= s < n for s in used)
+
+
+def test_shard_routing_is_deterministic():
+    assert [shard_of(fp, 8) for fp in FPS] == \
+        [shard_of(fp, 8) for fp in FPS]
+
+
+# ---------------------------------------------------------------------------
+# oracle parity under arbitrary interleavings
+# ---------------------------------------------------------------------------
+
+fp_st = st.sampled_from(FPS)
+op_st = st.one_of(
+    st.tuples(st.just("insert"),
+              st.binary(min_size=1, max_size=64),
+              st.lists(st.tuples(st.integers(0, 48), fp_st), max_size=4)),
+    st.tuples(st.just("lookup"), fp_st),
+    st.tuples(st.just("previous"), fp_st),
+    st.tuples(st.just("mark"), fp_st),
+    st.tuples(st.just("flush")),
+)
+
+
+def _entry_view(hit):
+    if hit is None:
+        return None
+    entry, payload = hit
+    return (payload, entry.offset, entry.tcp_seq, entry.flow,
+            entry.packet_counter, entry.usable)
+
+
+@given(ops=st.lists(op_st, max_size=60),
+       n_shards=st.integers(1, 12))
+@settings(max_examples=120, deadline=None)
+def test_sharded_cache_parity_with_unsharded_oracle(ops, n_shards):
+    oracle, sharded = make_pair(n_shards)
+    counter = 0
+    for op in ops:
+        if op[0] == "insert":
+            _, payload, anchors = op
+            sid_a = oracle.insert_packet(payload, anchors, tcp_seq=counter,
+                                         flow=("f", counter % 3),
+                                         packet_counter=counter,
+                                         external_id=counter)
+            sid_b = sharded.insert_packet(payload, anchors, tcp_seq=counter,
+                                          flow=("f", counter % 3),
+                                          packet_counter=counter,
+                                          external_id=counter)
+            assert sid_a == sid_b
+            assert oracle.external_id_for(sid_a) == \
+                sharded.external_id_for(sid_b)
+            counter += 1
+        elif op[0] == "lookup":
+            assert _entry_view(oracle.lookup(op[1])) == \
+                _entry_view(sharded.lookup(op[1]))
+            view_a = oracle.lookup_view(op[1])
+            view_b = sharded.lookup_view(op[1])
+            assert (view_a is None) == (view_b is None)
+            if view_a is not None:
+                assert bytes(view_a) == bytes(view_b)
+        elif op[0] == "previous":
+            assert _entry_view(oracle.lookup_previous(op[1])) == \
+                _entry_view(sharded.lookup_previous(op[1]))
+        elif op[0] == "mark":
+            assert oracle.mark_unusable(op[1]) == sharded.mark_unusable(op[1])
+        else:
+            oracle.flush()
+            sharded.flush()
+            assert oracle.flushes == sharded.flushes
+    # Aggregate views agree at the end of every interleaving.
+    assert len(oracle.table) == len(sharded.table)
+    assert len(oracle.store) == len(sharded.store)
+    assert oracle.store.bytes_used == sharded.store.bytes_used
+    assert oracle.table.inserts == sharded.table.inserts
+    assert oracle.table.replacements == sharded.table.replacements
+    for fp in FPS:
+        assert _entry_view(oracle.lookup(fp)) == \
+            _entry_view(sharded.lookup(fp))
+    assert sharded.check_invariants() == []
+
+
+# ---------------------------------------------------------------------------
+# budgets / eviction / admission (beyond the oracle's reach)
+# ---------------------------------------------------------------------------
+
+def test_budget_splits_across_shards_and_bounds_hold():
+    cache = ShardedByteCache(8_000, n_shards=4)
+    for shard in cache.shards:
+        assert shard.store.byte_budget == 2_000
+    for i in range(200):
+        cache.insert_packet(bytes(100), [(0, FPS[i % len(FPS)])])
+    assert cache.store.bytes_used <= 8_000
+    for shard in cache.shards:
+        assert shard.store.bytes_used <= shard.store.byte_budget
+    assert cache.store.evictions > 0
+    assert cache.check_invariants() == []
+
+
+def test_set_byte_budget_rescales_and_evicts():
+    cache = ShardedByteCache(16_000, n_shards=4)
+    for i in range(100):
+        cache.insert_packet(bytes(120), [(0, FPS[i % len(FPS)])])
+    evicted = cache.set_byte_budget(4_000)
+    assert evicted > 0
+    assert cache.byte_budget == 4_000
+    for shard in cache.shards:
+        assert shard.store.byte_budget == 1_000
+        assert shard.store.bytes_used <= 1_000
+    assert cache.check_invariants() == []
+
+
+def test_evict_fraction_and_lazy_invalidation():
+    cache = ShardedByteCache(BIG, n_shards=4)
+    for i, fp in enumerate(FPS):
+        cache.insert_packet(bytes([i]) * 50, [(0, fp)])
+    before = len(cache.store)
+    assert cache.evict_fraction(1.0) == before
+    # Dangling table entries are invalidated lazily on lookup.
+    for fp in FPS:
+        assert cache.lookup(fp) is None
+    assert len(cache.table) == 0
+    with pytest.raises(ValueError):
+        cache.evict_fraction(1.5)
+
+
+def test_lru_keeps_hot_payloads_alive():
+    # One shard, room for ~2 payloads; touching A repeatedly must evict
+    # B, not A (the reason serving defaults to LRU).
+    cache = ShardedByteCache(250, n_shards=1, eviction="lru")
+    fp_a, fp_b, fp_c = FPS[0], FPS[1], FPS[2]
+    cache.insert_packet(b"A" * 100, [(0, fp_a)])
+    cache.insert_packet(b"B" * 100, [(0, fp_b)])
+    assert cache.lookup(fp_a) is not None   # touch A: now most-recent
+    cache.insert_packet(b"C" * 100, [(0, fp_c)])
+    assert cache.lookup(fp_a) is not None
+    assert cache.lookup(fp_b) is None
+
+
+def test_probabilistic_admission_is_content_keyed():
+    full = ShardedByteCache(BIG, n_shards=4, admission=1.0)
+    half_a = ShardedByteCache(BIG, n_shards=4, admission=0.5)
+    half_b = ShardedByteCache(BIG, n_shards=4, admission=0.5)
+    payloads = [bytes([i]) * 40 for i in range(64)]
+    admitted = 0
+    for i, payload in enumerate(payloads):
+        fp = FPS[i % len(FPS)]
+        assert full.insert_packet(payload, [(0, fp)]) != 0
+        sid_a = half_a.insert_packet(payload, [(0, fp)])
+        sid_b = half_b.insert_packet(payload, [(0, fp)])
+        # Content-keyed coin: two caches (think encoder + decoder)
+        # always make the same decision for the same bytes.
+        assert (sid_a == 0) == (sid_b == 0)
+        expected = (zlib.crc32(payload) & 0xFFFFFFFF) <= int(0.5 * 0xFFFFFFFF)
+        assert (sid_a != 0) == expected
+        admitted += sid_a != 0
+    assert 0 < admitted < len(payloads)
+    assert half_a.admission_rejected == len(payloads) - admitted
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardedByteCache(0)
+    with pytest.raises(ValueError):
+        ShardedByteCache(1024, n_shards=0)
+    with pytest.raises(ValueError):
+        ShardedByteCache(1024, admission=0.0)
+    with pytest.raises(ValueError):
+        ShardedByteCache(1024, admission=1.5)
+    with pytest.raises(ValueError):
+        ShardedByteCache(1024).set_byte_budget(-1)
+
+
+def test_check_invariants_detects_misrouted_fingerprint():
+    cache = ShardedByteCache(BIG, n_shards=4)
+    fp = FPS[0]
+    cache.insert_packet(b"x" * 30, [(0, fp)])
+    home = shard_of(fp, 4)
+    wrong = (home + 1) % 4
+    entry = cache.shards[home].table.get(fp)
+    # Manufacture the corruption the oracle exists to catch.
+    cache.shards[wrong].table._table[fp] = entry
+    problems = cache.check_invariants()
+    assert any("owned by shard" in p for p in problems)
+    assert any("in two shards" in p for p in problems)
+
+
+def test_store_and_table_views_for_telemetry_and_oracles():
+    cache = ShardedByteCache(BIG, n_shards=4)
+    sid = cache.insert_packet(b"y" * 40, [(0, FPS[0]), (8, FPS[1])])
+    # Telemetry surface (register_gateway reads these).
+    assert len(cache.store) == 1
+    assert cache.store.bytes_used == 40
+    assert cache.store.evictions == 0
+    assert cache.epoch == 0
+    # Coherence-oracle surface: side-effect-free merged _data.get.
+    assert cache.store._data.get(sid) == b"y" * 40
+    assert cache.store._data.get(sid + 999) is None
+    entries = list(cache.table.entries())
+    assert {e.fingerprint for e in entries} == {FPS[0], FPS[1]}
+    occupancy = cache.shard_occupancy()
+    assert len(occupancy) == 4
+    assert sum(row["payloads"] for row in occupancy) == 1
+    assert sum(row["entries"] for row in occupancy) == 2
