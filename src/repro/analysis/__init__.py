@@ -12,8 +12,17 @@ architectural assumptions the rest of the repo only checks at runtime:
 * **hot-path discipline** — the registered encoder/decoder/simulator
   hot functions keep the single-None-check telemetry pattern the
   ``bench_hotpath`` 1.5x gate times;
-* **robustness hygiene** — no bare excepts, mutable defaults, or
-  silently swallowed :class:`InvariantViolation`.
+* **robustness hygiene** — no bare excepts, mutable defaults,
+  silently swallowed :class:`InvariantViolation`, or tracked bytecode;
+* **whole-program dataflow** (PR 10) — a shared
+  :class:`~repro.analysis.project.ProjectModel` (symbol table +
+  conservative call graph) feeds three interprocedural families:
+  ``taint`` (nondeterminism must not reach serialization sinks),
+  ``purity`` (what crosses a process boundary must pickle, workers
+  must not mutate module globals) and ``excflow``
+  (``InvariantViolation`` may not be swallowed outside the harness).
+  ``repro lint graph`` exports the graph and taint traces as
+  ``repro.lintgraph/v1``.
 
 Everything is declarative config under ``[tool.repro-lint]`` in
 ``pyproject.toml``; findings ratchet down through a committed baseline
@@ -26,11 +35,16 @@ from .config import LintConfig, load_config
 from .engine import collect_files, format_text, rewrite_baseline, run_lint
 from .findings import (FAMILIES, LINT_SCHEMA, Finding, LintReport,
                        validate_lint_report)
+from .graphexport import (LINTGRAPH_SCHEMA, build_lintgraph, build_project,
+                          format_graph_text, validate_lintgraph)
+from .project import ProjectModel
 from .registry import RULES, Rule, rule, select_rules
 
 __all__ = [
-    "BASELINE_SCHEMA", "FAMILIES", "Finding", "LINT_SCHEMA", "LintConfig",
-    "LintReport", "RULES", "Rule", "collect_files", "format_text",
-    "load_baseline", "load_config", "rewrite_baseline", "rule", "run_lint",
-    "select_rules", "validate_lint_report", "write_baseline",
+    "BASELINE_SCHEMA", "FAMILIES", "Finding", "LINT_SCHEMA",
+    "LINTGRAPH_SCHEMA", "LintConfig", "LintReport", "ProjectModel",
+    "RULES", "Rule", "build_lintgraph", "build_project", "collect_files",
+    "format_graph_text", "format_text", "load_baseline", "load_config",
+    "rewrite_baseline", "rule", "run_lint", "select_rules",
+    "validate_lint_report", "validate_lintgraph", "write_baseline",
 ]

@@ -18,6 +18,7 @@ from .baseline import apply_baseline, load_baseline, write_baseline
 from .config import LintConfig, load_config
 from .findings import Finding, LintReport
 from .pragmas import parse_pragmas
+from .project import ProjectModel
 from .registry import Rule, select_rules
 from . import rules as _rules  # noqa: F401  (importing registers the rules)
 
@@ -98,11 +99,15 @@ def run_lint(root: Path,
         parsed_files.append(parsed)
     report.files_checked = len(parsed_files)
 
+    # One build pass produces the interprocedural substrate (symbols,
+    # call graph, effect records) every rule shares.
+    project = ProjectModel(parsed_files, config)
+
     findings: List[Finding] = list(report.findings)
     for parsed in parsed_files:
         findings.extend(parsed.pragma_findings)
     for rule_obj in rules:
-        findings.extend(_run_rule(rule_obj, parsed_files, config))
+        findings.extend(_run_rule(rule_obj, parsed_files, config, project))
 
     _apply_pragmas(findings, parsed_files)
 
@@ -126,12 +131,12 @@ def rewrite_baseline(root: Path, report: LintReport,
 
 
 def _run_rule(rule_obj: Rule, parsed_files: List[ParsedFile],
-              config: LintConfig) -> List[Finding]:
+              config: LintConfig, project: ProjectModel) -> List[Finding]:
     if rule_obj.scope == "project":
-        return list(rule_obj.fn(parsed_files, config))
+        return list(rule_obj.fn(parsed_files, config, project))
     findings: List[Finding] = []
     for parsed in parsed_files:
-        findings.extend(rule_obj.fn(parsed, config))
+        findings.extend(rule_obj.fn(parsed, config, project))
     return findings
 
 
@@ -169,6 +174,10 @@ def format_text(report: LintReport, verbose_suppressed: bool = False) -> str:
                 continue
         lines.append(f"{finding.path}:{finding.line}:{finding.col + 1}: "
                      f"{finding.rule} {finding.message}{marker}")
+        if finding.active and finding.hops:
+            for index, hop in enumerate(finding.hops):
+                lines.append(f"    hop {index}: {hop.get('path')}:"
+                             f"{hop.get('line')}  {hop.get('detail')}")
         if finding.active and finding.fix:
             lines.append(f"    fix: {finding.fix}")
     for entry in report.stale_baseline:

@@ -16,7 +16,8 @@ from typing import Any, Dict, List
 LINT_SCHEMA = "repro.lint/v1"
 
 #: Rule families, in report order.
-FAMILIES = ("layering", "determinism", "hotpath", "hygiene", "pragma")
+FAMILIES = ("layering", "determinism", "taint", "purity", "excflow",
+            "hotpath", "hygiene", "pragma")
 
 
 @dataclass
@@ -39,6 +40,9 @@ class Finding:
     baselined: bool = False        # suppressed by the committed baseline
     suppressed: bool = False       # suppressed by an inline pragma
     suppress_reason: str = ""      # the pragma's mandatory reason
+    #: Interprocedural findings carry the full source->sink hop chain
+    #: (``{"path", "line", "detail"}`` per hop), like ``repro spans``.
+    hops: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def family(self) -> str:
@@ -72,6 +76,8 @@ class Finding:
             payload["fix"] = self.fix
         if self.suppress_reason:
             payload["suppress_reason"] = self.suppress_reason
+        if self.hops:
+            payload["hops"] = list(self.hops)
         return payload
 
 

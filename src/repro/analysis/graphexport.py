@@ -1,0 +1,188 @@
+"""``repro lint graph`` — dump the call graph and taint traces.
+
+Emits a ``repro.lintgraph/v1`` JSON document: every project function
+with its resolved call edges (project callees, external dotted
+targets, and the opaque-call count the model refused to guess at),
+every class with its inferred attribute types, and every bounded
+determinism-taint trace with the full source-to-sink hop chain — the
+same chains ``taint-flow`` findings carry, exported standalone so a
+flow can be inspected without tripping the lint gate.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .config import LintConfig, load_config
+from .engine import collect_files, parse_file
+from .findings import Finding
+from .project import ProjectModel
+from .rules.taint import trace_taint
+
+LINTGRAPH_SCHEMA = "repro.lintgraph/v1"
+
+
+def build_project(root: Path, config: Optional[LintConfig] = None
+                  ) -> ProjectModel:
+    """Parse the tree at ``root`` and build its project model."""
+    config = config if config is not None else load_config(root)
+    parsed_files = []
+    for path in collect_files(config):
+        try:
+            parsed_files.append(parse_file(path, config))
+        except SyntaxError:
+            continue  # the lint gate reports these; the graph skips them
+    return ProjectModel(parsed_files, config)
+
+
+def build_lintgraph(root: Path, config: Optional[LintConfig] = None
+                    ) -> Dict[str, Any]:
+    """The full ``repro.lintgraph/v1`` document for the tree."""
+    config = config if config is not None else load_config(root)
+    project = build_project(root, config)
+    traces = trace_taint(project, config)
+
+    functions: List[Dict[str, Any]] = []
+    edge_count = 0
+    opaque_count = 0
+    for fn_id in sorted(project.functions):
+        fn = project.functions[fn_id]
+        calls: List[Dict[str, Any]] = []
+        for site in project.calls.get(fn_id, []):
+            if site.callee is not None:
+                calls.append({"callee": site.callee, "line": site.line})
+                edge_count += 1
+            elif site.external is not None:
+                calls.append({"external": site.external, "line": site.line})
+                edge_count += 1
+            else:
+                opaque_count += 1
+        functions.append({
+            "id": fn.id,
+            "module": fn.module,
+            "qualname": fn.qualname,
+            "path": fn.relpath,
+            "line": fn.line,
+            "class": fn.class_id,
+            "nested": fn.is_nested,
+            "params": list(fn.params),
+            "calls": calls,
+        })
+
+    classes: List[Dict[str, Any]] = []
+    for cls_id in sorted(project.classes):
+        cls = project.classes[cls_id]
+        classes.append({
+            "id": cls.id,
+            "module": cls.module,
+            "path": cls.relpath,
+            "line": cls.line,
+            "bases": list(cls.bases),
+            "methods": dict(sorted(cls.methods.items())),
+            "attr_types": dict(sorted(cls.attr_types.items())),
+        })
+
+    return {
+        "schema": LINTGRAPH_SCHEMA,
+        "modules": sorted(project.modules),
+        "functions": functions,
+        "classes": classes,
+        "taint": {
+            "sources": list(config.taint_sources),
+            "sinks": list(config.taint_sinks),
+            "max_hops": config.taint_max_hops,
+            "traces": [trace.to_dict() for trace in traces],
+        },
+        "counts": {
+            "modules": len(project.modules),
+            "functions": len(functions),
+            "classes": len(classes),
+            "call_edges": edge_count,
+            "opaque_calls": opaque_count,
+            "taint_traces": len(traces),
+        },
+    }
+
+
+def validate_lintgraph(payload: Dict[str, Any]) -> None:
+    """Validate a ``repro.lintgraph/v1`` document; raises ``ValueError``."""
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid {LINTGRAPH_SCHEMA} document: {message}")
+
+    if not isinstance(payload, dict):
+        fail("not an object")
+    if payload.get("schema") != LINTGRAPH_SCHEMA:
+        fail(f"schema is {payload.get('schema')!r}")
+    counts = payload.get("counts")
+    if not isinstance(counts, dict):
+        fail("missing counts object")
+    for key in ("modules", "functions", "classes", "call_edges",
+                "opaque_calls", "taint_traces"):
+        if not isinstance(counts.get(key), int):
+            fail(f"counts.{key} missing or not an int")
+    functions = payload.get("functions")
+    if not isinstance(functions, list):
+        fail("functions is not a list")
+    if counts["functions"] != len(functions):
+        fail("counts.functions does not match functions length")
+    for index, fn in enumerate(functions):
+        if not isinstance(fn, dict):
+            fail(f"functions[{index}] is not an object")
+        for key in ("id", "module", "qualname", "path", "line", "calls"):
+            if key not in fn:
+                fail(f"functions[{index}] missing {key!r}")
+        for edge in fn["calls"]:
+            if not isinstance(edge, dict) or \
+                    ("callee" not in edge) == ("external" not in edge):
+                fail(f"functions[{index}] has a malformed call edge")
+    taint = payload.get("taint")
+    if not isinstance(taint, dict) or \
+            not isinstance(taint.get("traces"), list):
+        fail("taint.traces missing")
+    if counts["taint_traces"] != len(taint["traces"]):
+        fail("counts.taint_traces does not match traces length")
+    for index, trace in enumerate(taint["traces"]):
+        if not isinstance(trace, dict):
+            fail(f"taint.traces[{index}] is not an object")
+        for key in ("source", "sink", "hops"):
+            if key not in trace:
+                fail(f"taint.traces[{index}] missing {key!r}")
+        for endpoint in (trace["source"], trace["sink"]):
+            if not isinstance(endpoint, dict) or \
+                    not {"call", "path", "line"} <= set(endpoint):
+                fail(f"taint.traces[{index}] has a malformed endpoint")
+        for hop in trace["hops"]:
+            if not isinstance(hop, dict) or \
+                    not {"path", "line", "detail"} <= set(hop):
+                fail(f"taint.traces[{index}] has a malformed hop")
+
+
+def format_graph_text(payload: Dict[str, Any]) -> str:
+    """Condensed human-readable view: counts plus each taint trace."""
+    counts = payload["counts"]
+    lines = [
+        f"project: {counts['modules']} modules, "
+        f"{counts['functions']} functions, {counts['classes']} classes, "
+        f"{counts['call_edges']} resolved call edges "
+        f"({counts['opaque_calls']} opaque)",
+        f"taint: {counts['taint_traces']} source->sink "
+        f"trace{'s' if counts['taint_traces'] != 1 else ''}",
+    ]
+    for trace in payload["taint"]["traces"]:
+        source, sink = trace["source"], trace["sink"]
+        lines.append(f"  {source['call']} @ {source['path']}:"
+                     f"{source['line']} -> {sink['call']} @ "
+                     f"{sink['path']}:{sink['line']} "
+                     f"({len(trace['hops'])} hops)")
+        for index, hop in enumerate(trace["hops"]):
+            lines.append(f"    hop {index}: {hop['path']}:{hop['line']}  "
+                         f"{hop['detail']}")
+    return "\n".join(lines)
+
+
+def finding_hops_valid(finding: Finding) -> bool:
+    """True when a finding's hop chain is structurally well-formed."""
+    return all(isinstance(hop, dict)
+               and {"path", "line", "detail"} <= set(hop)
+               for hop in finding.hops)

@@ -4,12 +4,16 @@ Rules self-register via the :func:`rule` decorator.  A rule is a plain
 function; its scope decides the call signature:
 
 * ``scope="file"`` — called once per parsed file:
-  ``fn(parsed: ParsedFile, config: LintConfig) -> List[Finding]``
+  ``fn(parsed: ParsedFile, config: LintConfig,
+  project: ProjectModel) -> List[Finding]``
 * ``scope="project"`` — called once with every parsed file:
-  ``fn(files: List[ParsedFile], config: LintConfig) -> List[Finding]``
+  ``fn(files: List[ParsedFile], config: LintConfig,
+  project: ProjectModel) -> List[Finding]``
 
-Each file is parsed exactly once by the engine; every rule shares the
-same AST.
+Each file is parsed exactly once by the engine, and the
+:class:`~repro.analysis.project.ProjectModel` (symbol table + call
+graph + effect records) is built exactly once per run; every rule
+shares both.
 """
 
 from __future__ import annotations

@@ -1,5 +1,7 @@
 """Rule modules — importing this package registers every rule."""
 
-from . import determinism, hotpath, hygiene, layering  # noqa: F401
+from . import (determinism, excflow, hotpath, hygiene,  # noqa: F401
+               layering, purity, taint)
 
-__all__ = ["determinism", "hotpath", "hygiene", "layering"]
+__all__ = ["determinism", "excflow", "hotpath", "hygiene", "layering",
+           "purity", "taint"]

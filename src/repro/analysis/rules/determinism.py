@@ -20,9 +20,10 @@ from __future__ import annotations
 import ast
 from typing import List
 
-from ..astutil import ParsedFile, enclosing_scopes
+from ..astutil import ParsedFile
 from ..config import LintConfig
 from ..findings import Finding
+from ..project import ProjectModel
 from ..registry import rule
 
 #: ``random``-module callables that are *not* global-state draws.
@@ -45,13 +46,13 @@ def _exempt(parsed: ParsedFile, config: LintConfig) -> bool:
 
 
 @rule("determinism-global-random")
-def check_global_random(parsed: ParsedFile,
-                        config: LintConfig) -> List[Finding]:
+def check_global_random(parsed: ParsedFile, config: LintConfig,
+                        project: ProjectModel) -> List[Finding]:
     """No module-level ``random.*`` draws (shared hidden state)."""
     if _exempt(parsed, config):
         return []
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -74,13 +75,14 @@ def check_global_random(parsed: ParsedFile,
 
 
 @rule("determinism-wallclock")
-def check_wallclock(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
+def check_wallclock(parsed: ParsedFile, config: LintConfig,
+                    project: ProjectModel) -> List[Finding]:
     """No wall-clock reads (``time.time``, ``datetime.now``, ...)."""
     if _exempt(parsed, config):
         return []
     banned = set(config.wallclock)
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if not isinstance(node, ast.Call):
             continue
@@ -105,13 +107,13 @@ def check_wallclock(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
 
 
 @rule("determinism-numpy-global")
-def check_numpy_global(parsed: ParsedFile,
-                       config: LintConfig) -> List[Finding]:
+def check_numpy_global(parsed: ParsedFile, config: LintConfig,
+                       project: ProjectModel) -> List[Finding]:
     """No unseeded ``numpy.random`` global-state draws."""
     if _exempt(parsed, config):
         return []
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if not isinstance(node, ast.Call):
             continue

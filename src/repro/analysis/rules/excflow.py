@@ -1,0 +1,254 @@
+"""Exception-flow: ``InvariantViolation`` must not be swallowed.
+
+``InvariantViolation`` is the verification layer's alarm bell — an
+online oracle or differential check has caught the simulation lying.
+The whole point is that it aborts the run.  A ``try`` block that calls
+(directly or transitively) into code that raises it and then catches
+``InvariantViolation`` — or a blanket ``Exception`` — without
+re-raising or even referencing the exception turns a correctness
+alarm into silence.
+
+Only the verification harness itself (``[tool.repro-lint.excflow]
+allow-modules``, default ``repro.verify`` and ``repro.chaos``) may
+catch-and-record violations as data.
+
+The rule walks the shared call graph: functions raising
+``InvariantViolation`` seed a may-raise set, propagated through
+callers whose call sites are not already guarded by a catching
+``try``; each conviction carries the call-chain hops from the ``try``
+body down to the actual ``raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..astutil import ParsedFile
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import MODULE_SCOPE, CallSite, ProjectModel
+from ..registry import rule
+
+_VIOLATION = "InvariantViolation"
+_CATCH_ALL = (_VIOLATION, "Exception", "BaseException")
+
+
+def _exc_names(annotation: Optional[ast.expr]) -> List[str]:
+    """Exception class names a handler's ``except X`` clause lists."""
+    if annotation is None:
+        return ["BaseException"]  # bare except
+    if isinstance(annotation, ast.Tuple):
+        names: List[str] = []
+        for element in annotation.elts:
+            names.extend(_exc_names(element))
+        return names
+    cursor = annotation
+    while isinstance(cursor, ast.Attribute):
+        if not isinstance(cursor.value, (ast.Attribute, ast.Name)):
+            return []
+        if isinstance(cursor.value, ast.Name):
+            return [cursor.attr]
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        return [cursor.id]
+    return []
+
+
+def _catches_violation(handler: ast.ExceptHandler) -> bool:
+    return any(name in _CATCH_ALL for name in _exc_names(handler.type))
+
+
+def _raise_line(fn_node: ast.AST) -> Optional[int]:
+    """Line of the first direct ``raise InvariantViolation`` in ``fn``."""
+    for node in ast.walk(fn_node):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        callee = exc.func if isinstance(exc, ast.Call) else exc
+        name = None
+        if isinstance(callee, ast.Name):
+            name = callee.id
+        elif isinstance(callee, ast.Attribute):
+            name = callee.attr
+        if name == _VIOLATION:
+            return node.lineno
+    return None
+
+
+def _guarded_calls(fn_node: ast.AST) -> Set[int]:
+    """``id()`` of every Call already inside a violation-catching try."""
+    guarded: Set[int] = set()
+
+    def visit(node: ast.AST, shielded: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Try):
+                inner = shielded or any(_catches_violation(handler)
+                                        for handler in child.handlers)
+                for statement in child.body:
+                    visit(statement, inner)
+                for handler in child.handlers:
+                    visit(handler, shielded)
+                for statement in child.orelse + child.finalbody:
+                    visit(statement, shielded)
+                continue
+            if shielded and isinstance(child, ast.Call):
+                guarded.add(id(child))
+            visit(child, shielded)
+
+    visit(fn_node, False)
+    return guarded
+
+
+def _handler_rethrows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or even references the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if handler.name is not None and isinstance(node, ast.Name) and \
+                node.id == handler.name:
+            return True
+    return False
+
+
+def _module_of(project: ProjectModel, owner: str) -> str:
+    fn = project.functions.get(owner)
+    if fn is not None:
+        return fn.module
+    return owner.rsplit("." + MODULE_SCOPE, 1)[0]
+
+
+def _allowed(module: str, config: LintConfig) -> bool:
+    return any(module == allowed or module.startswith(allowed + ".")
+               for allowed in config.excflow_allow)
+
+
+def _calls_in(body: List[ast.stmt]) -> Set[int]:
+    call_ids: Set[int] = set()
+    for statement in body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(node, ast.Call):
+                call_ids.add(id(node))
+    return call_ids
+
+
+@rule("excflow-swallowed-violation", scope="project")
+def check_swallowed_violation(files: List[ParsedFile], config: LintConfig,
+                              project: ProjectModel) -> List[Finding]:
+    """InvariantViolation must reach the top outside the harness."""
+    raise_lines: Dict[str, int] = {}
+    for fn_id, fn in project.functions.items():
+        line = _raise_line(fn.node)
+        if line is not None:
+            raise_lines[fn_id] = line
+    if not raise_lines:
+        return []
+
+    # Propagate may-raise through unguarded call sites to a fixpoint.
+    guarded_by_fn: Dict[str, Set[int]] = {}
+
+    def guarded(owner: str) -> Set[int]:
+        cached = guarded_by_fn.get(owner)
+        if cached is None:
+            fn = project.functions.get(owner)
+            cached = _guarded_calls(fn.node) if fn is not None else set()
+            guarded_by_fn[owner] = cached
+        return cached
+
+    may_raise: Set[str] = set(raise_lines)
+    changed = True
+    while changed:
+        changed = False
+        for owner, sites in project.calls.items():
+            if owner in may_raise:
+                continue
+            for site in sites:
+                if site.callee in may_raise and \
+                        id(site.node) not in guarded(owner):
+                    may_raise.add(owner)
+                    changed = True
+                    break
+
+    findings: List[Finding] = []
+    for owner, records in sorted(project.tries.items()):
+        module = _module_of(project, owner)
+        if _allowed(module, config):
+            continue
+        owner_info = project.functions.get(owner)
+        scope = owner_info.qualname if owner_info is not None else \
+            MODULE_SCOPE
+        sites = project.calls.get(owner, [])
+        for record in records:
+            swallowing = [handler for handler in record.node.handlers
+                          if _catches_violation(handler)
+                          and not _handler_rethrows(handler)]
+            if not swallowing:
+                continue
+            body_calls = _calls_in(record.node.body)
+            risky: Optional[CallSite] = None
+            for site in sites:
+                if id(site.node) in body_calls and \
+                        site.callee in may_raise:
+                    risky = site
+                    break
+            if risky is None:
+                continue
+            assert risky.callee is not None
+            hops = [{"path": risky.relpath, "line": risky.line,
+                     "detail": "call inside the try body"}]
+            parents = project.reachable_from(risky.callee)
+            target = _nearest_raiser(project, parents, risky.callee,
+                                     raise_lines)
+            if target is not None:
+                for hop_site in project.chain_to(parents, target):
+                    callee_info = project.functions.get(
+                        hop_site.callee or "")
+                    callee_name = (callee_info.qualname
+                                   if callee_info is not None
+                                   else hop_site.callee or "?")
+                    hops.append({"path": hop_site.relpath,
+                                 "line": hop_site.line,
+                                 "detail": f"calls {callee_name}()"})
+                raiser = project.functions[target]
+                hops.append({"path": raiser.relpath,
+                             "line": raise_lines[target],
+                             "detail": f"raises {_VIOLATION} in "
+                                       f"{raiser.qualname}()"})
+            for handler in swallowing:
+                caught = ", ".join(_exc_names(handler.type)) or "all"
+                findings.append(Finding(
+                    rule="excflow-swallowed-violation", path=record.relpath,
+                    line=handler.lineno, scope=scope,
+                    message=f"handler catching {caught} in {scope}() "
+                            f"swallows a reachable {_VIOLATION} without "
+                            "re-raising; a failed correctness oracle "
+                            "would pass silently",
+                    fixable=True,
+                    fix=f"re-raise {_VIOLATION}, narrow the except "
+                        "clause, or suppress with # lint: disable="
+                        "excflow-swallowed-violation(reason)",
+                    hops=hops))
+    return findings
+
+
+def _nearest_raiser(project: ProjectModel,
+                    parents: Dict[str, Tuple[Optional[str],
+                                             Optional[CallSite]]],
+                    entry: str, raise_lines: Dict[str, int]
+                    ) -> Optional[str]:
+    if entry in raise_lines:
+        return entry
+    best: Optional[Tuple[int, str]] = None
+    for candidate in parents:
+        if candidate not in raise_lines:
+            continue
+        depth = len(project.chain_to(parents, candidate))
+        if best is None or (depth, candidate) < best:
+            best = (depth, candidate)
+    return best[1] if best is not None else None

@@ -31,9 +31,10 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
 from ...metrics.spans import SPAN_CREATION_METHODS
-from ..astutil import ParsedFile, walk_functions
+from ..astutil import ParsedFile
 from ..config import LintConfig
 from ..findings import Finding
+from ..project import ProjectModel
 from ..registry import rule
 
 _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
@@ -228,22 +229,20 @@ class _Scan:
                             "attach aggregates as end() tags")
 
 
-def _hot_functions_in(parsed: ParsedFile, config: LintConfig
+def _hot_functions_in(parsed: ParsedFile, config: LintConfig,
+                      project: ProjectModel
                       ) -> Iterator[Tuple[str, ast.AST]]:
     if parsed.module is None:
         return
-    prefix = parsed.module + "."
-    wanted = {entry[len(prefix):] for entry in config.hot_functions
-              if entry.startswith(prefix)}
-    if not wanted:
-        return
-    for qualname, node in walk_functions(parsed.tree):
-        if qualname in wanted:
-            yield qualname, node
+    wanted = set(config.hot_functions)
+    for fn in project.functions.values():
+        if fn.module == parsed.module and fn.id in wanted:
+            yield fn.qualname, fn.node
 
 
 @rule("hotpath-discipline")
-def check_hotpath(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
+def check_hotpath(parsed: ParsedFile, config: LintConfig,
+                  project: ProjectModel) -> List[Finding]:
     """Registered hot functions obey the no-alloc/None-check rules.
 
     Emits findings under the specific rule ids
@@ -254,7 +253,7 @@ def check_hotpath(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
     """
     telemetry = set(config.telemetry_attrs)
     findings: List[Finding] = []
-    for qualname, fn_node in _hot_functions_in(parsed, config):
+    for qualname, fn_node in _hot_functions_in(parsed, config, project):
         scan = _Scan(parsed=parsed, qualname=qualname, telemetry=telemetry)
         assert isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef))
         for statement in fn_node.body:

@@ -10,21 +10,24 @@ already caused real divergence bugs in cache/policy code elsewhere.
 from __future__ import annotations
 
 import ast
+import subprocess
 from typing import List
 
-from ..astutil import ParsedFile, enclosing_scopes
+from ..astutil import ParsedFile
 from ..config import LintConfig
 from ..findings import Finding
+from ..project import ProjectModel
 from ..registry import rule
 
 _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
 
 
 @rule("hygiene-bare-except")
-def check_bare_except(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
+def check_bare_except(parsed: ParsedFile, config: LintConfig,
+                      project: ProjectModel) -> List[Finding]:
     """No bare ``except:`` — it catches KeyboardInterrupt/SystemExit."""
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if isinstance(node, ast.ExceptHandler) and node.type is None:
             findings.append(Finding(
@@ -38,11 +41,11 @@ def check_bare_except(parsed: ParsedFile, config: LintConfig) -> List[Finding]:
 
 
 @rule("hygiene-mutable-default")
-def check_mutable_default(parsed: ParsedFile,
-                          config: LintConfig) -> List[Finding]:
+def check_mutable_default(parsed: ParsedFile, config: LintConfig,
+                          project: ProjectModel) -> List[Finding]:
     """No mutable default arguments (shared across calls)."""
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
@@ -67,6 +70,36 @@ def check_mutable_default(parsed: ParsedFile,
     return findings
 
 
+@rule("hygiene-tracked-bytecode", scope="project")
+def check_tracked_bytecode(files: List[ParsedFile], config: LintConfig,
+                           project: ProjectModel) -> List[Finding]:
+    """No compiled bytecode committed to the repository.
+
+    ``.pyc`` files are interpreter- and timestamp-specific build
+    artifacts; tracking them guarantees noisy diffs and platform skew.
+    Outside a git checkout (synthetic test trees) the rule is silent.
+    """
+    try:
+        listing = subprocess.run(
+            ["git", "ls-files", "--cached", "-z",
+             "*.pyc", "*.pyo", "*__pycache__*"],
+            cwd=config.root, capture_output=True, text=True, timeout=30)
+    except (FileNotFoundError, subprocess.SubprocessError, OSError):
+        return []
+    if listing.returncode != 0:
+        return []  # not a git checkout
+    findings: List[Finding] = []
+    for tracked in sorted(p for p in listing.stdout.split("\0") if p):
+        findings.append(Finding(
+            rule="hygiene-tracked-bytecode", path=tracked, line=1,
+            message="compiled bytecode is tracked by git; build "
+                    "artifacts never belong in the repository",
+            fixable=True,
+            fix="git rm --cached the file and keep __pycache__/ and "
+                "*.pyc in .gitignore"))
+    return findings
+
+
 def _names_invariant_violation(type_node: ast.AST) -> bool:
     if isinstance(type_node, ast.Tuple):
         return any(_names_invariant_violation(element)
@@ -80,8 +113,8 @@ def _names_invariant_violation(type_node: ast.AST) -> bool:
 
 
 @rule("hygiene-swallowed-violation")
-def check_swallowed_violation(parsed: ParsedFile,
-                              config: LintConfig) -> List[Finding]:
+def check_swallowed_violation(parsed: ParsedFile, config: LintConfig,
+                              project: ProjectModel) -> List[Finding]:
     """No handler that silently swallows InvariantViolation.
 
     Flags ``except InvariantViolation`` (or a broad ``except
@@ -90,7 +123,7 @@ def check_swallowed_violation(parsed: ParsedFile,
     oracle trip must be re-raised, recorded, or acted on.
     """
     findings: List[Finding] = []
-    scopes = enclosing_scopes(parsed.tree)
+    scopes = project.scopes(parsed)
     for node in ast.walk(parsed.tree):
         if not isinstance(node, ast.ExceptHandler) or node.type is None:
             continue

@@ -29,19 +29,20 @@ from ...metrics.depgraph import DependencyGraph
 from ..astutil import ParsedFile
 from ..config import LintConfig
 from ..findings import Finding
+from ..project import ProjectModel
 from ..registry import rule
 
 
-def _project_modules(files: List[ParsedFile]) -> Set[str]:
-    return {parsed.module for parsed in files if parsed.module is not None}
+def _project_modules(project: ProjectModel) -> Set[str]:
+    return set(project.modules)
 
 
 @rule("layering-import", scope="project", fixable=True)
-def check_import_dag(files: List[ParsedFile],
-                     config: LintConfig) -> List[Finding]:
+def check_import_dag(files: List[ParsedFile], config: LintConfig,
+                     project: ProjectModel) -> List[Finding]:
     """A module may only import repro layers at or below its own."""
     findings: List[Finding] = []
-    known = _project_modules(files)
+    known = _project_modules(project)
     prefix = config.package + "."
     for parsed in files:
         if parsed.module is None:
@@ -84,12 +85,12 @@ def check_import_dag(files: List[ParsedFile],
 
 
 @rule("layering-cycle", scope="project")
-def check_layer_cycles(files: List[ParsedFile],
-                       config: LintConfig) -> List[Finding]:
+def check_layer_cycles(files: List[ParsedFile], config: LintConfig,
+                       project: ProjectModel) -> List[Finding]:
     """No import cycles between layers (folded module graph)."""
     graph = DependencyGraph()
     prefix = config.package + "."
-    known = _project_modules(files)
+    known = _project_modules(project)
     file_of: Dict[str, str] = {}
     for parsed in files:
         if parsed.module is None:

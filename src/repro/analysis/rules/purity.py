@@ -1,0 +1,253 @@
+"""Process-boundary purity: what crosses into a worker must pickle.
+
+``parallel_map`` / ``ProcessPoolExecutor.submit`` ship their callable
+and arguments to a worker process by pickling.  Lambdas, nested
+functions (closures over locals), bound methods and open file handles
+all fail there — some loudly at submit time, some (bound methods of
+stateful objects) by silently snapshotting state the parent keeps
+mutating.  And a worker that mutates a module global diverges from the
+serial run, because the mutation happens in a forked copy the parent
+never sees — the exact shared-state drift the serial==parallel
+bit-identity guarantee forbids.
+
+Two rules over the shared project model:
+
+* ``purity-unpicklable`` — at every submission site (configured
+  ``[tool.repro-lint.purity] submit-functions`` plus structural
+  ``.submit``/``.map`` on executor-typed locals), flag lambdas, nested
+  functions, bound methods, generator arguments, and locals bound by
+  ``open(...)``.
+* ``purity-global-mutation`` — resolve the submitted callable to its
+  worker entry point and BFS the call graph under it; any reachable
+  module-global mutation is flagged at the mutation site with the full
+  submission-to-mutation hop chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..astutil import ParsedFile
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import (MODULE_SCOPE, CallSite, FunctionInfo, ProjectModel,
+                       scope_locals)
+from ..registry import rule
+
+#: Executor method calls that cross a process boundary, matched on the
+#: dotted external form ``resolve_call_in`` produces for typed locals.
+_EXECUTOR_METHODS = ("ProcessPoolExecutor.submit", "ProcessPoolExecutor.map")
+
+
+def _caller_context(project: ProjectModel, caller: str
+                    ) -> Tuple[str, Optional[FunctionInfo]]:
+    """(module, FunctionInfo-or-None) for a call-site owner id."""
+    fn = project.functions.get(caller)
+    if fn is not None:
+        return fn.module, fn
+    return caller.rsplit("." + MODULE_SCOPE, 1)[0], None
+
+
+def _submission_sites(project: ProjectModel, config: LintConfig
+                      ) -> List[CallSite]:
+    submit_names = set(config.purity_submit)
+    sites: List[CallSite] = []
+    for owner_sites in project.calls.values():
+        for site in owner_sites:
+            target = site.callee or site.external
+            if target is None:
+                continue
+            if target in submit_names or any(
+                    target.endswith("." + method) or target == method
+                    for method in _EXECUTOR_METHODS):
+                sites.append(site)
+    sites.sort(key=lambda site: (site.relpath, site.line))
+    return sites
+
+
+def _local_bindings(fn: Optional[FunctionInfo]
+                    ) -> Tuple[Dict[str, ast.Lambda], Set[str]]:
+    """Names bound to lambdas / open() handles in the caller scope."""
+    lambdas: Dict[str, ast.Lambda] = {}
+    handles: Set[str] = set()
+    if fn is None:
+        return lambdas, handles
+    assert isinstance(fn.node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if isinstance(node.value, ast.Lambda):
+                lambdas[name] = node.value
+            elif isinstance(node.value, ast.Call) and \
+                    isinstance(node.value.func, ast.Name) and \
+                    node.value.func.id == "open":
+                handles.add(name)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name) and \
+                        isinstance(item.context_expr, ast.Call) and \
+                        isinstance(item.context_expr.func, ast.Name) and \
+                        item.context_expr.func.id == "open":
+                    handles.add(item.optional_vars.id)
+    return lambdas, handles
+
+
+def _resolve_callable(project: ProjectModel, module: str,
+                      caller: str, fn: Optional[FunctionInfo],
+                      expr: ast.expr) -> Optional[str]:
+    """Project function id the submitted callable names, if any."""
+    if isinstance(expr, ast.Name):
+        if fn is not None:
+            nested = f"{caller}.{expr.id}"
+            if nested in project.functions:
+                return nested
+        direct = f"{module}.{expr.id}"
+        if direct in project.functions:
+            return direct
+        aliased = project.aliases_of(module).get(expr.id)
+        if aliased is not None and aliased in project.functions:
+            return aliased
+        return None
+    dotted = project.resolve_dotted(module, expr)
+    if dotted is not None and dotted in project.functions:
+        return dotted
+    return None
+
+
+def _describe_target(project: ProjectModel, site: CallSite) -> str:
+    target = site.callee or site.external or "submission"
+    if site.callee is not None and site.callee in project.functions:
+        return project.functions[site.callee].qualname
+    return target.rsplit(".", 2)[-1] if target.count(".") < 2 else \
+        ".".join(target.rsplit(".", 2)[-2:])
+
+
+@rule("purity-unpicklable", scope="project")
+def check_unpicklable(files: List[ParsedFile], config: LintConfig,
+                      project: ProjectModel) -> List[Finding]:
+    """Submitted callables and arguments must survive pickling."""
+    findings: List[Finding] = []
+    for site in _submission_sites(project, config):
+        module, fn = _caller_context(project, site.caller)
+        scope = fn.qualname if fn is not None else MODULE_SCOPE
+        lambdas, handles = _local_bindings(fn)
+        local_names = (set(fn.params) | scope_locals(fn.node)
+                       if fn is not None else set())
+        target = _describe_target(project, site)
+        args = list(site.node.args)
+        if not args:
+            continue
+
+        def flag(message: str, node: ast.AST, fix: str) -> None:
+            findings.append(Finding(
+                rule="purity-unpicklable", path=site.relpath,
+                line=getattr(node, "lineno", site.line), scope=scope,
+                message=message, fixable=True, fix=fix))
+
+        func_arg = args[0]
+        if isinstance(func_arg, ast.Lambda):
+            flag(f"lambda submitted to {target}() cannot pickle across "
+                 "the process boundary", func_arg,
+                 "hoist the lambda to a module-level function")
+        elif isinstance(func_arg, ast.Name):
+            if func_arg.id in lambdas:
+                flag(f"{func_arg.id!r} is a lambda submitted to "
+                     f"{target}(); lambdas cannot pickle across the "
+                     "process boundary", func_arg,
+                     "hoist the lambda to a module-level function")
+            else:
+                entry = _resolve_callable(project, module, site.caller,
+                                          fn, func_arg)
+                if entry is not None and project.functions[entry].is_nested:
+                    flag(f"nested function {func_arg.id!r} submitted to "
+                         f"{target}() closes over caller locals and "
+                         "cannot pickle", func_arg,
+                         "move the worker function to module level and "
+                         "pass its inputs explicitly")
+        elif isinstance(func_arg, ast.Attribute):
+            base = func_arg.value
+            bound = False
+            if isinstance(base, ast.Name):
+                if base.id == "self":
+                    bound = True
+                else:
+                    local_type = project.local_types(module, fn).get(base.id)
+                    bound = (local_type is not None
+                             and local_type in project.classes)
+                    if not bound and base.id in local_names:
+                        bound = True  # instance held in a local
+            if bound:
+                flag(f"bound method {ast.unparse(func_arg)} submitted to "
+                     f"{target}() pickles a snapshot of its instance; "
+                     "parent-side mutations diverge", func_arg,
+                     "submit a module-level function taking the state "
+                     "explicitly")
+        for arg in args[1:] + [kw.value for kw in site.node.keywords]:
+            if isinstance(arg, ast.GeneratorExp):
+                flag(f"generator argument to {target}() cannot pickle; "
+                     "materialize it first", arg,
+                     "wrap the generator in list(...)")
+            elif isinstance(arg, ast.Name) and arg.id in handles:
+                flag(f"open file handle {arg.id!r} passed to {target}(); "
+                     "handles cannot cross the process boundary", arg,
+                     "pass the path and open inside the worker")
+    return findings
+
+
+@rule("purity-global-mutation", scope="project")
+def check_global_mutation(files: List[ParsedFile], config: LintConfig,
+                          project: ProjectModel) -> List[Finding]:
+    """No module-global mutation reachable from a worker entry point."""
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, str]] = set()
+    for site in _submission_sites(project, config):
+        module, fn = _caller_context(project, site.caller)
+        if not site.node.args:
+            continue
+        entry = _resolve_callable(project, module, site.caller, fn,
+                                  site.node.args[0])
+        if entry is None or entry not in project.functions:
+            continue
+        entry_info = project.functions[entry]
+        parents = project.reachable_from(entry)
+        for reached in sorted(parents):
+            for mutation in project.mutations.get(reached, []):
+                key = (mutation.relpath, mutation.line, mutation.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                reached_info = project.functions.get(reached)
+                scope = (reached_info.qualname if reached_info is not None
+                         else reached)
+                hops = [{"path": site.relpath, "line": site.line,
+                         "detail": f"submitted {entry_info.qualname}() "
+                                   "to a worker pool"}]
+                for hop_site in project.chain_to(parents, reached):
+                    callee_info = project.functions.get(
+                        hop_site.callee or "")
+                    callee_name = (callee_info.qualname
+                                   if callee_info is not None
+                                   else hop_site.callee or "?")
+                    hops.append({"path": hop_site.relpath,
+                                 "line": hop_site.line,
+                                 "detail": f"calls {callee_name}()"})
+                hops.append({"path": mutation.relpath,
+                             "line": mutation.line,
+                             "detail": mutation.detail})
+                findings.append(Finding(
+                    rule="purity-global-mutation", path=mutation.relpath,
+                    line=mutation.line, scope=scope,
+                    message=f"module global {mutation.name!r} is mutated "
+                            f"in {scope}(), reachable from worker entry "
+                            f"{entry_info.qualname}(); parallel runs "
+                            "diverge from serial (the write lands in a "
+                            "forked copy)",
+                    fixable=True,
+                    fix="thread the state through arguments/returns, or "
+                        "suppress with # lint: disable="
+                        "purity-global-mutation(reason)",
+                    hops=hops))
+    findings.sort(key=lambda finding: (finding.path, finding.line))
+    return findings

@@ -1,0 +1,543 @@
+"""Determinism-taint: nondeterminism must not reach serialized output.
+
+The repo's bit-identity guarantee (serial == parallel sweeps, chaos
+replays, fuzz ``--replay``) holds only if no wall-clock read, global
+RNG draw, ``os.urandom`` byte or ``id()`` value ever flows into a
+serialized report, cache key, bench JSON or telemetry export.  The
+per-file determinism rules ban the *calls* in simulation modules; this
+family tracks the *values* — through assignments, attribute and
+container stores, returns, and calls up to a bounded depth — on a
+whole-program dataflow graph built over the shared
+:class:`~repro.analysis.project.ProjectModel`.
+
+Sources (``[tool.repro-lint.taint] sources`` plus global-state RNG
+draws and ``id()``-as-value) seed the graph; sinks (``sinks``; by
+default the ``json``/``pickle`` serialization edges) terminate it.
+Any source-to-sink path within ``max-hops`` becomes one
+``taint-flow`` finding at the sink, carrying the full hop chain like
+``repro spans`` does.
+
+A ``# lint: disable=taint-flow(reason)`` pragma on the *source* line
+kills every flow seeded there (an intentional report timestamp);, on
+the *sink* line it suppresses that one flow endpoint.  Modules in
+``determinism.allow-modules`` never seed sources (they are the
+sanctioned wall-clock/RNG edges).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..astutil import ParsedFile
+from ..config import LintConfig
+from ..findings import Finding
+from ..project import MODULE_SCOPE, FunctionInfo, ProjectModel, scope_locals
+from ..registry import rule
+
+#: Safe members of ``random``/``numpy.random`` (mirrors determinism.py).
+_RANDOM_SAFE = {"random.Random", "random.SystemRandom", "random.getstate",
+                "random.setstate", "random.seed"}
+_NUMPY_SAFE = {"numpy.random.default_rng", "numpy.random.Generator",
+               "numpy.random.SeedSequence", "numpy.random.RandomState",
+               "numpy.random.PCG64", "numpy.random.Philox"}
+
+Node = Tuple[str, ...]
+Hop = Dict[str, Any]
+
+
+@dataclass
+class TaintTrace:
+    """One source-to-sink flow, with the full hop chain."""
+
+    source: Dict[str, Any]       # {"call", "path", "line", "scope"}
+    sink: Dict[str, Any]
+    hops: List[Hop]              # ordered source -> sink
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"source": dict(self.source), "sink": dict(self.sink),
+                "hops": [dict(hop) for hop in self.hops]}
+
+
+@dataclass
+class _Endpoint:
+    call: str
+    path: str
+    line: int
+    col: int
+    scope: str
+
+
+@dataclass
+class TaintGraph:
+    """Value-flow graph: nodes are variables/attributes/returns."""
+
+    edges: Dict[Node, List[Tuple[Node, Hop]]] = field(default_factory=dict)
+    sources: Dict[Node, _Endpoint] = field(default_factory=dict)
+    sinks: Dict[Node, _Endpoint] = field(default_factory=dict)
+
+    def add_edge(self, src: Node, dst: Node, hop: Hop) -> None:
+        if src != dst:
+            self.edges.setdefault(src, []).append((dst, hop))
+
+
+class _ScopeWalker:
+    """Builds taint edges for one function (or module) scope."""
+
+    def __init__(self, builder: "_GraphBuilder", parsed: ParsedFile,
+                 fn: Optional[FunctionInfo], scope_id: str) -> None:
+        self.builder = builder
+        self.parsed = parsed
+        self.fn = fn
+        self.scope_id = scope_id
+        self.module = parsed.module or ""
+        self.qualname = fn.qualname if fn is not None else MODULE_SCOPE
+        project = builder.project
+        self.local_types = project.local_types(self.module, fn)
+        if fn is not None:
+            assert isinstance(fn.node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))
+            self.locals: Set[str] = set(fn.params) | \
+                {arg.arg for arg in fn.node.args.kwonlyargs} | \
+                scope_locals(fn.node)
+        else:
+            self.locals = set()
+
+    # -- node helpers ------------------------------------------------------
+
+    def _var(self, name: str) -> Optional[Node]:
+        if self.fn is not None and name not in self.locals:
+            globals_here = self.builder.project.module_globals.get(
+                self.module, set())
+            if name in globals_here:
+                return ("var", f"{self.module}.{MODULE_SCOPE}", name)
+            return None  # imported symbol / builtin: not a value cell
+        return ("var", self.scope_id, name)
+
+    def _hop(self, line: int, detail: str) -> Hop:
+        return {"path": self.parsed.relpath, "line": line, "detail": detail}
+
+    # -- statements --------------------------------------------------------
+
+    def walk(self, body: Sequence[ast.stmt]) -> None:
+        for statement in body:
+            self.statement(statement)
+
+    def statement(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # separate scopes, walked on their own
+        if isinstance(node, ast.Assign):
+            values = self.evaluate(node.value)
+            for target in node.targets:
+                self.assign(target, values, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            values = self.evaluate(node.value)
+            self.assign(node.target, values, node.lineno)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            values = self.evaluate(node.value)
+            self.assign(node.target, values, node.lineno)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            values = self.evaluate(node.value)
+            for value in values:
+                self.builder.graph.add_edge(
+                    value, ("ret", self.scope_id),
+                    self._hop(node.lineno,
+                              f"returned from {self.qualname}()"))
+        elif isinstance(node, ast.Expr):
+            self.evaluate(node.value)
+        elif isinstance(node, ast.For):
+            iter_values = self.evaluate(node.iter)
+            self.assign(node.target, iter_values, node.lineno)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.While):
+            self.evaluate(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.If):
+            self.evaluate(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.With):
+            for item in node.items:
+                values = self.evaluate(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, values, node.lineno)
+            self.walk(node.body)
+        elif isinstance(node, ast.Try):
+            self.walk(node.body)
+            for handler in node.handlers:
+                self.walk(handler.body)
+            self.walk(node.orelse)
+            self.walk(node.finalbody)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.evaluate(node.exc)
+        elif isinstance(node, (ast.Assert, ast.Delete)):
+            pass
+        elif isinstance(node, ast.Match):
+            self.evaluate(node.subject)
+            for case in node.cases:
+                self.walk(case.body)
+
+    def assign(self, target: ast.expr, values: Set[Node],
+               line: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self.assign(element, values, line)
+            return
+        dst: Optional[Node] = None
+        detail = ""
+        if isinstance(target, ast.Name):
+            dst = self._var(target.id)
+            detail = f"assigned to {target.id}"
+        elif isinstance(target, ast.Attribute):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id == "self" and \
+                    self.fn is not None and self.fn.class_id is not None:
+                dst = ("attr", self.fn.class_id, target.attr)
+                detail = f"stored on self.{target.attr}"
+            else:
+                dst = self._base_node(base)
+                detail = f"stored on .{target.attr} of " \
+                         f"{ast.unparse(base)}"
+        elif isinstance(target, ast.Subscript):
+            dst = self._base_node(target.value)
+            detail = f"stored into {ast.unparse(target.value)}[...]"
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, values, line)
+            return
+        if dst is None:
+            return
+        for value in values:
+            self.builder.graph.add_edge(value, dst, self._hop(line, detail))
+
+    def _base_node(self, expr: ast.expr) -> Optional[Node]:
+        """The storable cell a subscript/attribute store lands in."""
+        cursor = expr
+        while isinstance(cursor, (ast.Subscript, ast.Attribute)):
+            if isinstance(cursor, ast.Attribute) and \
+                    isinstance(cursor.value, ast.Name) and \
+                    cursor.value.id == "self" and self.fn is not None and \
+                    self.fn.class_id is not None:
+                return ("attr", self.fn.class_id, cursor.attr)
+            cursor = cursor.value
+        if isinstance(cursor, ast.Name):
+            return self._var(cursor.id)
+        return None
+
+    # -- expressions -------------------------------------------------------
+
+    def evaluate(self, node: ast.expr) -> Set[Node]:
+        """Nodes whose taint this expression's value would carry."""
+        if isinstance(node, ast.Name):
+            cell = self._var(node.id)
+            return {cell} if cell is not None else set()
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self" and \
+                    self.fn is not None and self.fn.class_id is not None:
+                attr_node: Node = ("attr", self.fn.class_id, node.attr)
+                return {attr_node}
+            return self.evaluate(base)
+        if isinstance(node, ast.Call):
+            return self.call(node)
+        if isinstance(node, ast.Subscript):
+            return self.evaluate(node.value)  # keys do not taint reads
+        if isinstance(node, ast.BinOp):
+            return self.evaluate(node.left) | self.evaluate(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self.evaluate(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out: Set[Node] = set()
+            for value in node.values:
+                out |= self.evaluate(value)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.evaluate(node.left)
+            for comparator in node.comparators:
+                out |= self.evaluate(comparator)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.evaluate(node.test)
+            return self.evaluate(node.body) | self.evaluate(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.evaluate(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.evaluate(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self.evaluate(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for value in node.values:
+                if value is not None:
+                    out |= self.evaluate(value)
+            return out
+        if isinstance(node, ast.Starred):
+            return self.evaluate(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for generator in node.generators:
+                iter_values = self.evaluate(generator.iter)
+                self.assign(generator.target, iter_values, node.lineno)
+            out = set()
+            if isinstance(node, ast.DictComp):
+                out |= self.evaluate(node.value)
+            else:
+                out |= self.evaluate(node.elt)
+            return out
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self.evaluate(node.value)
+        if isinstance(node, ast.Yield):
+            return (self.evaluate(node.value)
+                    if node.value is not None else set())
+        if isinstance(node, ast.NamedExpr):
+            values = self.evaluate(node.value)
+            self.assign(node.target, values, node.lineno)
+            return values
+        return set()
+
+    def call(self, node: ast.Call) -> Set[Node]:
+        builder = self.builder
+        project = builder.project
+        callee, external = project.resolve_call_in(
+            self.module, self.fn, self.local_types, node.func)
+        dotted = external if external is not None else callee
+
+        arg_values: List[Set[Node]] = [self.evaluate(arg)
+                                       for arg in node.args]
+        keyword_values: Dict[Optional[str], Set[Node]] = {
+            keyword.arg: self.evaluate(keyword.value)
+            for keyword in node.keywords}
+        receiver: Set[Node] = set()
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.evaluate(node.func.value)
+
+        # Source calls seed the graph (sanctioned modules excepted).
+        if external is not None and builder.is_source(external):
+            if not builder.module_sanctioned(self.module):
+                source_node: Node = ("source", external, self.parsed.relpath,
+                                     str(node.lineno))
+                builder.graph.sources[source_node] = _Endpoint(
+                    call=external, path=self.parsed.relpath,
+                    line=node.lineno, col=node.col_offset,
+                    scope=self.qualname)
+                return {source_node}
+            return set()
+
+        # Sink calls terminate it: every argument flows in.
+        if dotted is not None and dotted in builder.sink_names:
+            sink_node: Node = ("sink", dotted, self.parsed.relpath,
+                               str(node.lineno))
+            builder.graph.sinks[sink_node] = _Endpoint(
+                call=dotted, path=self.parsed.relpath, line=node.lineno,
+                col=node.col_offset, scope=self.qualname)
+            hop = self._hop(node.lineno,
+                            f"argument to sink {_short(dotted)}()")
+            for values in arg_values + list(keyword_values.values()):
+                for value in values:
+                    builder.graph.add_edge(value, sink_node, hop)
+            out: Set[Node] = set()
+            for values in arg_values:
+                out |= values
+            return out
+
+        # Known project function: bind arguments to parameters and
+        # return the callee's return-value node.
+        if callee is not None and callee in project.functions:
+            info = project.functions[callee]
+            params = list(info.params)
+            positional = list(arg_values)
+            hop = self._hop(node.lineno,
+                            f"argument to {info.qualname}()")
+            if params and params[0] in ("self", "cls") and \
+                    isinstance(node.func, ast.Attribute):
+                for value in receiver:
+                    builder.graph.add_edge(
+                        value, ("var", callee, params[0]), hop)
+                params = params[1:]
+            for name, values in zip(params, positional):
+                for value in values:
+                    builder.graph.add_edge(value, ("var", callee, name),
+                                           hop)
+            for key, values in keyword_values.items():
+                if key is None:
+                    continue
+                for value in values:
+                    builder.graph.add_edge(value, ("var", callee, key), hop)
+            return {("ret", callee)}
+
+        # Opaque / external call: taint passes through arguments and the
+        # receiver; a mutating-shaped method call also taints its
+        # receiver cell (``results.append(tainted)``).
+        out = set(receiver)
+        for values in arg_values:
+            out |= values
+        for values in keyword_values.values():
+            out |= values
+        if isinstance(node.func, ast.Attribute):
+            target = self._base_node(node.func.value)
+            if target is not None:
+                hop = self._hop(
+                    node.lineno,
+                    f"stored via .{node.func.attr}() into "
+                    f"{ast.unparse(node.func.value)}")
+                for values in arg_values:
+                    for value in values:
+                        builder.graph.add_edge(value, target, hop)
+        return out
+
+
+class _GraphBuilder:
+    def __init__(self, project: ProjectModel, config: LintConfig) -> None:
+        self.project = project
+        self.config = config
+        self.graph = TaintGraph()
+        self.sink_names = set(config.taint_sinks)
+        self._source_names = set(config.taint_sources)
+
+    def is_source(self, dotted: str) -> bool:
+        if dotted in self._source_names:
+            return True
+        if dotted == "id":
+            return True
+        if dotted.startswith("random.") and dotted.count(".") == 1 and \
+                dotted not in _RANDOM_SAFE:
+            return True
+        if dotted.startswith("numpy.random.") and dotted not in _NUMPY_SAFE:
+            return True
+        return False
+
+    def module_sanctioned(self, module: str) -> bool:
+        return any(module == allowed or module.startswith(allowed + ".")
+                   for allowed in self.config.determinism_allow)
+
+    def build(self) -> TaintGraph:
+        for parsed in self.project.files:
+            if parsed.module is None:
+                continue
+            module_scope = f"{parsed.module}.{MODULE_SCOPE}"
+            walker = _ScopeWalker(self, parsed, None, module_scope)
+            walker.walk(parsed.tree.body)
+            for fn in self.project.functions.values():
+                if fn.module != parsed.module:
+                    continue
+                assert isinstance(fn.node, (ast.FunctionDef,
+                                            ast.AsyncFunctionDef))
+                walker = _ScopeWalker(self, parsed, fn, fn.id)
+                walker.walk(fn.node.body)
+        return self.graph
+
+
+def trace_taint(project: ProjectModel, config: LintConfig
+                ) -> List[TaintTrace]:
+    """All bounded source-to-sink flows, each with its hop chain."""
+    graph = _GraphBuilder(project, config).build()
+    traces: List[TaintTrace] = []
+    for source_node, source in sorted(
+            graph.sources.items(),
+            key=lambda item: (item[1].path, item[1].line)):
+        parents = _bfs(graph, source_node, config.taint_max_hops)
+        seen_sinks: Set[Node] = set()
+        for sink_node, sink in sorted(
+                graph.sinks.items(),
+                key=lambda item: (item[1].path, item[1].line)):
+            if sink_node not in parents or sink_node in seen_sinks:
+                continue
+            seen_sinks.add(sink_node)
+            hops = _chain(parents, source_node, sink_node)
+            traces.append(TaintTrace(
+                source={"call": source.call, "path": source.path,
+                        "line": source.line, "scope": source.scope},
+                sink={"call": sink.call, "path": sink.path,
+                      "line": sink.line, "scope": sink.scope},
+                hops=hops))
+    return traces
+
+
+def _bfs(graph: TaintGraph, start: Node, max_hops: int
+         ) -> Dict[Node, Tuple[Optional[Node], Optional[Hop]]]:
+    parents: Dict[Node, Tuple[Optional[Node], Optional[Hop]]] = {
+        start: (None, None)}
+    frontier = [start]
+    for _depth in range(max_hops):
+        next_frontier: List[Node] = []
+        for node in frontier:
+            for dst, hop in graph.edges.get(node, []):
+                if dst in parents:
+                    continue
+                parents[dst] = (node, hop)
+                next_frontier.append(dst)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return parents
+
+
+def _chain(parents: Dict[Node, Tuple[Optional[Node], Optional[Hop]]],
+           source: Node, sink: Node) -> List[Hop]:
+    hops: List[Hop] = []
+    cursor: Optional[Node] = sink
+    while cursor is not None and cursor != source:
+        parent, hop = parents[cursor]
+        if hop is not None:
+            hops.append(hop)
+        cursor = parent
+    hops.reverse()
+    return hops
+
+
+def _short(dotted: str) -> str:
+    parts = dotted.rsplit(".", 2)
+    return ".".join(parts[-2:]) if len(parts) > 1 else dotted
+
+
+@rule("taint-flow", scope="project")
+def check_taint_flow(files: List[ParsedFile], config: LintConfig,
+                     project: ProjectModel) -> List[Finding]:
+    """No nondeterministic value may reach a serialization sink.
+
+    A ``taint-flow`` pragma on the *source* line suppresses every flow
+    seeded there (checked here rather than at the engine's sink-line
+    pragma pass); ``repro lint graph`` still exports the trace, so an
+    intentionally suppressed flow stays inspectable.
+    """
+    by_path = {parsed.relpath: parsed for parsed in files}
+    findings: List[Finding] = []
+    for trace in trace_taint(project, config):
+        source, sink = trace.source, trace.sink
+        source_pragma = None
+        source_file = by_path.get(str(source["path"]))
+        if source_file is not None:
+            for pragma in source_file.pragmas.get(int(source["line"]), []):
+                if pragma.matches("taint-flow"):
+                    source_pragma = pragma
+                    break
+        findings.append(Finding(
+            rule="taint-flow", path=str(sink["path"]),
+            line=int(sink["line"]), scope=str(sink["scope"]),
+            message=f"nondeterministic {_short(str(source['call']))}() "
+                    f"(seeded in {source['scope']}(), {source['path']}) "
+                    f"flows into {_short(str(sink['call']))}() after "
+                    f"{len(trace.hops)} hop(s); the serialized output is "
+                    "no longer replay-stable",
+            fixable=True,
+            fix="derive the value from sim time / seeded streams, or "
+                "suppress the seed line with "
+                "# lint: disable=taint-flow(reason)",
+            suppressed=source_pragma is not None,
+            suppress_reason=(source_pragma.reason
+                             if source_pragma is not None else ""),
+            hops=[{"path": source["path"], "line": source["line"],
+                   "detail": f"source {_short(str(source['call']))}()"}]
+                 + trace.hops))
+    return findings

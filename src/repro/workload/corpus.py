@@ -94,6 +94,7 @@ def corpus_object(name: str, size: int = 0, seed: int = 0) -> bytes:
         size = _DEFAULT_SIZES[name]
     key = (name, size, seed)
     if key not in _cache:
+        # lint: disable=purity-global-mutation(pure memoisation: the bytes are a deterministic function of the key, so a worker-local copy is byte-identical to the parent's)
         _cache[key] = _GENERATORS[name](size, seed)
     return _cache[key]
 

@@ -1,0 +1,411 @@
+"""Tests for the interprocedural rule families (taint/purity/excflow)
+and the ``repro.lintgraph/v1`` export.
+
+Each family runs against synthetic trees (the same fixture style as
+``test_lint.py``), including the acceptance scenario: a wall-clock
+value injected into a report path is convicted by ``taint-flow`` with
+the full source-to-sink hop chain.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.analysis.graphexport import (LINTGRAPH_SCHEMA, build_lintgraph,
+                                        finding_hops_valid,
+                                        validate_lintgraph)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under a src/ package root."""
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    for package_dir in sorted({p.parent for p in tmp_path.rglob("*.py")}):
+        init = package_dir / "__init__.py"
+        if package_dir != tmp_path / "src" and not init.exists():
+            init.write_text("", encoding="utf-8")
+    return tmp_path
+
+
+def active(report, rule):
+    return [f for f in report.findings if f.active and f.rule == rule]
+
+
+class TestTaintFlow:
+    def test_direct_flow_into_json(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/report.py": (
+                "import json, time\n"
+                "def write_report(handle):\n"
+                "    stamp = time.time()\n"
+                "    json.dump({'at': stamp}, handle)\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "taint-flow")
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert finding_hops_valid(findings[0])
+        assert findings[0].hops[0]["detail"].startswith("source time.time")
+
+    def test_interprocedural_flow_through_calls(self, tmp_path):
+        """The acceptance scenario: wall clock -> helper -> report."""
+        make_tree(tmp_path, {
+            "src/repro/metrics/report.py": (
+                "import json\n"
+                "from repro.metrics.meta import build_meta\n"
+                "def export(results, handle):\n"
+                "    doc = {'results': results, 'meta': build_meta()}\n"
+                "    json.dump(doc, handle)\n"
+            ),
+            "src/repro/metrics/meta.py": (
+                "import time\n"
+                "def build_meta():\n"
+                "    return {'written_at': now_stamp()}\n"
+                "def now_stamp():\n"
+                "    return time.time()\n"
+            ),
+        })
+        report = run_lint(tmp_path)
+        assert report.exit_code != 0
+        findings = active(report, "taint-flow")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/metrics/report.py"
+        # Multi-hop chain: source -> return -> return -> container ->
+        # sink, crossing both modules.
+        assert len(finding.hops) >= 4
+        paths = {hop["path"] for hop in finding.hops}
+        assert "src/repro/metrics/meta.py" in paths
+        assert "src/repro/metrics/report.py" in paths
+        assert finding_hops_valid(finding)
+
+    def test_container_store_flow(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/bucket.py": (
+                "import json, os\n"
+                "def collect(handle):\n"
+                "    rows = []\n"
+                "    rows.append(os.urandom(8).hex())\n"
+                "    json.dump(rows, handle)\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "taint-flow")
+        assert len(findings) == 1
+
+    def test_clean_flow_passes(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/clean.py": (
+                "import json, time\n"
+                "def profile():\n"
+                "    return time.perf_counter()\n"
+                "def export(results, handle):\n"
+                "    json.dump({'results': results}, handle)\n"
+            ),
+        })
+        assert active(run_lint(tmp_path), "taint-flow") == []
+
+    def test_source_pragma_suppresses_but_keeps_trace(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/stamped.py": (
+                "import json, time\n"
+                "def export(handle):\n"
+                "    # lint: disable=taint-flow(metadata timestamp),"
+                "determinism-wallclock(metadata timestamp)\n"
+                "    doc = {'at': time.time()}\n"
+                "    json.dump(doc, handle)\n"
+            ),
+        })
+        report = run_lint(tmp_path)
+        assert active(report, "taint-flow") == []
+        suppressed = [f for f in report.findings
+                      if f.rule == "taint-flow" and f.suppressed]
+        assert len(suppressed) == 1
+        # The graph export still carries the trace for inspection.
+        graph = build_lintgraph(tmp_path)
+        assert graph["counts"]["taint_traces"] == 1
+
+    def test_id_as_value_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/ids.py": (
+                "import json\n"
+                "def export(obj, handle):\n"
+                "    json.dump({'key': id(obj)}, handle)\n"
+            ),
+        })
+        assert len(active(run_lint(tmp_path), "taint-flow")) == 1
+
+
+class TestPurity:
+    def test_lambda_submission_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def sweep(items):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(lambda x: x + 1, items))\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "purity-unpicklable")
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_submission_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def sweep(items, offset):\n"
+                "    def worker(x):\n"
+                "        return x + offset\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(worker, items))\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "purity-unpicklable")
+        assert len(findings) == 1
+        assert "closes over" in findings[0].message
+
+    def test_bound_method_submission_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "class Runner:\n"
+                "    def cell(self, x):\n"
+                "        return x\n"
+                "    def sweep(self, items):\n"
+                "        with ProcessPoolExecutor() as pool:\n"
+                "            return list(pool.map(self.cell, items))\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "purity-unpicklable")
+        assert len(findings) == 1
+        assert "bound method" in findings[0].message
+
+    def test_generator_argument_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def cell(x):\n"
+                "    return x\n"
+                "def sweep(items):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.submit(cell, "
+                "(i for i in items)))\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "purity-unpicklable")
+        assert len(findings) == 1
+        assert "generator" in findings[0].message
+
+    def test_module_level_worker_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def cell(x):\n"
+                "    return x * 2\n"
+                "def sweep(items):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(cell, items))\n"
+            ),
+        })
+        report = run_lint(tmp_path)
+        assert active(report, "purity-unpicklable") == []
+        assert active(report, "purity-global-mutation") == []
+
+    def test_worker_reachable_global_mutation_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/experiments/run.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "from repro.workload.state import record\n"
+                "def cell(x):\n"
+                "    record(x)\n"
+                "    return x\n"
+                "def sweep(items):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        return list(pool.map(cell, items))\n"
+            ),
+            "src/repro/workload/state.py": (
+                "SEEN = []\n"
+                "def record(x):\n"
+                "    SEEN.append(x)\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path), "purity-global-mutation")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/workload/state.py"
+        # Full hop chain: submission -> cell -> record -> mutation.
+        assert len(finding.hops) >= 3
+        assert finding.hops[0]["detail"].startswith("submitted")
+        assert finding_hops_valid(finding)
+
+
+class TestExcflow:
+    def test_swallowed_violation_chain_flagged(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/gateway/box.py": (
+                "from repro.core.checks import guard\n"
+                "def process(data):\n"
+                "    try:\n"
+                "        return guard(data)\n"
+                "    except Exception:\n"
+                "        return None\n"
+            ),
+            "src/repro/core/checks.py": (
+                "class InvariantViolation(AssertionError):\n"
+                "    pass\n"
+                "def guard(data):\n"
+                "    return deep_check(data)\n"
+                "def deep_check(data):\n"
+                "    if not data:\n"
+                "        raise InvariantViolation('empty')\n"
+                "    return data\n"
+            ),
+        })
+        findings = active(run_lint(tmp_path),
+                          "excflow-swallowed-violation")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "src/repro/gateway/box.py"
+        # Chain: try-body call -> guard -> deep_check -> raise.
+        assert len(finding.hops) >= 3
+        assert "raises InvariantViolation" in finding.hops[-1]["detail"]
+        assert finding_hops_valid(finding)
+
+    def test_rereferenced_exception_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/gateway/box.py": (
+                "from repro.core.checks import guard\n"
+                "RESULTS = {}\n"
+                "def process(data, log):\n"
+                "    try:\n"
+                "        return guard(data)\n"
+                "    except Exception as exc:\n"
+                "        log.append(str(exc))\n"
+                "        raise\n"
+            ),
+            "src/repro/core/checks.py": (
+                "class InvariantViolation(AssertionError):\n"
+                "    pass\n"
+                "def guard(data):\n"
+                "    if not data:\n"
+                "        raise InvariantViolation('empty')\n"
+                "    return data\n"
+            ),
+        })
+        assert active(run_lint(tmp_path),
+                      "excflow-swallowed-violation") == []
+
+    def test_verify_modules_exempt(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/verify/runner.py": (
+                "from repro.core.checks import guard\n"
+                "def score(data):\n"
+                "    try:\n"
+                "        return guard(data)\n"
+                "    except Exception:\n"
+                "        return 'violation'\n"
+            ),
+            "src/repro/core/checks.py": (
+                "class InvariantViolation(AssertionError):\n"
+                "    pass\n"
+                "def guard(data):\n"
+                "    if not data:\n"
+                "        raise InvariantViolation('empty')\n"
+                "    return data\n"
+            ),
+        })
+        assert active(run_lint(tmp_path),
+                      "excflow-swallowed-violation") == []
+
+    def test_unrelated_catch_clean(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/gateway/box.py": (
+                "def load(path):\n"
+                "    try:\n"
+                "        with open(path) as handle:\n"
+                "            return handle.read()\n"
+                "    except OSError:\n"
+                "        return None\n"
+            ),
+        })
+        assert active(run_lint(tmp_path),
+                      "excflow-swallowed-violation") == []
+
+
+class TestLintgraph:
+    def test_synthetic_graph_validates_with_multihop_trace(self, tmp_path):
+        make_tree(tmp_path, {
+            "src/repro/metrics/report.py": (
+                "import json\n"
+                "from repro.metrics.meta import build_meta\n"
+                "def export(results, handle):\n"
+                "    doc = {'results': results, 'meta': build_meta()}\n"
+                "    json.dump(doc, handle)\n"
+            ),
+            "src/repro/metrics/meta.py": (
+                "import time\n"
+                "def build_meta():\n"
+                "    return {'written_at': time.time()}\n"
+            ),
+        })
+        payload = build_lintgraph(tmp_path)
+        validate_lintgraph(payload)
+        assert payload["schema"] == LINTGRAPH_SCHEMA
+        traces = payload["taint"]["traces"]
+        assert len(traces) == 1
+        assert len(traces[0]["hops"]) >= 3  # a multi-hop trace
+        # The document round-trips through JSON.
+        validate_lintgraph(json.loads(json.dumps(payload)))
+
+    def test_repo_graph_validates(self):
+        payload = build_lintgraph(REPO_ROOT)
+        validate_lintgraph(payload)
+        assert payload["counts"]["functions"] > 500
+        assert payload["counts"]["call_edges"] > 1000
+        # The sanctioned bench timestamp stays visible as a trace even
+        # though its finding is pragma-suppressed.
+        assert payload["counts"]["taint_traces"] >= 1
+
+    def test_validator_rejects_bad_documents(self, tmp_path):
+        payload = build_lintgraph(make_tree(tmp_path, {
+            "src/repro/core/a.py": "def f():\n    return 1\n"}))
+        validate_lintgraph(payload)
+        broken = dict(payload, schema="nope/v0")
+        with pytest.raises(ValueError):
+            validate_lintgraph(broken)
+        broken = json.loads(json.dumps(payload))
+        broken["counts"]["functions"] += 1
+        with pytest.raises(ValueError):
+            validate_lintgraph(broken)
+
+
+class TestSelfLintDataflow:
+    def test_shipped_tree_clean_under_new_families(self):
+        report = run_lint(REPO_ROOT,
+                          select=["taint", "purity", "excflow"])
+        assert [f for f in report.findings if f.active] == []
+
+    def test_doctored_wallclock_violation_caught(self, tmp_path):
+        """CI smoke contract: injecting time.time() into a report path
+        of a copied module tree must fail the lint with a hop chain."""
+        make_tree(tmp_path, {
+            "src/repro/metrics/report.py": (
+                "import json\n"
+                "def export(results, handle):\n"
+                "    json.dump({'results': results,\n"
+                "               'at': _stamp()}, handle)\n"
+                "import time\n"
+                "def _stamp():\n"
+                "    return time.time()\n"
+            ),
+        })
+        report = run_lint(tmp_path)
+        assert report.exit_code != 0
+        findings = active(report, "taint-flow")
+        assert findings and all(f.hops for f in findings)
